@@ -1,0 +1,75 @@
+// Shared helpers for the paper-reproduction benches: curve downsampling,
+// ASCII sparklines for memory-over-time figures, and common CLI parsing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_clock.h"
+#include "util/stats.h"
+
+namespace xmem::benchutil {
+
+using Series = std::vector<std::pair<util::TimeUs, std::int64_t>>;
+
+/// Downsample a (time, bytes) series to `buckets` max-of-bucket values over
+/// its full time range (max preserves peaks, which is what memory plots
+/// care about).
+inline std::vector<std::int64_t> downsample_max(const Series& series,
+                                                std::size_t buckets) {
+  std::vector<std::int64_t> out(buckets, 0);
+  if (series.empty() || buckets == 0) return out;
+  const util::TimeUs t0 = series.front().first;
+  const util::TimeUs t1 = std::max(series.back().first, t0 + 1);
+  std::int64_t last = 0;
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const util::TimeUs bucket_end =
+        t0 + (t1 - t0) * static_cast<std::int64_t>(b + 1) /
+                 static_cast<std::int64_t>(buckets);
+    std::int64_t bucket_max = last;
+    while (cursor < series.size() && series[cursor].first <= bucket_end) {
+      bucket_max = std::max(bucket_max, series[cursor].second);
+      last = series[cursor].second;
+      ++cursor;
+    }
+    out[b] = bucket_max;
+  }
+  return out;
+}
+
+/// Render a downsampled curve as an ASCII sparkline (8 levels).
+inline std::string sparkline(const std::vector<std::int64_t>& values) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::int64_t max_value = 1;
+  for (std::int64_t v : values) max_value = std::max(max_value, v);
+  std::string out;
+  for (std::int64_t v : values) {
+    const auto level = static_cast<std::size_t>((v * 7) / max_value);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+/// Pearson correlation between two equal-bucket downsampled curves.
+inline double curve_correlation(const Series& a, const Series& b,
+                                std::size_t buckets = 64) {
+  const auto da = downsample_max(a, buckets);
+  const auto db = downsample_max(b, buckets);
+  std::vector<double> xa(da.begin(), da.end());
+  std::vector<double> xb(db.begin(), db.end());
+  return util::pearson_correlation(xa, xb);
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace xmem::benchutil

@@ -1,0 +1,69 @@
+// Shared experiment scoping for the evaluation benches: the paper's full
+// ANOVA grid and Monte Carlo sampling, with a --fast mode that thins the
+// grids for quick runs (shape-preserving, smaller n).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "models/workload.h"
+#include "models/zoo.h"
+
+namespace xmem::benchutil {
+
+struct EvalScope {
+  int anova_repeats = 5;
+  int batch_stride = 1;  ///< take every k-th batch size from Table 2 grids
+  std::size_t mc_runs = 1306;  ///< the paper's Monte Carlo count
+  bool fast = false;
+  bool ablation = false;
+
+  static EvalScope from_args(int argc, char** argv) {
+    EvalScope scope;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--fast") {
+        scope.fast = true;
+        scope.anova_repeats = 2;
+        scope.batch_stride = 3;
+        scope.mc_runs = 150;
+      } else if (arg == "--ablation") {
+        scope.ablation = true;
+      }
+    }
+    return scope;
+  }
+};
+
+/// Table 2 grid for the given models, thinned by `stride`.
+inline std::vector<models::TrainConfig> thinned_grid(
+    const std::vector<std::string>& model_names, int stride) {
+  std::vector<models::TrainConfig> grid;
+  for (const auto& model : model_names) {
+    for (const auto optimizer : models::optimizers_for(model)) {
+      const auto batches = models::batch_grid_for(model);
+      for (std::size_t i = 0; i < batches.size();
+           i += static_cast<std::size_t>(stride)) {
+        grid.push_back(models::TrainConfig{
+            model, optimizer, batches[i],
+            fw::ZeroGradPlacement::kPos1IterStart});
+      }
+    }
+  }
+  return grid;
+}
+
+inline eval::EvalHarness make_harness(const EvalScope& scope,
+                                      bool with_llmem = true,
+                                      bool with_schedtune = true) {
+  eval::HarnessOptions options;
+  options.repeats = scope.anova_repeats;
+  options.use_llmem = with_llmem;
+  options.use_schedtune = with_schedtune;
+  options.ablate_orchestrator = scope.ablation;
+  return eval::EvalHarness(options);
+}
+
+}  // namespace xmem::benchutil

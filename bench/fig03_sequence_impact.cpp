@@ -1,0 +1,88 @@
+// Figure 3 reproduction: merely altering the deallocation timing of one
+// memory block relative to subsequent allocations dramatically changes the
+// peak segment memory, even for identical tensors. The paper's example
+// moves from 196 MB (sequence 1, late free) to 118 MB (sequence 2, early
+// free).
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "core/simulator.h"
+#include "util/bytes.h"
+
+namespace {
+
+using xmem::core::MemoryBlock;
+using xmem::core::MemorySimulator;
+using xmem::core::OrchestratedEvent;
+using xmem::core::OrchestratedSequence;
+
+OrchestratedSequence make_sequence(
+    const std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>>&
+        blocks) {
+  OrchestratedSequence seq;
+  std::int64_t id = 1;
+  for (const auto& [size, alloc_ts, free_ts] : blocks) {
+    MemoryBlock b;
+    b.id = id++;
+    b.size = size;
+    b.alloc_ts = alloc_ts;
+    b.free_ts = free_ts;
+    seq.blocks.push_back(b);
+    seq.events.push_back(OrchestratedEvent{b.alloc_ts, b.id, b.size, true});
+    if (free_ts >= 0) {
+      seq.events.push_back(OrchestratedEvent{b.free_ts, b.id, b.size, false});
+    }
+  }
+  std::sort(seq.events.begin(), seq.events.end(),
+            [](const OrchestratedEvent& a, const OrchestratedEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return !a.is_alloc && b.is_alloc;
+            });
+  return seq;
+}
+
+}  // namespace
+
+int main() {
+  using xmem::util::kMiB;
+  constexpr std::int64_t kBlockA = 60 * kMiB;
+  constexpr std::int64_t kBlockB = 58 * kMiB;
+  constexpr std::int64_t kBlockC = 58 * kMiB;
+  constexpr std::int64_t kBlockD = 10 * kMiB;  // small trailing tensor
+
+  // Sequence 1: A is freed only after B, C and D have been allocated.
+  const OrchestratedSequence late = make_sequence({
+      {kBlockA, 0, 60},
+      {kBlockB, 10, 100},
+      {kBlockC, 20, 100},
+      {kBlockD, 30, 100},
+  });
+  // Sequence 2: A is freed before B arrives — B (and D) reuse A's segment.
+  const OrchestratedSequence early = make_sequence({
+      {kBlockA, 0, 5},
+      {kBlockB, 10, 100},
+      {kBlockC, 20, 100},
+      {kBlockD, 30, 100},
+  });
+
+  MemorySimulator simulator;
+  const auto late_result = simulator.replay(late);
+  const auto early_result = simulator.replay(early);
+
+  std::printf("Figure 3: deallocation timing vs peak segment memory\n");
+  std::printf("identical tensors: A=60 MiB, B=58 MiB, C=58 MiB, D=10 MiB\n\n");
+  std::printf("Sequence 1 (A freed after B/C/D alloc): peak segments = %s\n",
+              xmem::util::format_bytes(late_result.peak_reserved).c_str());
+  std::printf("Sequence 2 (A freed before B alloc)   : peak segments = %s\n",
+              xmem::util::format_bytes(early_result.peak_reserved).c_str());
+  std::printf("\nPaper reports 196 MB -> 118 MB for its block set; the "
+              "reproduction shows the same effect (%.0f MiB -> %.0f MiB, "
+              "%.0f%% reduction) from re-timing one deallocation.\n",
+              static_cast<double>(late_result.peak_reserved) / kMiB,
+              static_cast<double>(early_result.peak_reserved) / kMiB,
+              100.0 * (1.0 - static_cast<double>(early_result.peak_reserved) /
+                                 static_cast<double>(late_result.peak_reserved)));
+  return 0;
+}

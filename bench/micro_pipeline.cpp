@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for the xMem pipeline stages (§6.1:
+// "the current runtime is dominated by trace processing"): profiling,
+// JSON serialization/parsing, analysis, orchestration, simulation, and the
+// end-to-end estimate, on a representative mid-size workload.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.h"
+#include "core/orchestrator.h"
+#include "core/profile_runner.h"
+#include "core/simulator.h"
+#include "core/xmem_estimator.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace xmem;
+
+const fw::ModelDescriptor& test_model() {
+  static const fw::ModelDescriptor kModel = models::build_model("gpt2", 8);
+  return kModel;
+}
+
+const trace::Trace& test_trace() {
+  static const trace::Trace kTrace =
+      core::profile_on_cpu(test_model(), fw::OptimizerKind::kAdamW);
+  return kTrace;
+}
+
+void BM_ProfileOnCpu(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::profile_on_cpu(test_model(), fw::OptimizerKind::kAdamW));
+  }
+}
+BENCHMARK(BM_ProfileOnCpu);
+
+void BM_TraceToJson(benchmark::State& state) {
+  const trace::Trace& trace = test_trace();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string json = trace.to_json_string();
+    bytes = json.size();
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_TraceToJson);
+
+void BM_TraceFromJson(benchmark::State& state) {
+  const std::string json = test_trace().to_json_string();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::Trace::from_json_string(json));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(json.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_TraceFromJson);
+
+void BM_Analyzer(benchmark::State& state) {
+  const trace::Trace& trace = test_trace();
+  core::Analyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_Analyzer);
+
+void BM_Orchestrator(benchmark::State& state) {
+  const auto analysis = core::Analyzer().analyze(test_trace());
+  core::Orchestrator orchestrator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orchestrator.orchestrate(analysis.timeline));
+  }
+}
+BENCHMARK(BM_Orchestrator);
+
+void BM_Simulator(benchmark::State& state) {
+  const auto analysis = core::Analyzer().analyze(test_trace());
+  const auto orchestration = core::Orchestrator().orchestrate(analysis.timeline);
+  core::MemorySimulator simulator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.replay(orchestration.sequence));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(orchestration.sequence.events.size()));
+}
+BENCHMARK(BM_Simulator);
+
+void BM_EndToEndEstimate(benchmark::State& state) {
+  core::XMemEstimator estimator;
+  core::TrainJob job;
+  job.model_name = "gpt2";
+  job.batch_size = 8;
+  job.optimizer = fw::OptimizerKind::kAdamW;
+  const gpu::DeviceModel device = gpu::rtx3060();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(job, device));
+  }
+}
+BENCHMARK(BM_EndToEndEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

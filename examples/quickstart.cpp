@@ -1,0 +1,78 @@
+// Quickstart: estimate the peak GPU memory of a training job with xMem,
+// then (because this repo ships the full simulated GPU substrate) verify
+// the estimate against a ground-truth run — the round-trip a user of the
+// real system would do against a real card.
+//
+//   ./quickstart [model] [batch] [optimizer]
+//   ./quickstart gpt2 20 AdamW
+#include <cstdio>
+#include <string>
+
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace xmem;
+
+  core::TrainJob job;
+  job.model_name = argc > 1 ? argv[1] : "gpt2";
+  job.batch_size = argc > 2 ? std::atoi(argv[2]) : 20;
+  job.optimizer = argc > 3 ? fw::optimizer_from_string(argv[3])
+                           : fw::OptimizerKind::kAdamW;
+  const gpu::DeviceModel device = gpu::rtx3060();
+
+  if (!models::is_known_model(job.model_name)) {
+    std::fprintf(stderr, "unknown model '%s'\n", job.model_name.c_str());
+    std::fprintf(stderr, "known models:\n");
+    for (const auto& name : models::all_model_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("job    : %s\n", job.label().c_str());
+  std::printf("device : %s (%s, job budget %s)\n", device.name.c_str(),
+              util::format_bytes(device.capacity).c_str(),
+              util::format_bytes(device.job_budget()).c_str());
+
+  // --- a priori estimate: CPU-only, no GPU touched -----------------------
+  core::XMemEstimator estimator;
+  const core::EstimateResult estimate = estimator.estimate(job, device);
+  std::printf("\nxMem estimate      : %s (%.1f ms CPU time)\n",
+              util::format_bytes(estimate.estimated_peak).c_str(),
+              estimate.runtime_seconds * 1e3);
+  std::printf("OOM predicted      : %s\n",
+              estimate.oom_predicted ? "yes" : "no");
+
+  // --- verification run on the simulated GPU -----------------------------
+  const fw::ModelDescriptor model =
+      models::build_model(job.model_name, job.batch_size);
+  gpu::GroundTruthRunner runner;
+  gpu::GroundTruthOptions options;
+  options.placement = job.placement;
+  options.seed = 7;
+  const gpu::GroundTruthResult truth =
+      runner.run(model, job.optimizer, device, options);
+
+  if (truth.oom) {
+    std::printf("ground truth       : OOM (job does not fit this device)\n");
+    std::printf("prediction was     : %s\n",
+                estimate.oom_predicted ? "correct" : "WRONG");
+    return 0;
+  }
+  std::printf("ground truth peak  : %s (NVML-sampled)\n",
+              util::format_bytes(truth.peak_job_bytes).c_str());
+  const double err =
+      100.0 *
+      std::abs(static_cast<double>(estimate.estimated_peak -
+                                   truth.peak_job_bytes)) /
+      static_cast<double>(truth.peak_job_bytes);
+  std::printf("relative error     : %.2f%%\n", err);
+  std::printf("headroom if capped : %s\n",
+              util::format_bytes(device.job_budget() -
+                                 estimate.estimated_peak)
+                  .c_str());
+  return 0;
+}

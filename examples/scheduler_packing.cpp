@@ -1,0 +1,141 @@
+// Scheduler-integration example: the downstream use case the paper's
+// introduction motivates. A queue of training jobs arrives at a small GPU
+// cluster; the scheduler admits a job onto a GPU only if the predicted
+// memory fits the GPU's remaining budget. We compare three admission
+// policies:
+//
+//   whole-GPU   — one job per GPU (no sharing; today's conservative default)
+//   xMem        — admit while sum of xMem estimates fits
+//   DNNMem      — admit while sum of DNNMem estimates fits
+//
+// and verify each packing against ground truth: a co-located set is
+// feasible iff the sum of the jobs' true peaks fits the budget. The paper's
+// MCP metric is exactly the headroom this example turns into throughput.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/dnnmem.h"
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace xmem;
+
+struct JobArrival {
+  core::TrainJob job;
+  std::int64_t true_peak = 0;  // measured after the fact
+  bool oom_alone = false;
+};
+
+struct PackingResult {
+  int admitted = 0;
+  int oom_events = 0;  // a GPU whose co-located set exceeded its budget
+  std::int64_t wasted_bytes = 0;
+};
+
+PackingResult pack(const std::vector<JobArrival>& arrivals,
+                   const std::vector<std::int64_t>& predictions,
+                   const std::vector<gpu::DeviceModel>& cluster) {
+  PackingResult result;
+  std::vector<std::int64_t> used(cluster.size(), 0);
+  std::vector<std::int64_t> true_used(cluster.size(), 0);
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    // First fit.
+    for (std::size_t g = 0; g < cluster.size(); ++g) {
+      if (used[g] + predictions[j] <= cluster[g].job_budget()) {
+        used[g] += predictions[j];
+        true_used[g] += arrivals[j].true_peak;
+        ++result.admitted;
+        break;
+      }
+    }
+  }
+  for (std::size_t g = 0; g < cluster.size(); ++g) {
+    if (true_used[g] > cluster[g].job_budget()) ++result.oom_events;
+    result.wasted_bytes +=
+        std::max<std::int64_t>(0, cluster[g].job_budget() - true_used[g]);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // A mixed queue of eight real workloads.
+  struct QueueEntry {
+    const char* model;
+    int batch;
+    fw::OptimizerKind optimizer;
+  };
+  const QueueEntry queue[] = {
+      {"distilgpt2", 10, fw::OptimizerKind::kAdamW},
+      {"ResNet101", 300, fw::OptimizerKind::kAdam},
+      {"T5-small", 5, fw::OptimizerKind::kAdam},
+      {"MobileNetV2", 400, fw::OptimizerKind::kAdam},
+      {"ConvNeXtBase", 300, fw::OptimizerKind::kAdamW},
+      {"MnasNet", 500, fw::OptimizerKind::kRmsprop},
+  };
+  const std::vector<gpu::DeviceModel> cluster = {gpu::rtx3060(),
+                                                 gpu::rtx4060()};
+
+  std::printf("Scheduler packing example: 6 jobs -> {3060, 4060}\n\n");
+
+  std::vector<JobArrival> arrivals;
+  core::XMemEstimator xmem;
+  baselines::DnnMemEstimator dnnmem;
+  std::vector<std::int64_t> xmem_pred, dnnmem_pred, whole_gpu_pred;
+
+  gpu::GroundTruthRunner runner;
+  for (const QueueEntry& entry : queue) {
+    JobArrival arrival;
+    arrival.job.model_name = entry.model;
+    arrival.job.batch_size = entry.batch;
+    arrival.job.optimizer = entry.optimizer;
+    arrival.job.seed = 1234;
+
+    const fw::ModelDescriptor model =
+        models::build_model(entry.model, entry.batch);
+    gpu::GroundTruthOptions options;
+    options.seed = 1234;
+    const auto truth = runner.run(model, entry.optimizer, cluster[0], options);
+    arrival.true_peak = truth.peak_job_bytes;
+    arrival.oom_alone = truth.oom;
+
+    const auto xmem_estimate = xmem.estimate(arrival.job, cluster[0]);
+    const auto dnnmem_estimate = dnnmem.estimate(arrival.job, cluster[0]);
+    xmem_pred.push_back(xmem_estimate.estimated_peak);
+    dnnmem_pred.push_back(dnnmem_estimate.estimated_peak);
+    whole_gpu_pred.push_back(cluster[0].job_budget());  // claim whole card
+
+    std::printf("  %-14s b%-4d %-9s true peak %-11s xMem %-11s DNNMem %s\n",
+                entry.model, entry.batch, to_string(entry.optimizer),
+                util::format_bytes(arrival.true_peak).c_str(),
+                util::format_bytes(xmem_estimate.estimated_peak).c_str(),
+                util::format_bytes(dnnmem_estimate.estimated_peak).c_str());
+    arrivals.push_back(arrival);
+  }
+
+  std::printf("\n%-12s %10s %12s %16s\n", "policy", "admitted", "OOM GPUs",
+              "wasted memory");
+  struct Policy {
+    const char* name;
+    const std::vector<std::int64_t>* predictions;
+  };
+  for (const Policy& policy :
+       {Policy{"whole-GPU", &whole_gpu_pred}, Policy{"xMem", &xmem_pred},
+        Policy{"DNNMem", &dnnmem_pred}}) {
+    const PackingResult result = pack(arrivals, *policy.predictions, cluster);
+    std::printf("%-12s %10d %12d %16s\n", policy.name, result.admitted,
+                result.oom_events,
+                util::format_bytes(result.wasted_bytes).c_str());
+  }
+  std::printf("\nAccurate estimates admit more jobs with zero OOM events; "
+              "underestimates (DNNMem on stateful optimizers) overpack and "
+              "crash co-located jobs.\n");
+  return 0;
+}

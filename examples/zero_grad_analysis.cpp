@@ -1,0 +1,86 @@
+// zero_grad placement analysis: the Figure-1 experiment as a user-facing
+// tool. Given a model, it estimates (CPU-only, via xMem) how much GPU
+// memory each zero_grad() placement needs, verifies both against the
+// simulated GPU, and reports the cheaper loop structure — the kind of
+// code-level guidance a practitioner gets from an accurate a-priori
+// estimator.
+//
+//   ./zero_grad_analysis [model] [batch] [optimizer]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace xmem;
+  const std::string model_name = argc > 1 ? argv[1] : "Qwen3-0.6B";
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 2;
+  const fw::OptimizerKind optimizer = argc > 3
+                                          ? fw::optimizer_from_string(argv[3])
+                                          : fw::OptimizerKind::kSgd;
+  if (!models::is_known_model(model_name)) {
+    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+  const gpu::DeviceModel device = gpu::rtx3060();
+
+  std::printf("zero_grad() placement analysis: %s, batch %d, %s on %s\n\n",
+              model_name.c_str(), batch, to_string(optimizer),
+              device.name.c_str());
+
+  core::XMemEstimator estimator;
+  gpu::GroundTruthRunner runner;
+  const fw::ModelDescriptor model = models::build_model(model_name, batch);
+
+  std::int64_t estimates[2] = {0, 0};
+  const fw::ZeroGradPlacement placements[2] = {
+      fw::ZeroGradPlacement::kPos0BeforeBackward,
+      fw::ZeroGradPlacement::kPos1IterStart};
+  const char* descriptions[2] = {
+      "POS0: optimizer.zero_grad() just before loss.backward()",
+      "POS1: optimizer.zero_grad() at the start of the iteration"};
+
+  for (int p = 0; p < 2; ++p) {
+    core::TrainJob job;
+    job.model_name = model_name;
+    job.batch_size = batch;
+    job.optimizer = optimizer;
+    job.placement = placements[p];
+    job.seed = 99;
+    const core::EstimateResult estimate = estimator.estimate(job, device);
+    estimates[p] = estimate.estimated_peak;
+
+    gpu::GroundTruthOptions options;
+    options.placement = placements[p];
+    options.seed = 99;
+    const auto truth = runner.run(model, optimizer, device, options);
+
+    std::printf("%s\n", descriptions[p]);
+    std::printf("  xMem estimate (CPU-only): %s%s\n",
+                util::format_bytes(estimate.estimated_peak).c_str(),
+                estimate.oom_predicted ? "  [would OOM]" : "");
+    if (truth.oom) {
+      std::printf("  verification run        : OOM\n\n");
+    } else {
+      std::printf("  verification run        : %s\n\n",
+                  util::format_bytes(truth.peak_job_bytes).c_str());
+    }
+  }
+
+  const std::int64_t saving = estimates[0] - estimates[1];
+  if (saving > 0) {
+    std::printf("Moving zero_grad() to the start of the iteration (POS1) "
+                "frees an estimated %s of GPU memory for this job —\n"
+                "the previous step's gradients no longer coexist with the "
+                "forward activations.\n",
+                util::format_bytes(saving).c_str());
+  } else {
+    std::printf("For this workload the placement makes little difference "
+                "(%s); the loss-side activation spike dominates.\n",
+                util::format_bytes(-saving).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,290 @@
+#include "alloc/caching_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace xmem::alloc {
+
+struct CachingAllocatorSim::Block {
+  std::uint64_t addr = 0;
+  std::int64_t size = 0;            ///< rounded size of this block
+  std::int64_t requested_size = 0;  ///< pre-rounding size (0 when cached)
+  bool allocated = false;
+  BlockId id = kInvalidBlock;       ///< valid only while allocated
+  Block* prev = nullptr;            ///< neighbour within the same segment
+  Block* next = nullptr;
+  std::uint64_t segment_addr = 0;   ///< base address of the owning segment
+  std::int64_t segment_size = 0;    ///< only meaningful on segment head
+  bool is_small_pool = false;
+};
+
+struct CachingAllocatorSim::BlockPool {
+  explicit BlockPool(bool small) : is_small(small) {}
+
+  struct Less {
+    bool operator()(const Block* a, const Block* b) const {
+      if (a->size != b->size) return a->size < b->size;
+      return a->addr < b->addr;
+    }
+  };
+
+  bool is_small;
+  std::set<Block*, Less> free_blocks;
+};
+
+CachingAllocatorSim::CachingAllocatorSim(SimulatedCudaDriver& driver)
+    : driver_(driver),
+      small_pool_(std::make_unique<BlockPool>(true)),
+      large_pool_(std::make_unique<BlockPool>(false)) {}
+
+CachingAllocatorSim::~CachingAllocatorSim() = default;
+
+std::int64_t CachingAllocatorSim::round_size(std::int64_t size) {
+  if (size < kMinBlockSize) return kMinBlockSize;
+  return util::round_up(size, kMinBlockSize);
+}
+
+std::int64_t CachingAllocatorSim::allocation_size(std::int64_t rounded_size) {
+  if (rounded_size <= kSmallSize) return kSmallBuffer;
+  if (rounded_size < kMinLargeAlloc) return kLargeBuffer;
+  return util::round_up(rounded_size, kRoundLarge);
+}
+
+bool CachingAllocatorSim::should_split(const Block& block,
+                                       std::int64_t size) const {
+  const std::int64_t remaining = block.size - size;
+  if (block.is_small_pool) return remaining >= kMinBlockSize;
+  return remaining > kSmallSize;
+}
+
+CachingAllocatorSim::Block* CachingAllocatorSim::find_free_block(
+    BlockPool& pool, std::int64_t size) {
+  // Best fit: the first block whose size is >= the request, ties broken by
+  // address, exactly like the std::set search in the upstream allocator.
+  Block key;
+  key.size = size;
+  key.addr = 0;
+  auto it = pool.free_blocks.lower_bound(&key);
+  if (it == pool.free_blocks.end()) return nullptr;
+  Block* block = *it;
+  pool.free_blocks.erase(it);
+  return block;
+}
+
+CachingAllocatorSim::Block* CachingAllocatorSim::allocate_segment(
+    BlockPool& pool, std::int64_t alloc_size) {
+  auto addr = driver_.cuda_malloc(alloc_size);
+  if (!addr.has_value()) {
+    // First-level miss at the device: reclaim every unsplit cached segment
+    // (the step DNNMem's model omits — see Section 5.1) and retry once.
+    if (release_cached_segments() > 0) {
+      ++stats_.num_cache_reclaims;
+      addr = driver_.cuda_malloc(alloc_size);
+    }
+  }
+  if (!addr.has_value()) return nullptr;
+
+  auto block = std::make_unique<Block>();
+  block->addr = *addr;
+  block->size = alloc_size;
+  block->allocated = false;
+  block->segment_addr = *addr;
+  block->segment_size = alloc_size;
+  block->is_small_pool = pool.is_small;
+  Block* raw = block.get();
+  blocks_[raw->addr] = std::move(block);
+
+  stats_.reserved_bytes += alloc_size;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+  ++stats_.num_segments_allocated;
+  return raw;
+}
+
+CachingAllocatorSim::Block* CachingAllocatorSim::split_block(Block* block,
+                                                             std::int64_t size,
+                                                             BlockPool& pool) {
+  assert(!block->allocated);
+  assert(block->size > size);
+  auto remainder = std::make_unique<Block>();
+  remainder->addr = block->addr + static_cast<std::uint64_t>(size);
+  remainder->size = block->size - size;
+  remainder->allocated = false;
+  remainder->segment_addr = block->segment_addr;
+  remainder->is_small_pool = block->is_small_pool;
+  remainder->prev = block;
+  remainder->next = block->next;
+  if (block->next != nullptr) block->next->prev = remainder.get();
+  block->next = remainder.get();
+  block->size = size;
+
+  Block* raw = remainder.get();
+  blocks_[raw->addr] = std::move(remainder);
+  pool.free_blocks.insert(raw);
+  ++stats_.num_splits;
+  return raw;
+}
+
+AllocOutcome CachingAllocatorSim::allocate(std::int64_t size) {
+  if (size <= 0) {
+    throw std::invalid_argument("CachingAllocatorSim::allocate: size <= 0");
+  }
+  const std::int64_t rounded = round_size(size);
+  BlockPool& pool = rounded <= kSmallSize ? *small_pool_ : *large_pool_;
+
+  Block* block = find_free_block(pool, rounded);
+  if (block == nullptr) {
+    block = allocate_segment(pool, allocation_size(rounded));
+  }
+  if (block == nullptr) {
+    return AllocOutcome{kInvalidBlock, true, rounded};
+  }
+  if (should_split(*block, rounded)) {
+    split_block(block, rounded, pool);
+  }
+  block->allocated = true;
+  block->requested_size = size;
+  block->id = next_id_++;
+  live_[block->id] = block;
+
+  stats_.allocated_bytes += block->size;
+  stats_.requested_bytes += size;
+  stats_.peak_allocated_bytes =
+      std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+  ++stats_.num_allocs;
+  return AllocOutcome{block->id, false, block->size};
+}
+
+void CachingAllocatorSim::coalesce_with_neighbors(Block* block,
+                                                  BlockPool& pool) {
+  // Merge `block` with its previous neighbour if that neighbour is free,
+  // then with the next. Merging erases the absorbed block.
+  if (Block* prev = block->prev; prev != nullptr && !prev->allocated) {
+    pool.free_blocks.erase(prev);
+    prev->size += block->size;
+    prev->next = block->next;
+    if (block->next != nullptr) block->next->prev = prev;
+    blocks_.erase(block->addr);
+    block = prev;
+    ++stats_.num_coalesces;
+  }
+  if (Block* next = block->next; next != nullptr && !next->allocated) {
+    pool.free_blocks.erase(next);
+    block->size += next->size;
+    block->next = next->next;
+    if (next->next != nullptr) next->next->prev = block;
+    blocks_.erase(next->addr);
+    ++stats_.num_coalesces;
+  }
+  pool.free_blocks.insert(block);
+}
+
+void CachingAllocatorSim::free(BlockId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    throw std::logic_error("CachingAllocatorSim::free: unknown block id");
+  }
+  Block* block = it->second;
+  live_.erase(it);
+
+  stats_.allocated_bytes -= block->size;
+  stats_.requested_bytes -= block->requested_size;
+  ++stats_.num_frees;
+
+  block->allocated = false;
+  block->requested_size = 0;
+  block->id = kInvalidBlock;
+  BlockPool& pool = block->is_small_pool ? *small_pool_ : *large_pool_;
+  coalesce_with_neighbors(block, pool);
+}
+
+std::int64_t CachingAllocatorSim::release_cached_segments() {
+  std::int64_t released = 0;
+  // A segment is releasable when its whole extent is one free block.
+  std::vector<Block*> releasable;
+  for (auto& [addr, block] : blocks_) {
+    if (!block->allocated && block->prev == nullptr &&
+        block->next == nullptr) {
+      releasable.push_back(block.get());
+    }
+  }
+  for (Block* block : releasable) {
+    BlockPool& pool = block->is_small_pool ? *small_pool_ : *large_pool_;
+    pool.free_blocks.erase(block);
+    driver_.cuda_free(block->segment_addr);
+    stats_.reserved_bytes -= block->size;
+    ++stats_.num_segments_released;
+    released += block->size;
+    blocks_.erase(block->addr);
+  }
+  return released;
+}
+
+void CachingAllocatorSim::empty_cache() { release_cached_segments(); }
+
+bool CachingAllocatorSim::is_live(BlockId id) const {
+  return live_.count(id) > 0;
+}
+
+std::int64_t CachingAllocatorSim::block_size(BlockId id) const {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    throw std::logic_error("block_size: unknown block id");
+  }
+  return it->second->size;
+}
+
+std::uint64_t CachingAllocatorSim::block_addr(BlockId id) const {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    throw std::logic_error("block_addr: unknown block id");
+  }
+  return it->second->addr;
+}
+
+std::string snapshot_to_json(const std::vector<SegmentInfo>& segments,
+                             int indent) {
+  util::Json doc = util::Json::array();
+  for (const SegmentInfo& segment : segments) {
+    util::Json seg = util::Json::object();
+    seg["address"] = util::Json(static_cast<std::int64_t>(segment.addr));
+    seg["total_size"] = util::Json(segment.size);
+    seg["segment_type"] = util::Json(segment.is_small_pool ? "small" : "large");
+    util::Json blocks = util::Json::array();
+    std::int64_t active = 0;
+    for (const BlockInfo& block : segment.blocks) {
+      util::Json b = util::Json::object();
+      b["address"] = util::Json(static_cast<std::int64_t>(block.addr));
+      b["size"] = util::Json(block.size);
+      b["state"] = util::Json(block.allocated ? "active_allocated"
+                                              : "inactive");
+      if (block.allocated) active += block.size;
+      blocks.push_back(std::move(b));
+    }
+    seg["allocated_size"] = util::Json(active);
+    seg["blocks"] = std::move(blocks);
+    doc.push_back(std::move(seg));
+  }
+  return doc.dump(indent);
+}
+
+std::vector<SegmentInfo> CachingAllocatorSim::snapshot() const {
+  std::vector<SegmentInfo> segments;
+  for (const auto& [addr, block] : blocks_) {
+    if (block->prev != nullptr) continue;  // not a segment head
+    SegmentInfo seg;
+    seg.addr = block->segment_addr;
+    seg.is_small_pool = block->is_small_pool;
+    for (const Block* b = block.get(); b != nullptr; b = b->next) {
+      seg.blocks.push_back(BlockInfo{b->addr, b->size, b->allocated});
+      seg.size += b->size;
+    }
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+}  // namespace xmem::alloc

@@ -1,0 +1,58 @@
+#include "alloc/cuda_driver_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xmem::alloc {
+
+SimulatedCudaDriver::SimulatedCudaDriver(std::int64_t capacity)
+    : capacity_(capacity),
+      // Real CUDA virtual addresses start far from zero; starting the
+      // simulated VA space at a large, distinctive base makes address-mixups
+      // with CPU traces (which use their own base) easy to spot in dumps.
+      next_addr_(0x7F0000000000ULL) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("SimulatedCudaDriver: capacity must be > 0");
+  }
+}
+
+std::optional<std::uint64_t> SimulatedCudaDriver::cuda_malloc(
+    std::int64_t size) {
+  if (size <= 0) {
+    throw std::invalid_argument("cuda_malloc: size must be > 0");
+  }
+  const std::int64_t page_bytes = util::round_up(size, kPageSize);
+  if (stats_.used_bytes + page_bytes > capacity_) {
+    ++stats_.num_oom_failures;
+    return std::nullopt;
+  }
+  const std::uint64_t addr = next_addr_;
+  // Keep reservations disjoint in VA space and page-aligned.
+  next_addr_ += static_cast<std::uint64_t>(page_bytes) + kPageSize;
+  reservations_[addr] = Reservation{size, page_bytes};
+  stats_.used_bytes += page_bytes;
+  stats_.requested_bytes += size;
+  stats_.peak_used_bytes = std::max(stats_.peak_used_bytes, stats_.used_bytes);
+  ++stats_.num_mallocs;
+  return addr;
+}
+
+void SimulatedCudaDriver::cuda_free(std::uint64_t addr) {
+  auto it = reservations_.find(addr);
+  if (it == reservations_.end()) {
+    throw std::logic_error("cuda_free: unknown address");
+  }
+  stats_.used_bytes -= it->second.page_bytes;
+  stats_.requested_bytes -= it->second.requested;
+  ++stats_.num_frees;
+  reservations_.erase(it);
+}
+
+std::optional<std::int64_t> SimulatedCudaDriver::reservation_size(
+    std::uint64_t addr) const {
+  auto it = reservations_.find(addr);
+  if (it == reservations_.end()) return std::nullopt;
+  return it->second.requested;
+}
+
+}  // namespace xmem::alloc

@@ -1,0 +1,66 @@
+// Device-level allocator simulation (the "second level" of the paper's
+// two-level design, Section 3.4).
+//
+// Models what cudaMalloc/cudaFree provide to the framework allocator: a
+// finite-capacity device whose reservations happen at driver page
+// granularity (2 MiB), plus a virtual-address space for deterministic block
+// addresses. NVML-style "used memory" readings come from here — they see
+// driver pages, not tensor bytes, which is one reason naive tensor-sum
+// estimators under-report real usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace xmem::alloc {
+
+struct DriverStats {
+  std::int64_t used_bytes = 0;       ///< page-granular bytes reserved now
+  std::int64_t peak_used_bytes = 0;  ///< high-water mark of used_bytes
+  std::int64_t requested_bytes = 0;  ///< exact bytes requested (no rounding)
+  std::int64_t num_mallocs = 0;
+  std::int64_t num_frees = 0;
+  std::int64_t num_oom_failures = 0;
+};
+
+class SimulatedCudaDriver {
+ public:
+  /// Allocation granularity of the simulated driver (large-page size).
+  static constexpr std::int64_t kPageSize = 2 * util::kMiB;
+
+  /// `capacity` is the device memory available to this process (already net
+  /// of M_init and M_fm — callers subtract those, see gpu::DeviceModel).
+  explicit SimulatedCudaDriver(std::int64_t capacity);
+
+  /// cudaMalloc: returns the base address, or nullopt on out-of-memory.
+  std::optional<std::uint64_t> cuda_malloc(std::int64_t size);
+
+  /// cudaFree: releases a pointer previously returned by cuda_malloc.
+  /// Unknown addresses are a programming error and throw.
+  void cuda_free(std::uint64_t addr);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t free_bytes() const { return capacity_ - stats_.used_bytes; }
+  const DriverStats& stats() const { return stats_; }
+
+  /// Size of the live reservation at `addr` (exact requested size).
+  std::optional<std::int64_t> reservation_size(std::uint64_t addr) const;
+
+  std::size_t num_live_reservations() const { return reservations_.size(); }
+
+ private:
+  struct Reservation {
+    std::int64_t requested = 0;
+    std::int64_t page_bytes = 0;
+  };
+
+  std::int64_t capacity_;
+  std::uint64_t next_addr_;
+  std::map<std::uint64_t, Reservation> reservations_;
+  DriverStats stats_;
+};
+
+}  // namespace xmem::alloc

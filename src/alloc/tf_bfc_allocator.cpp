@@ -1,0 +1,133 @@
+#include "alloc/tf_bfc_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace xmem::alloc {
+
+struct TfBfcAllocator::Chunk {
+  std::uint64_t addr = 0;
+  std::int64_t size = 0;
+  bool allocated = false;
+  std::int64_t id = -1;
+  Chunk* prev = nullptr;
+  Chunk* next = nullptr;
+};
+
+bool TfBfcAllocator::Less::operator()(const Chunk* a, const Chunk* b) const {
+  if (a->size != b->size) return a->size < b->size;
+  return a->addr < b->addr;
+}
+
+TfBfcAllocator::TfBfcAllocator(SimulatedCudaDriver& driver)
+    : driver_(driver) {}
+
+TfBfcAllocator::~TfBfcAllocator() = default;
+
+std::int64_t TfBfcAllocator::round_size(std::int64_t bytes) {
+  if (bytes < kMinAllocationSize) return kMinAllocationSize;
+  return util::round_up(bytes, kMinAllocationSize);
+}
+
+TfBfcAllocator::Chunk* TfBfcAllocator::extend(std::int64_t rounded) {
+  // Region growth: at least the request, preferring the doubling schedule.
+  std::int64_t region = std::max(next_region_size_,
+                                 util::round_up(rounded, kInitialRegionSize));
+  std::optional<std::uint64_t> addr = driver_.cuda_malloc(region);
+  while (!addr.has_value() && region > rounded) {
+    // TF backs off to smaller regions before giving up.
+    region = std::max(util::round_up(rounded, kInitialRegionSize), region / 2);
+    addr = driver_.cuda_malloc(region);
+    if (region == util::round_up(rounded, kInitialRegionSize)) break;
+  }
+  if (!addr.has_value()) {
+    addr = driver_.cuda_malloc(util::round_up(rounded, kInitialRegionSize));
+  }
+  if (!addr.has_value()) return nullptr;
+  next_region_size_ = std::min<std::int64_t>(region * 2,
+                                             std::int64_t{1} << 33);
+  auto chunk = std::make_unique<Chunk>();
+  chunk->addr = *addr;
+  chunk->size = driver_.reservation_size(*addr).value_or(region);
+  Chunk* raw = chunk.get();
+  chunks_[raw->addr] = std::move(chunk);
+  stats_.region_bytes += raw->size;
+  ++stats_.num_regions;
+  return raw;
+}
+
+TfAllocOutcome TfBfcAllocator::allocate(std::int64_t bytes) {
+  if (bytes <= 0) {
+    throw std::invalid_argument("TfBfcAllocator::allocate: bytes <= 0");
+  }
+  const std::int64_t rounded = round_size(bytes);
+
+  Chunk key;
+  key.size = rounded;
+  key.addr = 0;
+  Chunk* chunk = nullptr;
+  auto it = free_chunks_.lower_bound(&key);
+  if (it != free_chunks_.end()) {
+    chunk = *it;
+    free_chunks_.erase(it);
+  } else {
+    chunk = extend(rounded);
+    if (chunk == nullptr) return TfAllocOutcome{-1, true, rounded};
+  }
+
+  if (chunk->size - rounded >= kMinAllocationSize) {
+    auto remainder = std::make_unique<Chunk>();
+    remainder->addr = chunk->addr + static_cast<std::uint64_t>(rounded);
+    remainder->size = chunk->size - rounded;
+    remainder->prev = chunk;
+    remainder->next = chunk->next;
+    if (chunk->next != nullptr) chunk->next->prev = remainder.get();
+    chunk->next = remainder.get();
+    chunk->size = rounded;
+    free_chunks_.insert(remainder.get());
+    chunks_[remainder->addr] = std::move(remainder);
+  }
+
+  chunk->allocated = true;
+  chunk->id = next_id_++;
+  live_[chunk->id] = chunk;
+  stats_.allocated_bytes += chunk->size;
+  stats_.peak_allocated_bytes =
+      std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+  ++stats_.num_allocs;
+  return TfAllocOutcome{chunk->id, false, chunk->size};
+}
+
+void TfBfcAllocator::free(std::int64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    throw std::logic_error("TfBfcAllocator::free: unknown id");
+  }
+  Chunk* chunk = it->second;
+  live_.erase(it);
+  stats_.allocated_bytes -= chunk->size;
+  ++stats_.num_frees;
+  chunk->allocated = false;
+  chunk->id = -1;
+
+  if (Chunk* prev = chunk->prev; prev != nullptr && !prev->allocated) {
+    free_chunks_.erase(prev);
+    prev->size += chunk->size;
+    prev->next = chunk->next;
+    if (chunk->next != nullptr) chunk->next->prev = prev;
+    chunks_.erase(chunk->addr);
+    chunk = prev;
+  }
+  if (Chunk* next = chunk->next; next != nullptr && !next->allocated) {
+    free_chunks_.erase(next);
+    chunk->size += next->size;
+    chunk->next = next->next;
+    if (next->next != nullptr) next->next->prev = chunk;
+    chunks_.erase(next->addr);
+  }
+  free_chunks_.insert(chunk);
+}
+
+}  // namespace xmem::alloc

@@ -1,0 +1,72 @@
+// TensorFlow-style BFC allocator — the §6.4(ii) generalization: the BFC
+// core is framework-agnostic, but the policies around it differ, and
+// "accurately modelling each allocator is crucial". Differences from the
+// PyTorch port that measurably change reserved memory:
+//
+//   * 256-byte rounding (PyTorch: 512);
+//   * one pool, no 2 MiB/20 MiB buffer classes: memory is acquired as
+//     growing *regions*, each try doubling the previous region size;
+//   * regions are never returned to the device (no empty_cache, no
+//     reclaim-then-retry) — OOM is driver failure at region-growth time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "alloc/cuda_driver_sim.h"
+
+namespace xmem::alloc {
+
+struct TfAllocOutcome {
+  std::int64_t id = -1;
+  bool oom = false;
+  std::int64_t rounded_size = 0;
+};
+
+struct TfBfcStats {
+  std::int64_t allocated_bytes = 0;
+  std::int64_t peak_allocated_bytes = 0;
+  std::int64_t region_bytes = 0;  ///< total acquired from the driver
+  std::int64_t num_regions = 0;
+  std::int64_t num_allocs = 0;
+  std::int64_t num_frees = 0;
+};
+
+class TfBfcAllocator {
+ public:
+  static constexpr std::int64_t kMinAllocationSize = 256;
+  static constexpr std::int64_t kInitialRegionSize = 2 * 1024 * 1024;
+
+  explicit TfBfcAllocator(SimulatedCudaDriver& driver);
+  ~TfBfcAllocator();
+  TfBfcAllocator(const TfBfcAllocator&) = delete;
+  TfBfcAllocator& operator=(const TfBfcAllocator&) = delete;
+
+  static std::int64_t round_size(std::int64_t bytes);
+
+  TfAllocOutcome allocate(std::int64_t bytes);
+  void free(std::int64_t id);
+
+  const TfBfcStats& stats() const { return stats_; }
+  std::size_t num_live() const { return live_.size(); }
+
+ private:
+  struct Chunk;
+  struct Less {
+    bool operator()(const Chunk* a, const Chunk* b) const;
+  };
+
+  Chunk* extend(std::int64_t rounded);
+
+  SimulatedCudaDriver& driver_;
+  std::int64_t next_region_size_ = kInitialRegionSize;
+  std::int64_t next_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+  std::map<std::int64_t, Chunk*> live_;
+  std::set<Chunk*, Less> free_chunks_;
+  TfBfcStats stats_;
+};
+
+}  // namespace xmem::alloc

@@ -1,0 +1,101 @@
+#include "baselines/basic_bfc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace xmem::baselines {
+
+struct BasicBfcAllocator::Block {
+  std::uint64_t addr = 0;
+  std::int64_t size = 0;
+  bool allocated = false;
+  std::int64_t id = -1;
+  Block* prev = nullptr;
+  Block* next = nullptr;
+};
+
+bool BasicBfcAllocator::Less::operator()(const Block* a, const Block* b) const {
+  if (a->size != b->size) return a->size < b->size;
+  return a->addr < b->addr;
+}
+
+BasicBfcAllocator::BasicBfcAllocator() = default;
+BasicBfcAllocator::~BasicBfcAllocator() = default;
+
+std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
+  if (bytes <= 0) throw std::invalid_argument("BasicBfcAllocator: bytes <= 0");
+  const std::int64_t rounded = util::round_up(bytes, kAlignment);
+
+  Block key;
+  key.size = rounded;
+  key.addr = 0;
+  Block* block = nullptr;
+  auto it = free_blocks_.lower_bound(&key);
+  if (it != free_blocks_.end()) {
+    block = *it;
+    free_blocks_.erase(it);
+  } else {
+    const std::int64_t segment = util::round_up(rounded, kSegmentGranularity);
+    auto owned = std::make_unique<Block>();
+    owned->addr = next_addr_;
+    owned->size = segment;
+    next_addr_ += static_cast<std::uint64_t>(segment) + kSegmentGranularity;
+    block = owned.get();
+    blocks_[block->addr] = std::move(owned);
+    reserved_ += segment;
+    peak_reserved_ = std::max(peak_reserved_, reserved_);
+  }
+
+  if (block->size - rounded >= kAlignment) {
+    auto remainder = std::make_unique<Block>();
+    remainder->addr = block->addr + static_cast<std::uint64_t>(rounded);
+    remainder->size = block->size - rounded;
+    remainder->prev = block;
+    remainder->next = block->next;
+    if (block->next != nullptr) block->next->prev = remainder.get();
+    block->next = remainder.get();
+    block->size = rounded;
+    free_blocks_.insert(remainder.get());
+    blocks_[remainder->addr] = std::move(remainder);
+  }
+
+  block->allocated = true;
+  block->id = next_id_++;
+  live_[block->id] = block;
+  allocated_ += block->size;
+  peak_allocated_ = std::max(peak_allocated_, allocated_);
+  return block->id;
+}
+
+void BasicBfcAllocator::free(std::int64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    throw std::logic_error("BasicBfcAllocator::free: unknown id");
+  }
+  Block* block = it->second;
+  live_.erase(it);
+  allocated_ -= block->size;
+  block->allocated = false;
+  block->id = -1;
+
+  if (Block* prev = block->prev; prev != nullptr && !prev->allocated) {
+    free_blocks_.erase(prev);
+    prev->size += block->size;
+    prev->next = block->next;
+    if (block->next != nullptr) block->next->prev = prev;
+    blocks_.erase(block->addr);
+    block = prev;
+  }
+  if (Block* next = block->next; next != nullptr && !next->allocated) {
+    free_blocks_.erase(next);
+    block->size += next->size;
+    block->next = next->next;
+    if (next->next != nullptr) next->next->prev = block;
+    blocks_.erase(next->addr);
+  }
+  free_blocks_.insert(block);
+}
+
+}  // namespace xmem::baselines

@@ -1,0 +1,54 @@
+// Basic single-level BFC allocator — the allocator model our DNNMem
+// reimplementation uses (per the xMem paper, DNNMem "combines computational
+// graph analysis with the simulation of a basic BFC allocator" but models
+// neither the device-level allocator nor cached-segment reclamation, and
+// has no small/large pool policy or 20 MiB over-reservation buckets).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace xmem::baselines {
+
+class BasicBfcAllocator {
+ public:
+  static constexpr std::int64_t kAlignment = 512;
+  static constexpr std::int64_t kSegmentGranularity = 2 * 1024 * 1024;
+
+  BasicBfcAllocator();
+  ~BasicBfcAllocator();
+  BasicBfcAllocator(const BasicBfcAllocator&) = delete;
+  BasicBfcAllocator& operator=(const BasicBfcAllocator&) = delete;
+
+  /// Allocate; always succeeds (arena is unbounded — DNNMem produces an
+  /// estimate, then compares it with capacity afterwards).
+  std::int64_t alloc(std::int64_t bytes);
+  void free(std::int64_t id);
+
+  std::int64_t reserved_bytes() const { return reserved_; }
+  std::int64_t peak_reserved_bytes() const { return peak_reserved_; }
+  std::int64_t allocated_bytes() const { return allocated_; }
+  std::int64_t peak_allocated_bytes() const { return peak_allocated_; }
+  std::size_t num_live() const { return live_.size(); }
+
+ private:
+  struct Block;
+  struct Less {
+    bool operator()(const Block* a, const Block* b) const;
+  };
+
+  std::uint64_t next_addr_ = 0x400000000ULL;
+  std::int64_t next_id_ = 1;
+  std::int64_t reserved_ = 0;
+  std::int64_t peak_reserved_ = 0;
+  std::int64_t allocated_ = 0;
+  std::int64_t peak_allocated_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
+  std::map<std::int64_t, Block*> live_;
+  std::set<Block*, Less> free_blocks_;
+};
+
+}  // namespace xmem::baselines

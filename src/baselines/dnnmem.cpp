@@ -1,0 +1,120 @@
+#include "baselines/dnnmem.h"
+
+#include <chrono>
+#include <vector>
+
+#include "baselines/basic_bfc.h"
+#include "models/zoo.h"
+
+namespace xmem::baselines {
+
+namespace {
+
+using fw::ModelDescriptor;
+using fw::ModuleSpec;
+using fw::OpSpec;
+
+/// Static graph walk: two training iterations replayed through the basic
+/// BFC model. Tensor sizes come from the graph (shapes); nothing
+/// runtime-specific (workspaces, benchmark trials, lazy optimizer state,
+/// zero_grad placement) is visible to a static analyzer.
+std::int64_t static_walk_peak(const ModelDescriptor& model) {
+  BasicBfcAllocator bfc;
+
+  // Parameters are resident for the whole job.
+  for (const ModuleSpec& module : model.modules) {
+    for (const auto& param : module.params) bfc.alloc(param.bytes());
+  }
+
+  struct SavedTensor {
+    std::int64_t id;
+  };
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    std::vector<std::int64_t> batch_ids;
+    batch_ids.push_back(bfc.alloc(model.input_bytes));
+    batch_ids.push_back(bfc.alloc(model.target_bytes));
+
+    // Forward: allocate outputs; liveness from the graph (saved tensors
+    // survive to their backward op, pass-through tensors die at the next
+    // consumer).
+    struct TapeEntry {
+      const ModuleSpec* module;
+      const OpSpec* op;
+      std::vector<std::int64_t> saved;
+    };
+    std::vector<TapeEntry> tape;
+    std::int64_t pass_through = -1;
+    for (const ModuleSpec& module : model.modules) {
+      for (const OpSpec& op : module.ops) {
+        TapeEntry entry{&module, &op, {}};
+        std::int64_t out = -1;
+        if (op.output_bytes > 0) out = bfc.alloc(op.output_bytes);
+        // Graph-derivable saved tensors (normalization statistics, pooling
+        // indices, attention statistics) — identical across backends.
+        if (op.saved_bytes_gpu > 0) {
+          entry.saved.push_back(bfc.alloc(op.saved_bytes_gpu));
+        }
+        if (pass_through >= 0) {
+          bfc.free(pass_through);
+          pass_through = -1;
+        }
+        if (out >= 0) {
+          if (op.output_saved) {
+            entry.saved.push_back(out);
+          } else {
+            pass_through = out;
+          }
+        }
+        tape.push_back(std::move(entry));
+      }
+    }
+    if (pass_through >= 0) bfc.free(pass_through);
+
+    // Backward: gradient chain + parameter gradients. DNNMem's loop model
+    // keeps parameter gradients until the end of the iteration.
+    std::vector<std::int64_t> grad_ids;
+    std::int64_t chain = -1;
+    for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
+      const OpSpec& op = *it->op;
+      if (op.allocates_param_grads) {
+        for (const auto& param : it->module->params) {
+          grad_ids.push_back(bfc.alloc(param.bytes()));
+        }
+      }
+      std::int64_t grad_input = -1;
+      if (op.grad_input_bytes > 0) grad_input = bfc.alloc(op.grad_input_bytes);
+      for (std::int64_t saved : it->saved) bfc.free(saved);
+      if (grad_input >= 0) {
+        if (chain >= 0) bfc.free(chain);
+        chain = grad_input;
+      }
+    }
+    if (chain >= 0) bfc.free(chain);
+
+    // Iteration boundary: gradients cleared, batch released. (No optimizer
+    // state is ever allocated — the static graph does not describe the
+    // optimizer.)
+    for (std::int64_t id : grad_ids) bfc.free(id);
+    for (std::int64_t id : batch_ids) bfc.free(id);
+  }
+  return bfc.peak_reserved_bytes();
+}
+
+}  // namespace
+
+core::EstimateResult DnnMemEstimator::estimate(const core::TrainJob& job,
+                                               const gpu::DeviceModel& device) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const ModelDescriptor model =
+      models::build_model(job.model_name, job.batch_size);
+  core::EstimateResult result;
+  result.estimated_peak = static_walk_peak(model);
+  result.oom_predicted = result.estimated_peak > device.job_budget();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace xmem::baselines

@@ -1,0 +1,28 @@
+// DNNMem reimplementation (static-analysis baseline).
+//
+// The original is closed source; like the xMem authors we reimplement it
+// from its paper's description: walk the static computation graph, compute
+// tensor sizes and liveness, and replay them through a basic BFC allocator.
+// Its documented blind spots (xMem paper §5.1) are reproduced faithfully:
+//   * no optimizer-state modelling (accurate for SGD, not for Adam-family);
+//   * no awareness of optimizer.zero_grad() placement — gradients are
+//     assumed to die at the iteration boundary;
+//   * no operator workspaces or algorithm-search transients (those are not
+//     in the graph);
+//   * single-level allocator: no device granularity, no 20 MiB buckets, no
+//     cached-segment reclamation before OOM.
+#pragma once
+
+#include "core/estimator_api.h"
+
+namespace xmem::baselines {
+
+class DnnMemEstimator final : public core::Estimator {
+ public:
+  std::string name() const override { return "DNNMem"; }
+
+  core::EstimateResult estimate(const core::TrainJob& job,
+                                const gpu::DeviceModel& device) override;
+};
+
+}  // namespace xmem::baselines

@@ -1,0 +1,169 @@
+#include "baselines/gbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace xmem::baselines {
+
+namespace {
+
+double subset_mean(const std::vector<double>& values,
+                   const std::vector<std::size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i : indices) sum += values[i];
+  return sum / static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+double GbmRegressor::Tree::predict(const std::vector<double>& row) const {
+  int node_index = 0;
+  while (true) {
+    const Node& node = nodes[static_cast<std::size_t>(node_index)];
+    if (node.feature < 0) return node.value;
+    node_index = row[static_cast<std::size_t>(node.feature)] <= node.threshold
+                     ? node.left
+                     : node.right;
+  }
+}
+
+int GbmRegressor::build_node(Tree& tree,
+                             const std::vector<std::vector<double>>& rows,
+                             const std::vector<double>& residuals,
+                             std::vector<std::size_t>& indices,
+                             int depth) const {
+  const int node_index = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  tree.nodes.back().value = subset_mean(residuals, indices);
+
+  if (depth >= config_.max_depth ||
+      indices.size() < 2 * static_cast<std::size_t>(config_.min_samples_leaf)) {
+    return node_index;
+  }
+
+  const std::size_t num_features = rows[indices.front()].size();
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  const double total_sum = [&] {
+    double s = 0.0;
+    for (std::size_t i : indices) s += residuals[i];
+    return s;
+  }();
+  const auto n = static_cast<double>(indices.size());
+
+  std::vector<double> values(indices.size());
+  for (std::size_t f = 0; f < num_features; ++f) {
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      values[k] = rows[indices[k]][f];
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front() == sorted.back()) continue;
+
+    for (int c = 1; c <= config_.candidate_splits; ++c) {
+      const double q = static_cast<double>(c) /
+                       static_cast<double>(config_.candidate_splits + 1);
+      const auto pos = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1));
+      const double threshold = sorted[pos];
+      double left_sum = 0.0;
+      double left_n = 0.0;
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        if (values[k] <= threshold) {
+          left_sum += residuals[indices[k]];
+          left_n += 1.0;
+        }
+      }
+      const double right_n = n - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      // Variance-reduction gain (up to constants): sum^2/n decomposition.
+      const double gain = left_sum * left_sum / left_n +
+                          right_sum * right_sum / right_n -
+                          total_sum * total_sum / n;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::size_t> left_indices, right_indices;
+  for (std::size_t i : indices) {
+    if (rows[i][static_cast<std::size_t>(best_feature)] <= best_threshold) {
+      left_indices.push_back(i);
+    } else {
+      right_indices.push_back(i);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) return node_index;
+
+  tree.nodes[static_cast<std::size_t>(node_index)].feature = best_feature;
+  tree.nodes[static_cast<std::size_t>(node_index)].threshold = best_threshold;
+  const int left = build_node(tree, rows, residuals, left_indices, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_index)].left = left;
+  const int right = build_node(tree, rows, residuals, right_indices, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+GbmRegressor::Tree GbmRegressor::fit_tree(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& residuals,
+    const std::vector<std::size_t>& indices) const {
+  Tree tree;
+  std::vector<std::size_t> root_indices = indices;
+  build_node(tree, rows, residuals, root_indices, 0);
+  return tree;
+}
+
+void GbmRegressor::fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<double>& y) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw std::invalid_argument("GbmRegressor::fit: bad training data");
+  }
+  base_prediction_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  base_initialized_ = true;
+  trees_.clear();
+
+  std::vector<double> predictions(y.size(), base_prediction_);
+  std::vector<std::size_t> all_indices(y.size());
+  std::iota(all_indices.begin(), all_indices.end(), 0);
+
+  std::vector<double> residuals(y.size());
+  for (int round = 0; round < config_.rounds; ++round) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residuals[i] = y[i] - predictions[i];
+    }
+    Tree tree = fit_tree(rows, residuals, all_indices);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      predictions[i] += config_.learning_rate * tree.predict(rows[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbmRegressor::predict(const std::vector<double>& row) const {
+  if (!base_initialized_) {
+    throw std::logic_error("GbmRegressor::predict: model not trained");
+  }
+  double prediction = base_prediction_;
+  for (const Tree& tree : trees_) {
+    prediction += config_.learning_rate * tree.predict(row);
+  }
+  return prediction;
+}
+
+}  // namespace xmem::baselines

@@ -1,0 +1,64 @@
+// Minimal gradient-boosted regression trees (least-squares boosting).
+//
+// SchedTune-style estimators are "pre-trained ML models over model/hardware
+// features"; this is the learner backing our reimplementation. It is a
+// standard GBM: each round fits a depth-limited regression tree to the
+// current residuals with greedy variance-reduction splits, then shrinks its
+// contribution by the learning rate. Deterministic: no row/feature
+// subsampling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xmem::baselines {
+
+struct GbmConfig {
+  int rounds = 80;
+  int max_depth = 3;
+  double learning_rate = 0.1;
+  int min_samples_leaf = 3;
+  /// Candidate split thresholds per feature (quantile grid).
+  int candidate_splits = 16;
+};
+
+class GbmRegressor {
+ public:
+  explicit GbmRegressor(GbmConfig config = {}) : config_(config) {}
+
+  /// Fit on rows[i] (all the same length) with targets y[i].
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& y);
+
+  double predict(const std::vector<double>& row) const;
+
+  bool trained() const { return !trees_.empty() || base_initialized_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1: leaf
+    double threshold = 0.0; ///< go left when x[feature] <= threshold
+    double value = 0.0;     ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double predict(const std::vector<double>& row) const;
+  };
+
+  Tree fit_tree(const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& residuals,
+                const std::vector<std::size_t>& indices) const;
+  int build_node(Tree& tree, const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& residuals,
+                 std::vector<std::size_t>& indices, int depth) const;
+
+  GbmConfig config_;
+  double base_prediction_ = 0.0;
+  bool base_initialized_ = false;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace xmem::baselines

@@ -1,0 +1,90 @@
+#include "baselines/llmem.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fw/optimizer.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+
+namespace xmem::baselines {
+
+bool LLMemEstimator::supports(const core::TrainJob& job) const {
+  if (!models::is_known_model(job.model_name)) return false;
+  const fw::ModelDescriptor probe = models::build_model(job.model_name, 1);
+  return probe.family == fw::ModelFamily::kTransformer;
+}
+
+core::EstimateResult LLMemEstimator::estimate(const core::TrainJob& job,
+                                              const gpu::DeviceModel& device) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  core::EstimateResult result;
+  if (!supports(job)) {
+    result.supported = false;
+    return result;
+  }
+
+  // Probe runs at batch 1 and 2 on the target GPU (direct measurement —
+  // this is the step that violates the zero-target-GPU-overhead constraint).
+  const gpu::GroundTruthRunner runner;
+  gpu::GroundTruthOptions gt;
+  gt.iterations = options_.probe_iterations;
+  gt.placement = job.placement;
+  gt.seed = util::derive_seed(job.seed, 0x11E3);
+
+  const fw::ModelDescriptor model_b1 = models::build_model(job.model_name, 1);
+  const gpu::GroundTruthResult probe1 =
+      runner.run(model_b1, job.optimizer, device, gt);
+  const fw::ModelDescriptor model_b2 = models::build_model(job.model_name, 2);
+  const gpu::GroundTruthResult probe2 =
+      runner.run(model_b2, job.optimizer, device, gt);
+
+  if (probe1.oom || probe2.oom) {
+    // Even the probes do not fit: report the static formula value and
+    // predict OOM — the "GPU capacity restricts estimation for very large
+    // models" failure mode of direct estimators (§5.3).
+    const std::int64_t params = model_b1.param_bytes();
+    result.estimated_peak = params * 4;  // weights + grads + AdamW states
+    result.oom_predicted = true;
+    result.runtime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return result;
+  }
+
+  // Linear extrapolation of the per-sample growth, scaled by the
+  // mixed-precision fine-tuning assumption.
+  const double slope = std::max<double>(
+      0.0, static_cast<double>(probe2.peak_job_bytes - probe1.peak_job_bytes));
+  const double activation_term = options_.mixed_precision_activation_factor *
+                                 slope *
+                                 static_cast<double>(job.batch_size - 1);
+
+  // LLMem's formula assumes AdamW fine-tuning: two fp32 state words per
+  // parameter. Whatever the probe already observed for the real optimizer
+  // is replaced by the assumed AdamW footprint.
+  const std::int64_t param_bytes = model_b1.param_bytes();
+  const std::int64_t assumed_state = 2 * param_bytes;
+  const std::int64_t actual_state = fw::total_optimizer_state_bytes(
+      job.optimizer, [&] {
+        std::vector<fw::TensorDesc> params;
+        for (const auto& module : model_b1.modules) {
+          for (const auto& p : module.params) params.push_back(p);
+        }
+        return params;
+      }());
+
+  result.estimated_peak =
+      probe1.peak_job_bytes + static_cast<std::int64_t>(activation_term) +
+      (assumed_state - actual_state);
+  result.estimated_peak = std::max<std::int64_t>(result.estimated_peak, 1);
+  result.oom_predicted = result.estimated_peak > device.job_budget();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace xmem::baselines

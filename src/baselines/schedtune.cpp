@@ -1,0 +1,113 @@
+#include "baselines/schedtune.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "fw/optimizer.h"
+#include "gpu/ground_truth.h"
+#include "models/workload.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace xmem::baselines {
+
+namespace {
+
+/// Pre-2021 models form the "historical data" SchedTune was trained on.
+const std::vector<std::string>& history_models() {
+  static const std::vector<std::string> kModels = {
+      "VGG16", "ResNet101", "MobileNetV2", "MnasNet",
+      "distilgpt2", "gpt2", "T5-small"};
+  return kModels;
+}
+
+double optimizer_state_words(fw::OptimizerKind kind) {
+  switch (kind) {
+    case fw::OptimizerKind::kSgd: return 0.0;
+    case fw::OptimizerKind::kAdam:
+    case fw::OptimizerKind::kAdamW: return 2.0;
+    case fw::OptimizerKind::kRmsprop:
+    case fw::OptimizerKind::kAdagrad: return 1.0;
+    case fw::OptimizerKind::kAdafactor: return 0.05;  // factored states
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> SchedTuneEstimator::features(
+    const core::TrainJob& job, const gpu::DeviceModel& device) {
+  const fw::ModelDescriptor model = models::build_model(job.model_name, 1);
+  return {
+      std::log10(static_cast<double>(model.param_count()) + 1.0),
+      static_cast<double>(model.modules.size()),
+      static_cast<double>(job.batch_size),
+      model.family == fw::ModelFamily::kTransformer ? 1.0 : 0.0,
+      optimizer_state_words(job.optimizer),
+      static_cast<double>(model.hidden_dim),
+      static_cast<double>(model.vocab_size) / 1000.0,
+      static_cast<double>(model.seq_len),
+      static_cast<double>(device.capacity) / static_cast<double>(util::kGiB),
+  };
+}
+
+SchedTuneEstimator::SchedTuneEstimator(SchedTuneOptions options)
+    : gbm_(options.gbm) {
+  train(options);
+}
+
+void SchedTuneEstimator::train(const SchedTuneOptions& options) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;  // peak memory in GiB
+
+  const gpu::GroundTruthRunner runner;
+  const std::vector<gpu::DeviceModel> devices = {gpu::rtx3060(),
+                                                 gpu::rtx4060()};
+  std::uint64_t run_id = 0;
+  for (const auto& model_name : history_models()) {
+    for (const auto optimizer : models::optimizers_for(model_name)) {
+      for (const int batch : models::batch_grid_for(model_name)) {
+        // One historical device per configuration (alternating) keeps the
+        // dataset size realistic; the device capacity is a feature.
+        const gpu::DeviceModel& device = devices[run_id % devices.size()];
+        ++run_id;
+
+        const fw::ModelDescriptor model =
+            models::build_model(model_name, batch);
+        gpu::GroundTruthOptions gt;
+        gt.seed = util::derive_seed(options.history_seed, run_id);
+        gt.iterations = 4;
+        const gpu::GroundTruthResult result =
+            runner.run(model, optimizer, device, gt);
+        if (result.oom) continue;  // failed history runs have no label
+
+        core::TrainJob job;
+        job.model_name = model_name;
+        job.batch_size = batch;
+        job.optimizer = optimizer;
+        rows.push_back(features(job, device));
+        targets.push_back(static_cast<double>(result.peak_job_bytes) /
+                          static_cast<double>(util::kGiB));
+      }
+    }
+  }
+  history_size_ = rows.size();
+  gbm_.fit(rows, targets);
+}
+
+core::EstimateResult SchedTuneEstimator::estimate(
+    const core::TrainJob& job, const gpu::DeviceModel& device) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double predicted_gib = gbm_.predict(features(job, device));
+  core::EstimateResult result;
+  result.estimated_peak = static_cast<std::int64_t>(
+      std::max(predicted_gib, 0.01) * static_cast<double>(util::kGiB));
+  result.oom_predicted = result.estimated_peak > device.job_budget();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace xmem::baselines

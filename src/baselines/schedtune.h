@@ -1,0 +1,52 @@
+// SchedTune reimplementation (data-driven baseline).
+//
+// SchedTune predicts memory from model/hardware features with a pre-trained
+// boosted-tree model. Our reimplementation trains its GBM once, at
+// construction, on a deterministic "historical" dataset: ground-truth runs
+// of the pre-2021 subset of the zoo (VGG16, ResNet101, MobileNetV2,
+// MnasNet, distilgpt2, gpt2, T5-small). Evaluation models outside that
+// history exercise the cold-start weakness the paper highlights (§5.2):
+// tree ensembles cannot extrapolate past their training support, so unseen
+// families — and especially the ~1B-parameter Transformers — are badly
+// mispredicted.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/gbm.h"
+#include "core/estimator_api.h"
+
+namespace xmem::baselines {
+
+struct SchedTuneOptions {
+  /// Seed for the historical-run generator (jitter of the training runs).
+  std::uint64_t history_seed = 17;
+  GbmConfig gbm;
+};
+
+class SchedTuneEstimator final : public core::Estimator {
+ public:
+  explicit SchedTuneEstimator(SchedTuneOptions options = {});
+
+  std::string name() const override { return "SchedTune"; }
+
+  core::EstimateResult estimate(const core::TrainJob& job,
+                                const gpu::DeviceModel& device) override;
+
+  /// Feature extraction is public for tests: (log params, layer count,
+  /// batch, family flag, per-param optimizer state words, hidden dim, vocab
+  /// size, sequence length, device capacity).
+  static std::vector<double> features(const core::TrainJob& job,
+                                      const gpu::DeviceModel& device);
+
+  std::size_t history_size() const { return history_size_; }
+
+ private:
+  void train(const SchedTuneOptions& options);
+
+  GbmRegressor gbm_;
+  std::size_t history_size_ = 0;
+};
+
+}  // namespace xmem::baselines

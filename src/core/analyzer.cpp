@@ -1,0 +1,239 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace xmem::core {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kModelLoad: return "model_load";
+    case Phase::kDataLoader: return "dataloader";
+    case Phase::kForward: return "forward";
+    case Phase::kBackward: return "backward";
+    case Phase::kOptimizerStep: return "optimizer_step";
+    case Phase::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+bool name_starts_with(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+/// Sorted, non-overlapping interval list with containment lookup.
+struct WindowIndex {
+  std::vector<Window> windows;
+
+  void add(util::TimeUs start, util::TimeUs end) {
+    windows.push_back(Window{start, end});
+  }
+  void finalize() {
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) { return a.start < b.start; });
+  }
+  /// Index of the window containing `t`, or -1. Assumes non-overlap (true
+  /// for our window classes: ops are leaves; annotations of one class never
+  /// overlap each other).
+  int find(util::TimeUs t) const {
+    auto it = std::upper_bound(
+        windows.begin(), windows.end(), t,
+        [](util::TimeUs value, const Window& w) { return value < w.start; });
+    if (it == windows.begin()) return -1;
+    --it;
+    if (it->contains(t)) return static_cast<int>(it - windows.begin());
+    return -1;
+  }
+};
+
+struct OpWindow {
+  util::TimeUs start = 0;
+  util::TimeUs end = 0;
+  std::string name;
+  std::string component;
+  std::int64_t seq = -1;
+};
+
+}  // namespace
+
+Analyzer::Output Analyzer::analyze(const trace::Trace& trace) const {
+  Output out;
+  MemoryTimeline& tl = out.timeline;
+  AnalyzerStats& stats = out.stats;
+
+  // Pass 1: index span events. Build the id->event map for parent lookup
+  // and classify annotation windows by name.
+  std::unordered_map<std::int64_t, const TraceEvent*> by_id;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind != EventKind::kCpuInstantEvent) by_id[e.id] = &e;
+  }
+
+  WindowIndex iter_index, zg_index, step_index, dl_index, bw_index;
+  WindowIndex op_index;
+  std::vector<OpWindow> ops;
+  Window model_load{0, 0};
+  util::TimeUs trace_end = 0;
+
+  for (const TraceEvent& e : trace.events) {
+    trace_end = std::max(trace_end, e.end_ts());
+    switch (e.kind) {
+      case EventKind::kUserAnnotation: {
+        if (name_starts_with(e.name, trace::annotation::kProfilerStep)) {
+          iter_index.add(e.ts, e.end_ts());
+        } else if (name_starts_with(e.name, trace::annotation::kZeroGrad)) {
+          zg_index.add(e.ts, e.end_ts());
+        } else if (name_starts_with(e.name, trace::annotation::kOptimizerStep)) {
+          step_index.add(e.ts, e.end_ts());
+        } else if (name_starts_with(e.name, trace::annotation::kDataLoaderNext)) {
+          dl_index.add(e.ts, e.end_ts());
+        } else if (name_starts_with(e.name, trace::annotation::kBackward)) {
+          bw_index.add(e.ts, e.end_ts());
+        } else if (name_starts_with(e.name, trace::annotation::kModelToDevice)) {
+          model_load = Window{e.ts, e.end_ts()};
+        }
+        break;
+      }
+      case EventKind::kCpuOp: {
+        OpWindow op;
+        op.start = e.ts;
+        op.end = e.end_ts();
+        op.name = e.name;
+        op.seq = e.seq;
+        // The component is the nearest python_function / annotation parent.
+        auto parent = by_id.find(e.parent_id);
+        if (parent != by_id.end()) op.component = parent->second->name;
+        op_index.add(op.start, op.end);
+        ops.push_back(std::move(op));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  iter_index.finalize();
+  zg_index.finalize();
+  step_index.finalize();
+  dl_index.finalize();
+  bw_index.finalize();
+  // Op windows were appended in start order already (the profiler emits
+  // spans at open time), but sort defensively and keep `ops` aligned.
+  std::sort(ops.begin(), ops.end(),
+            [](const OpWindow& a, const OpWindow& b) { return a.start < b.start; });
+  op_index.windows.clear();
+  for (const OpWindow& op : ops) op_index.add(op.start, op.end);
+  // Already sorted: finalize() would be a no-op, but keep the invariant.
+  op_index.finalize();
+
+  if (iter_index.windows.empty()) {
+    throw std::runtime_error(
+        "Analyzer: trace has no ProfilerStep iteration markers");
+  }
+
+  // Pass 2: reconstruct block lifecycles from the memory event stream,
+  // handling address reuse (an address can host many blocks over time).
+  struct OpenBlock {
+    std::int64_t size = 0;
+    util::TimeUs alloc_ts = 0;
+    bool seen_before = false;
+  };
+  std::unordered_map<std::uint64_t, OpenBlock> open;
+  std::unordered_map<std::uint64_t, bool> address_seen;
+
+  struct RawBlock {
+    std::uint64_t addr = 0;
+    std::int64_t size = 0;
+    util::TimeUs alloc_ts = 0;
+    util::TimeUs free_ts = -1;
+  };
+  std::vector<RawBlock> raw_blocks;
+
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind != EventKind::kCpuInstantEvent) continue;
+    ++stats.memory_events;
+    if (e.bytes > 0) {
+      if (address_seen[e.addr]) ++stats.address_reuses;
+      address_seen[e.addr] = true;
+      open[e.addr] = OpenBlock{e.bytes, e.ts, false};
+    } else if (e.bytes < 0) {
+      auto it = open.find(e.addr);
+      if (it == open.end()) {
+        ++stats.unmatched_frees;
+        continue;
+      }
+      raw_blocks.push_back(
+          RawBlock{e.addr, it->second.size, it->second.alloc_ts, e.ts});
+      ++stats.matched_pairs;
+      open.erase(it);
+    }
+  }
+  for (const auto& [addr, ob] : open) {
+    raw_blocks.push_back(RawBlock{addr, ob.size, ob.alloc_ts, -1});
+    ++stats.persistent_blocks;
+  }
+  std::sort(raw_blocks.begin(), raw_blocks.end(),
+            [](const RawBlock& a, const RawBlock& b) {
+              if (a.alloc_ts != b.alloc_ts) return a.alloc_ts < b.alloc_ts;
+              return a.addr < b.addr;
+            });
+
+  // Pass 3: operator attribution + phase/iteration tagging; filter blocks
+  // with no operator context (script-level temporaries).
+  std::int64_t next_id = 1;
+  for (const RawBlock& rb : raw_blocks) {
+    const int op_slot = op_index.find(rb.alloc_ts);
+    if (op_slot < 0) {
+      ++stats.filtered_blocks;
+      continue;
+    }
+    MemoryBlock block;
+    block.id = next_id++;
+    block.size = rb.size;
+    block.alloc_ts = rb.alloc_ts;
+    block.free_ts = rb.free_ts;
+    block.op_name = ops[static_cast<std::size_t>(op_slot)].name;
+    block.component = ops[static_cast<std::size_t>(op_slot)].component;
+    block.seq = ops[static_cast<std::size_t>(op_slot)].seq;
+    block.iteration = iter_index.find(rb.alloc_ts);
+
+    if (model_load.contains(rb.alloc_ts)) {
+      block.phase = Phase::kModelLoad;
+    } else if (dl_index.find(rb.alloc_ts) >= 0) {
+      block.phase = Phase::kDataLoader;
+    } else if (bw_index.find(rb.alloc_ts) >= 0) {
+      block.phase = Phase::kBackward;
+    } else if (step_index.find(rb.alloc_ts) >= 0) {
+      block.phase = Phase::kOptimizerStep;
+    } else if (block.iteration >= 0) {
+      block.phase = Phase::kForward;
+    } else {
+      block.phase = Phase::kOther;
+    }
+    tl.blocks.push_back(std::move(block));
+  }
+
+  tl.iterations = iter_index.windows;
+  tl.zero_grads = zg_index.windows;
+  tl.optimizer_steps = step_index.windows;
+  tl.dataloaders = dl_index.windows;
+  tl.backwards = bw_index.windows;
+  tl.model_load = model_load;
+  tl.trace_end = trace_end;
+
+  for (const MemoryBlock& b : tl.blocks) {
+    if (b.phase == Phase::kModelLoad) tl.param_sizes.push_back(b.size);
+  }
+  std::sort(tl.param_sizes.begin(), tl.param_sizes.end());
+  tl.param_sizes.erase(
+      std::unique(tl.param_sizes.begin(), tl.param_sizes.end()),
+      tl.param_sizes.end());
+  return out;
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,183 @@
+#include "core/distributed_planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xmem::core {
+
+namespace {
+
+/// A block is "transient" when its lifetime is a sliver of its iteration —
+/// operator workspaces and chain temporaries, not activations.
+bool is_transient(const MemoryBlock& block, util::TimeUs iteration_span) {
+  if (block.persistent()) return false;
+  return (block.free_ts - block.alloc_ts) < iteration_span / 20;
+}
+
+}  // namespace
+
+std::vector<ComponentProfile> per_component_profile(
+    const MemoryTimeline& timeline) {
+  std::vector<ComponentProfile> profiles;
+  std::map<std::string, std::size_t> index_of;
+  auto profile_for = [&](const std::string& component) -> ComponentProfile& {
+    auto it = index_of.find(component);
+    if (it == index_of.end()) {
+      it = index_of.emplace(component, profiles.size()).first;
+      profiles.push_back(ComponentProfile{component, 0, 0, 0, 0});
+    }
+    return profiles[it->second];
+  };
+
+  const util::TimeUs iteration_span =
+      timeline.iterations.empty()
+          ? 1
+          : timeline.iterations.front().end - timeline.iterations.front().start;
+
+  std::int64_t optimizer_total = 0;
+  for (const MemoryBlock& block : timeline.blocks) {
+    switch (block.phase) {
+      case Phase::kModelLoad:
+        profile_for(block.component).param_bytes += block.size;
+        break;
+      case Phase::kOptimizerStep:
+        if (block.persistent()) optimizer_total += block.size;
+        break;
+      case Phase::kForward: {
+        // Count each component's activations once (first iteration with
+        // stabilized memory is iteration >= 1; iteration 0 matches it for
+        // activations, so restrict to one iteration to avoid double count).
+        if (block.iteration == 1 || timeline.iterations.size() == 1) {
+          ComponentProfile& p = profile_for(block.component);
+          if (is_transient(block, iteration_span)) {
+            p.transient_peak = std::max(p.transient_peak, block.size);
+          } else {
+            p.activation_bytes += block.size;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Apportion optimizer state by parameter share.
+  std::int64_t param_total = 0;
+  for (const ComponentProfile& p : profiles) param_total += p.param_bytes;
+  if (param_total > 0 && optimizer_total > 0) {
+    for (ComponentProfile& p : profiles) {
+      p.optimizer_bytes =
+          static_cast<std::int64_t>(static_cast<double>(optimizer_total) *
+                                    static_cast<double>(p.param_bytes) /
+                                    static_cast<double>(param_total));
+    }
+  }
+  return profiles;
+}
+
+namespace {
+
+std::int64_t stage_peak(const std::vector<ComponentProfile>& profiles,
+                        std::size_t first, std::size_t last,
+                        std::size_t stage_index, std::size_t num_stages,
+                        const DistributedOptions& options) {
+  std::int64_t persistent = 0;
+  std::int64_t activations = 0;
+  std::int64_t transient = 0;
+  for (std::size_t i = first; i <= last; ++i) {
+    persistent += profiles[i].persistent_bytes();
+    // Gradients mirror parameters on each stage.
+    persistent += profiles[i].param_bytes;
+    activations += profiles[i].activation_bytes;
+    transient = std::max(transient, profiles[i].transient_peak);
+  }
+  const int in_flight = std::min<int>(
+      static_cast<int>(num_stages - stage_index), options.micro_batches);
+  const std::int64_t per_micro =
+      activations / std::max(1, options.micro_batches);
+  return persistent + per_micro * in_flight + transient;
+}
+
+/// Can the sequence be packed into `num_stages` contiguous stages with every
+/// stage's peak <= `budget`? Fills `out` when it can. Greedy: extend the
+/// current stage while it stays under budget. Because later stages hold
+/// fewer in-flight micro-batches, we conservatively evaluate each stage with
+/// its actual index.
+bool try_pack(const std::vector<ComponentProfile>& profiles,
+              std::int64_t budget, const DistributedOptions& options,
+              std::vector<PipelineStage>* out) {
+  const auto num_stages = static_cast<std::size_t>(options.pipeline_stages);
+  std::vector<PipelineStage> stages;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < num_stages && begin < profiles.size(); ++s) {
+    std::size_t end = begin;
+    // The last stage must absorb everything left.
+    if (s + 1 == num_stages) {
+      end = profiles.size() - 1;
+      if (stage_peak(profiles, begin, end, s, num_stages, options) > budget) {
+        return false;
+      }
+    } else {
+      while (end + 1 < profiles.size() &&
+             stage_peak(profiles, begin, end + 1, s, num_stages, options) <=
+                 budget) {
+        ++end;
+      }
+      if (stage_peak(profiles, begin, end, s, num_stages, options) > budget) {
+        return false;  // a single component exceeds the budget
+      }
+    }
+    PipelineStage stage;
+    stage.first_component = begin;
+    stage.last_component = end;
+    stage.estimated_peak =
+        stage_peak(profiles, begin, end, s, num_stages, options);
+    for (std::size_t i = begin; i <= end; ++i) {
+      stage.persistent_bytes +=
+          profiles[i].persistent_bytes() + profiles[i].param_bytes;
+      stage.activation_bytes += profiles[i].activation_bytes;
+    }
+    stages.push_back(stage);
+    begin = end + 1;
+  }
+  if (begin < profiles.size()) return false;
+  if (out != nullptr) *out = std::move(stages);
+  return true;
+}
+
+}  // namespace
+
+PipelinePlan DistributedPlanner::plan_pipeline(
+    const MemoryTimeline& timeline, const DistributedOptions& options) const {
+  PipelinePlan plan;
+  const std::vector<ComponentProfile> profiles =
+      per_component_profile(timeline);
+  if (profiles.empty() || options.pipeline_stages < 1) return plan;
+
+  // Single-device reference: everything in one stage, no micro-batching.
+  DistributedOptions single = options;
+  single.pipeline_stages = 1;
+  single.micro_batches = 1;
+  plan.single_device_peak =
+      stage_peak(profiles, 0, profiles.size() - 1, 0, 1, single);
+
+  // Binary search the minimal feasible max-stage budget.
+  std::int64_t low = 1;
+  std::int64_t high = plan.single_device_peak * 2 + 1;
+  while (low < high) {
+    const std::int64_t mid = low + (high - low) / 2;
+    if (try_pack(profiles, mid, options, nullptr)) {
+      high = mid;
+    } else {
+      low = mid + 1;
+    }
+  }
+  try_pack(profiles, low, options, &plan.stages);
+  for (const PipelineStage& stage : plan.stages) {
+    plan.max_stage_peak = std::max(plan.max_stage_peak, stage.estimated_peak);
+  }
+  return plan;
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,85 @@
+// Distributed-training planner — the §6.2 / §6.4(i) extension the paper's
+// architecture is "deliberately prepared" for.
+//
+// The Analyzer's per-layer attribution yields a component-level memory
+// profile from a single-node CPU trace; this planner consumes it to answer
+// the questions distributed deployment asks *before* any multi-GPU run:
+//
+//   * pipeline parallelism — split the layer sequence into contiguous
+//     stages so the worst stage's peak memory is minimized, modelling the
+//     1F1B schedule's in-flight micro-batch activations;
+//   * data parallelism — the extra resident bytes DDP's gradient-bucket
+//     staging adds per rank.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace xmem::core {
+
+/// Memory footprint of one model component (layer/module), extracted from
+/// an analyzed single-node timeline.
+struct ComponentProfile {
+  std::string component;
+  std::int64_t param_bytes = 0;       ///< Module.to persistent blocks
+  std::int64_t optimizer_bytes = 0;   ///< persistent step-phase share
+  std::int64_t activation_bytes = 0;  ///< saved activations per iteration
+  std::int64_t transient_peak = 0;    ///< largest short-lived block
+
+  std::int64_t persistent_bytes() const {
+    return param_bytes + optimizer_bytes;
+  }
+};
+
+/// Extract per-component profiles (in forward order of first appearance).
+/// Optimizer state is apportioned to components proportionally to their
+/// parameter bytes (state tensors are parameter-shaped but their trace
+/// attribution is the optimizer step, not the layer).
+std::vector<ComponentProfile> per_component_profile(
+    const MemoryTimeline& timeline);
+
+struct DistributedOptions {
+  int pipeline_stages = 2;
+  /// In-flight micro-batches of the 1F1B schedule. Stage s (0-based, of S)
+  /// holds min(S - s, micro_batches) activation copies, each 1/micro_batches
+  /// of the profiled batch.
+  int micro_batches = 4;
+  /// DDP gradient bucket size (PyTorch default 25 MiB).
+  std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+};
+
+struct PipelineStage {
+  std::size_t first_component = 0;  ///< inclusive index into the profile
+  std::size_t last_component = 0;   ///< inclusive
+  std::int64_t persistent_bytes = 0;
+  std::int64_t activation_bytes = 0;  ///< per full batch
+  std::int64_t estimated_peak = 0;
+};
+
+struct PipelinePlan {
+  std::vector<PipelineStage> stages;
+  std::int64_t max_stage_peak = 0;
+  /// Peak of the same job on one device (for the "does splitting help"
+  /// comparison).
+  std::int64_t single_device_peak = 0;
+};
+
+class DistributedPlanner {
+ public:
+  /// Balance the component sequence into contiguous stages minimizing the
+  /// maximum per-stage peak (binary search over the peak + greedy packing —
+  /// optimal for contiguous partitioning of a nonnegative sequence).
+  PipelinePlan plan_pipeline(const MemoryTimeline& timeline,
+                             const DistributedOptions& options) const;
+
+  /// Extra resident bytes per data-parallel rank: two in-flight gradient
+  /// buckets (reduce + staging).
+  std::int64_t data_parallel_overhead(const DistributedOptions& options) const {
+    return 2 * options.ddp_bucket_bytes;
+  }
+};
+
+}  // namespace xmem::core

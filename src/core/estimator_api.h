@@ -1,0 +1,51 @@
+// Common interface implemented by xMem and the three baselines, so the
+// evaluation harness treats all estimators uniformly (§4.1.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fw/types.h"
+#include "gpu/device_model.h"
+
+namespace xmem::core {
+
+/// One test configuration "j": model, optimizer, batch size, zero_grad
+/// placement (§4.1.4). `seed` selects the run's jitter stream.
+struct TrainJob {
+  std::string model_name;
+  int batch_size = 0;
+  fw::OptimizerKind optimizer = fw::OptimizerKind::kSgd;
+  fw::ZeroGradPlacement placement = fw::ZeroGradPlacement::kPos1IterStart;
+  std::uint64_t seed = 1;
+
+  std::string label() const {
+    return model_name + "/" + to_string(optimizer) + "/b" +
+           std::to_string(batch_size) + "/" + to_string(placement);
+  }
+};
+
+struct EstimateResult {
+  bool supported = true;  ///< false: estimator cannot handle this job class
+  /// Predicted peak job memory (bytes, excluding M_init and M_fm).
+  std::int64_t estimated_peak = 0;
+  /// Eq. 1: whether the job is predicted not to fit the target device.
+  bool oom_predicted = false;
+  /// Wall-clock cost of producing this estimate (RQ4).
+  double runtime_seconds = 0.0;
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+  virtual std::string name() const = 0;
+  /// Whether this estimator supports the job at all (LLMem: CausalLM only).
+  virtual bool supports(const TrainJob& job) const {
+    (void)job;
+    return true;
+  }
+  virtual EstimateResult estimate(const TrainJob& job,
+                                  const gpu::DeviceModel& device) = 0;
+};
+
+}  // namespace xmem::core

@@ -1,0 +1,127 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+
+namespace xmem::core {
+
+namespace {
+
+/// End of the window (from a sorted list) containing `t`; -1 if none.
+util::TimeUs window_end_containing(const std::vector<Window>& windows,
+                                   util::TimeUs t) {
+  for (const Window& w : windows) {
+    if (w.contains(t)) return w.end;
+    if (w.start > t) break;
+  }
+  return -1;
+}
+
+/// End of the first window starting strictly after `t`; -1 if none.
+util::TimeUs next_window_end_after(const std::vector<Window>& windows,
+                                   util::TimeUs t) {
+  for (const Window& w : windows) {
+    if (w.start > t) return w.end;
+  }
+  return -1;
+}
+
+bool size_matches_param(const std::vector<std::int64_t>& sorted_param_sizes,
+                        std::int64_t size) {
+  return std::binary_search(sorted_param_sizes.begin(),
+                            sorted_param_sizes.end(), size);
+}
+
+}  // namespace
+
+Orchestrator::Output Orchestrator::orchestrate(
+    const MemoryTimeline& timeline, const OrchestratorConfig& config) const {
+  Output out;
+  out.sequence.blocks = timeline.blocks;
+
+  for (MemoryBlock& block : out.sequence.blocks) {
+    switch (block.phase) {
+      case Phase::kModelLoad: {
+        // Rule 1: parameters live for the whole job (model.to(device)).
+        if (config.rule_params && !block.persistent()) {
+          block.free_ts = -1;
+          ++out.stats.params_pinned;
+        }
+        break;
+      }
+      case Phase::kDataLoader: {
+        // Rule 2: batch data dies when the loop variables are rebound — the
+        // paper's "direct deallocation event, e.g. the dataloader.__next__
+        // annotation" — or, for the last iteration, at the iteration
+        // boundary marker.
+        if (!config.rule_batch) break;
+        const util::TimeUs next_dl_end =
+            next_window_end_after(timeline.dataloaders, block.alloc_ts);
+        const util::TimeUs iter_end =
+            window_end_containing(timeline.iterations, block.alloc_ts);
+        const util::TimeUs cutoff = next_dl_end >= 0 ? next_dl_end : iter_end;
+        if (cutoff < 0) break;
+        if (block.persistent() || block.free_ts > cutoff) {
+          block.free_ts = cutoff - 1;
+          ++out.stats.batch_truncated;
+        }
+        break;
+      }
+      case Phase::kBackward: {
+        // Rule 4: gradients (backward blocks whose size matches a model
+        // parameter and which outlive their backward pass) are released by
+        // the next optimizer.zero_grad(), not wherever the CPU heap
+        // happened to reclaim them.
+        if (!config.rule_gradients) break;
+        if (!size_matches_param(timeline.param_sizes, block.size)) break;
+        const util::TimeUs bw_end =
+            window_end_containing(timeline.backwards, block.alloc_ts);
+        const bool outlives_backward =
+            block.persistent() || (bw_end >= 0 && block.free_ts > bw_end);
+        if (!outlives_backward) break;  // transient chain block, rule 3
+        const util::TimeUs zg_end =
+            next_window_end_after(timeline.zero_grads, block.alloc_ts);
+        const util::TimeUs old_free = block.free_ts;
+        // No later zero_grad (final iteration): the gradient survives to
+        // the end of the analyzed window.
+        block.free_ts = zg_end >= 0 ? zg_end - 1 : -1;
+        if (block.free_ts != old_free) ++out.stats.gradients_retimed;
+        break;
+      }
+      case Phase::kOptimizerStep: {
+        // Rule 5: persistent optimizer state from the first-iteration step
+        // is pinned for the job lifetime. (Transient step workspaces were
+        // freed inside the step window and stay untouched.)
+        if (!config.rule_optimizer_state) break;
+        if (block.persistent()) {
+          ++out.stats.optimizer_states_pinned;
+        }
+        break;
+      }
+      case Phase::kForward:
+      case Phase::kOther:
+        // Rule 3: activation lifecycles from the CPU trace are kept.
+        break;
+    }
+  }
+
+  // Flatten into a replayable event stream.
+  auto& events = out.sequence.events;
+  events.reserve(out.sequence.blocks.size() * 2);
+  for (const MemoryBlock& block : out.sequence.blocks) {
+    events.push_back(
+        OrchestratedEvent{block.alloc_ts, block.id, block.size, true});
+    if (!block.persistent()) {
+      events.push_back(
+          OrchestratedEvent{block.free_ts, block.id, block.size, false});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const OrchestratedEvent& a, const OrchestratedEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.is_alloc != b.is_alloc) return !a.is_alloc;  // frees first
+              return a.block_id < b.block_id;
+            });
+  return out;
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,35 @@
+#include "core/profile_runner.h"
+
+#include "fw/executor.h"
+#include "fw/memory_env.h"
+#include "fw/profiler.h"
+#include "util/sim_clock.h"
+
+namespace xmem::core {
+
+trace::Trace profile_on_cpu(const fw::ModelDescriptor& model,
+                            fw::OptimizerKind optimizer,
+                            const ProfileOptions& options) {
+  trace::Trace trace;
+  trace.model_name = model.name;
+  trace.optimizer_name = to_string(optimizer);
+  trace.batch_size = model.batch_size;
+  trace.iterations = options.iterations;
+  trace.backend = "cpu";
+
+  util::SimClock clock;
+  fw::Profiler profiler(clock, trace);
+  fw::CpuMemoryEnv env(profiler);
+
+  fw::ExecOptions exec_options;
+  exec_options.iterations = options.iterations;
+  exec_options.placement = options.placement;
+  exec_options.seed = options.seed;
+
+  fw::TrainingExecutor executor(model, optimizer, fw::Backend::kCpu, env,
+                                clock, &profiler, exec_options);
+  executor.run();
+  return trace;
+}
+
+}  // namespace xmem::core

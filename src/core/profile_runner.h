@@ -1,0 +1,25 @@
+// CPU profiling front-end: runs the first N iterations of a job on the CPU
+// backend with the Profiler attached and returns the trace — the paper's
+// "Profiling" stage feeding the xMem pipeline (Figure 4, step 1).
+#pragma once
+
+#include <cstdint>
+
+#include "fw/model.h"
+#include "fw/types.h"
+#include "trace/trace.h"
+
+namespace xmem::core {
+
+struct ProfileOptions {
+  int iterations = 3;  ///< the paper profiles the initial 3 iterations
+  fw::ZeroGradPlacement placement = fw::ZeroGradPlacement::kPos1IterStart;
+  std::uint64_t seed = 1;
+};
+
+/// Execute the job on the CPU backend and capture its profiler trace.
+trace::Trace profile_on_cpu(const fw::ModelDescriptor& model,
+                            fw::OptimizerKind optimizer,
+                            const ProfileOptions& options = {});
+
+}  // namespace xmem::core

@@ -1,0 +1,60 @@
+// xMem Memory Simulator (paper §3.4).
+//
+// Replays an orchestrated memory-event sequence through the same two-level
+// allocator tower the ground truth runs on (CachingAllocatorSim over
+// SimulatedCudaDriver), reproducing round-up, segment sizing, BFC
+// split/coalesce, caching, reclaim-then-retry, and the two-level OOM
+// condition. The peak of the reserved-bytes series is the estimate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "alloc/caching_allocator.h"
+#include "alloc/cuda_driver_sim.h"
+#include "alloc/tf_bfc_allocator.h"
+#include "core/orchestrator.h"
+
+namespace xmem::core {
+
+/// Which framework allocator to simulate (§6.4: the pluggable-architecture
+/// point — the BFC core generalizes, the policies around it must not be
+/// genericized away).
+enum class AllocatorBackend : std::uint8_t {
+  kPyTorchCaching,   ///< CUDACachingAllocator port (default)
+  kTensorFlowBfc,    ///< TF-style growing-region BFC
+};
+
+struct SimulationOptions {
+  /// Device capacity for the replay. The default (effectively unbounded)
+  /// yields the unconstrained peak used as the estimate; passing a real
+  /// budget turns the replay into an OOM predictor with full reclamation
+  /// semantics.
+  std::int64_t capacity = kUnboundedCapacity;
+  bool record_series = false;
+  AllocatorBackend backend = AllocatorBackend::kPyTorchCaching;
+
+  static constexpr std::int64_t kUnboundedCapacity = std::int64_t{1} << 50;
+};
+
+struct SimulationResult {
+  std::int64_t peak_reserved = 0;   ///< segment-level peak
+  /// Driver-page-granular peak — what NVML would report for this replay and
+  /// therefore the quantity the estimate is compared against.
+  std::int64_t peak_device = 0;
+  std::int64_t peak_allocated = 0;  ///< tensor-level peak
+  bool oom = false;  ///< both allocator levels failed (capacity-bound replays)
+  alloc::CachingAllocatorStats stats;
+  std::vector<std::pair<util::TimeUs, std::int64_t>> reserved_series;
+  std::vector<std::pair<util::TimeUs, std::int64_t>> allocated_series;
+};
+
+class MemorySimulator {
+ public:
+  SimulationResult replay(const OrchestratedSequence& sequence,
+                          const SimulationOptions& options = {}) const;
+};
+
+}  // namespace xmem::core

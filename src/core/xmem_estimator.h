@@ -1,0 +1,55 @@
+// The xMem estimator: the full pipeline of Figure 4.
+//
+//   CPU profile (3 iterations)  ->  JSON trace  ->  Analyzer
+//       ->  Memory Orchestrator  ->  two-level Memory Simulator
+//       ->  estimated peak (+ optional memory curve)
+//
+// The trace genuinely round-trips through JSON (serialize + parse) so the
+// pipeline consumes exactly what a profiler file would contain.
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/estimator_api.h"
+#include "core/orchestrator.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+
+namespace xmem::core {
+
+struct XMemOptions {
+  int profile_iterations = 3;
+  /// Disable to ablate §3.3 (raw CPU lifecycles straight into the
+  /// simulator) — the "Orchestrator off" rows of the ablation bench.
+  bool orchestrate = true;
+  OrchestratorConfig orchestrator_config;
+  /// Serialize + reparse the profiler output (the authentic file-based
+  /// path). Disable only in microbenches that time the stages separately.
+  bool json_round_trip = true;
+};
+
+class XMemEstimator final : public Estimator {
+ public:
+  explicit XMemEstimator(XMemOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "xMem"; }
+
+  EstimateResult estimate(const TrainJob& job,
+                          const gpu::DeviceModel& device) override;
+
+  /// Full pipeline with intermediate artifacts exposed (tests, Fig. 6
+  /// curves, the allocator-explorer example).
+  struct PipelineArtifacts {
+    trace::Trace trace;
+    Analyzer::Output analysis;
+    Orchestrator::Output orchestration;
+    SimulationResult simulation;
+  };
+  PipelineArtifacts run_pipeline(const TrainJob& job, bool record_series) const;
+
+ private:
+  XMemOptions options_;
+};
+
+}  // namespace xmem::core

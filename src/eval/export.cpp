@@ -1,0 +1,121 @@
+#include "eval/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace xmem::eval {
+
+namespace {
+
+void append_field(std::string& out, const std::string& value) {
+  const bool needs_quoting =
+      value.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) {
+    out += value;
+    return;
+  }
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<RunRecord>& records) {
+  std::string out =
+      "model,optimizer,batch,placement,device,estimator,repeat,supported,"
+      "estimate_bytes,oom_predicted,oom_actual_1,peak_1_bytes,round2_run,"
+      "oom_actual_2,peak_2_bytes,c1,c2,has_error,error,m_save_bytes,"
+      "estimator_runtime_s\n";
+  char buf[64];
+  for (const RunRecord& r : records) {
+    append_field(out, r.config.model);
+    out.push_back(',');
+    out += to_string(r.config.optimizer);
+    out.push_back(',');
+    out += std::to_string(r.config.batch_size);
+    out.push_back(',');
+    out += to_string(r.config.placement);
+    out.push_back(',');
+    append_field(out, r.device_name);
+    out.push_back(',');
+    append_field(out, r.estimator);
+    out.push_back(',');
+    out += std::to_string(r.repeat);
+    out.push_back(',');
+    out += r.supported ? "1" : "0";
+    out.push_back(',');
+    out += std::to_string(r.estimate);
+    out.push_back(',');
+    out += r.oom_predicted ? "1" : "0";
+    out.push_back(',');
+    out += r.oom_actual_1 ? "1" : "0";
+    out.push_back(',');
+    out += std::to_string(r.peak_1);
+    out.push_back(',');
+    out += r.round2_run ? "1" : "0";
+    out.push_back(',');
+    out += r.oom_actual_2 ? "1" : "0";
+    out.push_back(',');
+    out += std::to_string(r.peak_2);
+    out.push_back(',');
+    out += r.c1 ? "1" : "0";
+    out.push_back(',');
+    out += r.c2 ? "1" : "0";
+    out.push_back(',');
+    out += r.has_error ? "1" : "0";
+    out.push_back(',');
+    std::snprintf(buf, sizeof(buf), "%.6g", r.error);
+    out += buf;
+    out.push_back(',');
+    out += std::to_string(r.m_save);
+    out.push_back(',');
+    std::snprintf(buf, sizeof(buf), "%.6g", r.estimator_runtime);
+    out += buf;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void write_csv(const std::vector<RunRecord>& records,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_csv: cannot open " + path);
+  }
+  out << to_csv(records);
+  if (!out) {
+    throw std::runtime_error("write_csv: write failed for " + path);
+  }
+}
+
+std::string render_pairwise_comparisons(
+    const std::vector<RunRecord>& records,
+    const std::vector<std::string>& estimators) {
+  std::string out = "== Pairwise error comparisons (two-group ANOVA) ==\n";
+  char line[256];
+  for (std::size_t i = 0; i < estimators.size(); ++i) {
+    for (std::size_t j = i + 1; j < estimators.size(); ++j) {
+      const std::vector<double> a = errors_for_estimator(records, estimators[i]);
+      const std::vector<double> b = errors_for_estimator(records, estimators[j]);
+      if (a.empty() || b.empty()) continue;
+      const util::AnovaResult result = util::one_way_anova({a, b});
+      std::snprintf(line, sizeof(line),
+                    "%-12s vs %-12s F(1,%4.0f) = %9.2f, p = %-10.3g "
+                    "(medians %.2f%% / %.2f%%)\n",
+                    estimators[i].c_str(), estimators[j].c_str(),
+                    result.df_within, result.f_statistic, result.p_value,
+                    util::median(a) * 100, util::median(b) * 100);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace xmem::eval

@@ -1,0 +1,34 @@
+// Result export for external analysis: the run records behind every figure
+// can be dumped as CSV (one row per run, stable column order) so users can
+// re-plot with pandas/R, and pairwise post-hoc comparisons complement the
+// omnibus one-way ANOVA the evaluation reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace xmem::eval {
+
+/// CSV header + one row per record. Fields are quoted only when needed
+/// (labels contain no commas by construction, but quoting is handled
+/// defensively). Columns:
+///   model,optimizer,batch,placement,device,estimator,repeat,supported,
+///   estimate_bytes,oom_predicted,oom_actual_1,peak_1_bytes,round2_run,
+///   oom_actual_2,peak_2_bytes,c1,c2,has_error,error,m_save_bytes,
+///   estimator_runtime_s
+std::string to_csv(const std::vector<RunRecord>& records);
+
+/// Write to_csv() to a file; throws std::runtime_error on I/O failure.
+void write_csv(const std::vector<RunRecord>& records, const std::string& path);
+
+/// Pairwise post-hoc comparison of estimator error distributions: for each
+/// estimator pair, a two-group one-way ANOVA (equivalent to a pooled
+/// t-test) with its F statistic and p value. Complements render_anova's
+/// omnibus test by naming which pairs differ.
+std::string render_pairwise_comparisons(
+    const std::vector<RunRecord>& records,
+    const std::vector<std::string>& estimators);
+
+}  // namespace xmem::eval

@@ -1,0 +1,185 @@
+#include "eval/harness.h"
+
+#include "baselines/dnnmem.h"
+#include "baselines/llmem.h"
+#include "baselines/schedtune.h"
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace xmem::eval {
+
+namespace {
+
+std::uint64_t config_hash(const models::TrainConfig& config,
+                          const std::string& device_name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(config.label());
+  mix(device_name);
+  return h;
+}
+
+}  // namespace
+
+EvalHarness::EvalHarness(HarnessOptions options) : options_(options) {
+  if (options_.use_xmem) {
+    estimators_.push_back(std::make_unique<core::XMemEstimator>());
+  }
+  if (options_.ablate_orchestrator) {
+    core::XMemOptions ablated;
+    ablated.orchestrate = false;
+    auto est = std::make_unique<core::XMemEstimator>(ablated);
+    estimators_.push_back(std::move(est));
+    // Rename through a wrapper-free trick: record the name separately below.
+  }
+  if (options_.use_dnnmem) {
+    estimators_.push_back(std::make_unique<baselines::DnnMemEstimator>());
+  }
+  if (options_.use_schedtune) {
+    estimators_.push_back(std::make_unique<baselines::SchedTuneEstimator>());
+  }
+  if (options_.use_llmem) {
+    estimators_.push_back(std::make_unique<baselines::LLMemEstimator>());
+  }
+  bool first_xmem = true;
+  for (const auto& estimator : estimators_) {
+    std::string name = estimator->name();
+    if (name == "xMem" && !first_xmem) name = "xMem-noOrch";
+    if (name == "xMem") first_xmem = false;
+    names_.push_back(std::move(name));
+  }
+}
+
+EvalHarness::~EvalHarness() = default;
+
+core::EstimateResult EvalHarness::cached_estimate(
+    core::Estimator& estimator, const models::TrainConfig& config,
+    const gpu::DeviceModel& device) {
+  // Note: two estimators can share the name "xMem" (ablation); the cache
+  // key uses the instance address suffix to keep them distinct.
+  CacheKey key{estimator.name() + "@" +
+                   std::to_string(reinterpret_cast<std::uintptr_t>(&estimator)),
+               config.label(), device.name};
+  auto it = estimate_cache_.find(key);
+  if (it != estimate_cache_.end()) return it->second;
+
+  core::TrainJob job;
+  job.model_name = config.model;
+  job.batch_size = config.batch_size;
+  job.optimizer = config.optimizer;
+  job.placement = config.placement;
+  job.seed = config_hash(config, device.name);
+
+  core::EstimateResult result;
+  if (!estimator.supports(job)) {
+    result.supported = false;
+  } else {
+    result = estimator.estimate(job, device);
+  }
+  estimate_cache_.emplace(key, result);
+  return result;
+}
+
+void EvalHarness::run_one(const models::TrainConfig& config,
+                          const gpu::DeviceModel& device, int repeat,
+                          std::vector<RunRecord>& out) {
+  const std::uint64_t base_seed =
+      util::derive_seed(options_.seed, config_hash(config, device.name)) +
+      static_cast<std::uint64_t>(repeat);
+
+  const fw::ModelDescriptor model =
+      models::build_model(config.model, config.batch_size);
+  const bool is_cnn = model.family == fw::ModelFamily::kCnn;
+
+  // Round 1: full device budget.
+  gpu::GroundTruthRunner runner;
+  gpu::GroundTruthOptions gt1;
+  gt1.iterations = options_.gt_iterations;
+  gt1.placement = config.placement;
+  gt1.seed = util::derive_seed(base_seed, 1);
+  const gpu::GroundTruthResult round1 =
+      runner.run(model, config.optimizer, device, gt1);
+
+  for (std::size_t e = 0; e < estimators_.size(); ++e) {
+    core::Estimator& estimator = *estimators_[e];
+    RunRecord record;
+    record.config = config;
+    record.device_name = device.name;
+    record.estimator = names_[e];
+    record.is_cnn = is_cnn;
+    record.repeat = repeat;
+    record.device_capacity = device.capacity;
+
+    const core::EstimateResult estimate =
+        cached_estimate(estimator, config, device);
+    record.supported = estimate.supported;
+    if (!record.supported) {
+      out.push_back(std::move(record));
+      continue;
+    }
+    record.estimate = estimate.estimated_peak;
+    record.oom_predicted = estimate.oom_predicted;
+    record.estimator_runtime = estimate.runtime_seconds;
+    record.oom_actual_1 = round1.oom;
+    record.peak_1 = round1.peak_job_bytes;
+
+    // Round 2: only when the prediction matched and the job actually fits
+    // (§4.1.4 "when C_jde1 = 1 and OOM_jd1 = 0"), capped at the estimate.
+    const bool c1 = record.oom_predicted == record.oom_actual_1;
+    if (c1 && !round1.oom) {
+      gpu::GroundTruthOptions gt2 = gt1;
+      gt2.seed = util::derive_seed(base_seed, 2);
+      gt2.budget_override = record.estimate;
+      const gpu::GroundTruthResult round2 =
+          runner.run(model, config.optimizer, device, gt2);
+      record.round2_run = true;
+      record.oom_actual_2 = round2.oom;
+      record.peak_2 = round2.peak_job_bytes;
+    }
+    finalize_record(record);
+    out.push_back(std::move(record));
+  }
+}
+
+std::size_t EvalHarness::run_anova(const std::vector<models::TrainConfig>& grid,
+                                   const gpu::DeviceModel& device,
+                                   std::vector<RunRecord>& out) {
+  std::size_t runs = 0;
+  for (const models::TrainConfig& config : grid) {
+    for (int repeat = 0; repeat < options_.repeats; ++repeat) {
+      run_one(config, device, repeat, out);
+      ++runs;
+    }
+  }
+  return runs;
+}
+
+std::size_t EvalHarness::run_monte_carlo(
+    const std::vector<std::string>& model_names,
+    const std::vector<gpu::DeviceModel>& devices, std::size_t n_runs,
+    std::vector<RunRecord>& out) {
+  util::Rng rng(util::derive_seed(options_.seed, 0x3C4A));
+  for (std::size_t i = 0; i < n_runs; ++i) {
+    models::TrainConfig config;
+    config.model = model_names[rng.next_below(model_names.size())];
+    const auto optimizers = models::optimizers_for(config.model);
+    config.optimizer = optimizers[rng.next_below(optimizers.size())];
+    const auto batches = models::batch_grid_for(config.model);
+    config.batch_size = batches[rng.next_below(batches.size())];
+    config.placement = rng.next_bool(0.5)
+                           ? fw::ZeroGradPlacement::kPos0BeforeBackward
+                           : fw::ZeroGradPlacement::kPos1IterStart;
+    const gpu::DeviceModel& device = devices[rng.next_below(devices.size())];
+    run_one(config, device, static_cast<int>(i), out);
+  }
+  return n_runs;
+}
+
+}  // namespace xmem::eval

@@ -1,0 +1,86 @@
+// Evaluation harness: the two-round validation protocol of §4.1.4 driven
+// over the ANOVA grid and Monte Carlo sampling of §4.1.4(1)/(2).
+//
+// Round 1 runs the job with the full device; round 2 (only when the
+// estimator's OOM prediction matched and the job really fit) reruns it with
+// the allocator capped at the estimate — the "can the estimate be used
+// directly as a safe limit" test behind PEF and MCP.
+//
+// Estimates are deterministic per (estimator, configuration, device), so
+// they are computed once and cached across repeats; the ground-truth runs
+// are repeated with fresh seeds (cuDNN algorithm jitter), which is where
+// the run-to-run variance the boxplots show comes from.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator_api.h"
+#include "eval/metrics.h"
+#include "gpu/device_model.h"
+
+namespace xmem::eval {
+
+struct HarnessOptions {
+  std::uint64_t seed = 42;
+  int repeats = 5;            ///< repeats per configuration (ANOVA)
+  int gt_iterations = 5;      ///< iterations of each ground-truth run
+  bool use_xmem = true;
+  bool use_dnnmem = true;
+  bool use_schedtune = true;
+  bool use_llmem = true;
+  /// Ablation: run xMem with the Orchestrator disabled (extra estimator
+  /// "xMem-noOrch" alongside the real one).
+  bool ablate_orchestrator = false;
+};
+
+class EvalHarness {
+ public:
+  explicit EvalHarness(HarnessOptions options = {});
+  ~EvalHarness();
+
+  /// ANOVA experiment: every configuration of the grid, `repeats` times, on
+  /// one device. Appends to `out` and returns the number of runs performed.
+  std::size_t run_anova(const std::vector<models::TrainConfig>& grid,
+                        const gpu::DeviceModel& device,
+                        std::vector<RunRecord>& out);
+
+  /// Monte Carlo experiment: `n_runs` uniformly random draws over
+  /// (model, optimizer, batch, zero_grad placement, device).
+  std::size_t run_monte_carlo(const std::vector<std::string>& model_names,
+                              const std::vector<gpu::DeviceModel>& devices,
+                              std::size_t n_runs,
+                              std::vector<RunRecord>& out);
+
+  const std::vector<std::string>& estimator_names() const { return names_; }
+
+ private:
+  struct CacheKey {
+    std::string estimator;
+    std::string config_label;
+    std::string device;
+    bool operator<(const CacheKey& other) const {
+      if (estimator != other.estimator) return estimator < other.estimator;
+      if (config_label != other.config_label) {
+        return config_label < other.config_label;
+      }
+      return device < other.device;
+    }
+  };
+
+  void run_one(const models::TrainConfig& config,
+               const gpu::DeviceModel& device, int repeat,
+               std::vector<RunRecord>& out);
+  core::EstimateResult cached_estimate(core::Estimator& estimator,
+                                       const models::TrainConfig& config,
+                                       const gpu::DeviceModel& device);
+
+  HarnessOptions options_;
+  std::vector<std::unique_ptr<core::Estimator>> estimators_;
+  std::vector<std::string> names_;
+  std::map<CacheKey, core::EstimateResult> estimate_cache_;
+};
+
+}  // namespace xmem::eval

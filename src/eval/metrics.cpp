@@ -1,0 +1,141 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace xmem::eval {
+
+double relative_error(std::int64_t estimate, std::int64_t measured_peak) {
+  if (measured_peak <= 0) return 0.0;
+  return std::fabs(static_cast<double>(estimate - measured_peak)) /
+         static_cast<double>(measured_peak);
+}
+
+void finalize_record(RunRecord& record) {
+  if (!record.supported) return;
+  // Eq. 4: did the OOM prediction match round 1?
+  record.c1 = record.oom_predicted == record.oom_actual_1;
+  // Eq. 5: prediction matched, and either the capped rerun survived or the
+  // job was a true OOM (in which case there is nothing to rerun).
+  record.c2 =
+      record.c1 && (record.oom_actual_1 || (record.round2_run && !record.oom_actual_2));
+
+  // Eq. 3: prefer the round-2 error when the capped rerun succeeded.
+  if (!record.oom_actual_1) {
+    record.has_error = true;
+    if (record.round2_run && !record.oom_actual_2) {
+      record.error = relative_error(record.estimate, record.peak_2);
+    } else {
+      record.error = relative_error(record.estimate, record.peak_1);
+    }
+  }
+
+  // Eq. 7.
+  if (record.c1 && record.round2_run && !record.oom_actual_2) {
+    record.m_save = record.device_capacity - record.estimate;
+  } else if (record.c1 && record.oom_actual_1) {
+    record.m_save = record.device_capacity;
+  } else {
+    record.m_save = -record.device_capacity;
+  }
+}
+
+namespace {
+
+template <typename Predicate>
+std::vector<double> collect_errors(const std::vector<RunRecord>& records,
+                                   Predicate&& pred) {
+  std::vector<double> errors;
+  for (const RunRecord& r : records) {
+    if (r.supported && r.has_error && pred(r)) errors.push_back(r.error);
+  }
+  return errors;
+}
+
+bool family_matches(const RunRecord& r, const std::string& family) {
+  if (family.empty()) return true;
+  if (family == "CNN") return r.is_cnn;
+  if (family == "Transformer") return !r.is_cnn;
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> errors_for(const std::vector<RunRecord>& records,
+                               const std::string& model,
+                               const std::string& estimator) {
+  return collect_errors(records, [&](const RunRecord& r) {
+    return r.config.model == model && r.estimator == estimator;
+  });
+}
+
+std::vector<double> errors_for_estimator(const std::vector<RunRecord>& records,
+                                         const std::string& estimator) {
+  return collect_errors(records, [&](const RunRecord& r) {
+    return r.estimator == estimator;
+  });
+}
+
+double pef_for(const std::vector<RunRecord>& records, const std::string& model,
+               const std::string& estimator) {
+  std::size_t n = 0;
+  std::size_t passed = 0;
+  for (const RunRecord& r : records) {
+    if (!r.supported || r.config.model != model || r.estimator != estimator) {
+      continue;
+    }
+    ++n;
+    if (r.c2) ++passed;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(n - passed) / static_cast<double>(n);
+}
+
+double mre_for(const std::vector<RunRecord>& records, const std::string& model,
+               const std::string& estimator) {
+  const std::vector<double> errors = errors_for(records, model, estimator);
+  if (errors.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return util::median(errors);
+}
+
+double mcp_bytes_for(const std::vector<RunRecord>& records,
+                     const std::string& estimator, const std::string& family) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const RunRecord& r : records) {
+    if (!r.supported || r.estimator != estimator) continue;
+    if (!family_matches(r, family)) continue;
+    sum += static_cast<double>(r.m_save);
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(n);
+}
+
+double mean_runtime_for(const std::vector<RunRecord>& records,
+                        const std::string& estimator) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const RunRecord& r : records) {
+    if (!r.supported || r.estimator != estimator) continue;
+    sum += r.estimator_runtime;
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(n);
+}
+
+std::vector<std::string> models_in(const std::vector<RunRecord>& records) {
+  std::vector<std::string> names;
+  for (const RunRecord& r : records) {
+    if (std::find(names.begin(), names.end(), r.config.model) == names.end()) {
+      names.push_back(r.config.model);
+    }
+  }
+  return names;
+}
+
+}  // namespace xmem::eval

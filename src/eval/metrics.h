@@ -1,0 +1,81 @@
+// Evaluation metrics — a direct implementation of the paper's Eq. 1-8 and
+// the record structure the two-round validation protocol (§4.1.4) fills in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fw/types.h"
+#include "models/workload.h"
+
+namespace xmem::eval {
+
+/// Everything observed for one (configuration j, device d, estimator e,
+/// repeat n) tuple across the two validation rounds.
+struct RunRecord {
+  models::TrainConfig config;
+  std::string device_name;
+  std::string estimator;
+  bool is_cnn = false;
+  int repeat = 0;
+
+  bool supported = true;          ///< estimator handles this job class
+  std::int64_t estimate = 0;      ///< ^M_peak_jde
+  bool oom_predicted = false;     ///< ^OOM_jde            (Eq. 1)
+  double estimator_runtime = 0.0; ///< RQ4 runtime, seconds
+
+  bool oom_actual_1 = false;      ///< OOM_jd1 (round 1, full device)
+  std::int64_t peak_1 = 0;        ///< M^peak_jd1 (valid when !oom_actual_1)
+  bool round2_run = false;
+  bool oom_actual_2 = false;      ///< OOM_jde2 (round 2, capped at estimate)
+  std::int64_t peak_2 = 0;
+
+  bool c1 = false;                ///< C_jde1               (Eq. 4)
+  bool c2 = false;                ///< C_jde2               (Eq. 5)
+  bool has_error = false;         ///< error defined only when OOM_jd1 == 0
+  double error = 0.0;             ///< error_jide           (Eq. 2 via Eq. 3)
+  std::int64_t m_save = 0;        ///< M^save_jde           (Eq. 7)
+  std::int64_t device_capacity = 0;  ///< M^max_d
+};
+
+/// Eq. 2: relative error of the estimate against a measured peak.
+double relative_error(std::int64_t estimate, std::int64_t measured_peak);
+
+/// Derived (Eq. 4, 5, 7) fields from the raw round outcomes; called by the
+/// harness after both rounds, exposed for unit tests.
+void finalize_record(RunRecord& record);
+
+// ---- aggregations over a set of records ----
+
+/// Errors (Eq. 3 selection already applied) for one (model, estimator).
+std::vector<double> errors_for(const std::vector<RunRecord>& records,
+                               const std::string& model,
+                               const std::string& estimator);
+
+/// All errors for an estimator, optionally restricted to one family.
+std::vector<double> errors_for_estimator(const std::vector<RunRecord>& records,
+                                         const std::string& estimator);
+
+/// Eq. 6 with i=2: probability the two-round validation failed.
+double pef_for(const std::vector<RunRecord>& records, const std::string& model,
+               const std::string& estimator);
+
+/// Median relative error for one (model, estimator); NaN when no samples.
+double mre_for(const std::vector<RunRecord>& records, const std::string& model,
+               const std::string& estimator);
+
+/// Eq. 8: mean per-run memory conservation in bytes for an estimator over
+/// records of the given family ("CNN", "Transformer", or "" for all).
+double mcp_bytes_for(const std::vector<RunRecord>& records,
+                     const std::string& estimator,
+                     const std::string& family = "");
+
+/// Mean estimator runtime in seconds (RQ4).
+double mean_runtime_for(const std::vector<RunRecord>& records,
+                        const std::string& estimator);
+
+/// Distinct model names appearing in the records, in first-seen order.
+std::vector<std::string> models_in(const std::vector<RunRecord>& records);
+
+}  // namespace xmem::eval

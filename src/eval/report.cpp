@@ -1,0 +1,198 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "util/bytes.h"
+#include "util/stats.h"
+
+namespace xmem::eval {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+bool record_in_family(const RunRecord& r, const std::string& family) {
+  if (family.empty()) return true;
+  if (family == "CNN") return r.is_cnn;
+  if (family == "Transformer") return !r.is_cnn;
+  return false;
+}
+
+std::vector<RunRecord> filter_family(const std::vector<RunRecord>& records,
+                                     const std::string& family) {
+  std::vector<RunRecord> out;
+  for (const RunRecord& r : records) {
+    if (record_in_family(r, family)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_mre_boxplots(const std::vector<RunRecord>& records,
+                                const std::vector<std::string>& estimators,
+                                const std::string& family,
+                                const std::string& title) {
+  const std::vector<RunRecord> subset = filter_family(records, family);
+  std::string out = "== " + title + " ==\n";
+  out += fmt("%-32s %-12s %6s %8s %8s %8s %8s %8s %5s\n", "model", "estimator",
+             "n", "median%", "q1%", "q3%", "wlo%", "whi%", "out");
+  for (const std::string& model : models_in(subset)) {
+    for (const std::string& estimator : estimators) {
+      const std::vector<double> errors = errors_for(subset, model, estimator);
+      if (errors.empty()) {
+        out += fmt("%-32s %-12s %6s %8s\n", model.c_str(), estimator.c_str(),
+                   "-", "N/A");
+        continue;
+      }
+      const util::BoxplotSummary box = util::boxplot_summary(errors);
+      out += fmt("%-32s %-12s %6zu %8.2f %8.2f %8.2f %8.2f %8.2f %5zu\n",
+                 model.c_str(), estimator.c_str(), box.n, box.median * 100,
+                 box.q1 * 100, box.q3 * 100, box.whisker_low * 100,
+                 box.whisker_high * 100, box.outliers);
+    }
+  }
+  return out;
+}
+
+std::string render_quadrants(const std::vector<RunRecord>& records,
+                             const std::vector<std::string>& estimators,
+                             const std::string& title) {
+  constexpr double kThreshold = 0.20;  // the paper's 20% / 20% split
+  std::string out = "== " + title + " ==\n";
+  out += fmt("%-12s %-32s %8s %8s  %s\n", "estimator", "model", "PEF%", "MRE%",
+             "quadrant");
+  for (const std::string& estimator : estimators) {
+    int optimal = 0, over = 0, under = 0, worst = 0, both_under_10 = 0;
+    for (const std::string& model : models_in(records)) {
+      const double pef = pef_for(records, model, estimator);
+      const double mre = mre_for(records, model, estimator);
+      if (std::isnan(pef) || std::isnan(mre)) continue;
+      const char* quadrant;
+      if (pef <= kThreshold && mre <= kThreshold) {
+        quadrant = "Optimal";
+        ++optimal;
+      } else if (pef <= kThreshold) {
+        quadrant = "Overestimation";
+        ++over;
+      } else if (mre <= kThreshold) {
+        quadrant = "Underestimation";
+        ++under;
+      } else {
+        quadrant = "Worst";
+        ++worst;
+      }
+      if (pef < 0.10 && mre < 0.10) ++both_under_10;
+      out += fmt("%-12s %-32s %8.1f %8.1f  %s\n", estimator.c_str(),
+                 model.c_str(), pef * 100, mre * 100, quadrant);
+    }
+    out += fmt("%-12s summary: optimal=%d over=%d under=%d worst=%d "
+               "(PEF&MRE<10%%: %d)\n",
+               estimator.c_str(), optimal, over, under, worst, both_under_10);
+  }
+  return out;
+}
+
+std::string render_mcp_table(const std::vector<RunRecord>& records,
+                             const std::vector<std::string>& estimators) {
+  std::string out = "== Table 3: Average MCP (GB) ==\n";
+  out += fmt("%-14s", "Model Arch");
+  for (const std::string& e : estimators) out += fmt(" %12s", e.c_str());
+  out += "\n";
+  for (const std::string family : {"CNN", "Transformer", ""}) {
+    out += fmt("%-14s", family.empty() ? "Overall" : family.c_str());
+    for (const std::string& estimator : estimators) {
+      const double mcp = mcp_bytes_for(records, estimator, family);
+      if (std::isnan(mcp)) {
+        out += fmt(" %12s", "N/A");
+      } else {
+        out += fmt(" %12.2f", mcp / static_cast<double>(util::kGiB));
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_runtime_table(const std::vector<RunRecord>& records,
+                                 const std::vector<std::string>& estimators) {
+  std::string out = "== Table 4: Average estimator runtime (seconds) ==\n";
+  for (const std::string& estimator : estimators) {
+    const double runtime = mean_runtime_for(records, estimator);
+    if (std::isnan(runtime)) {
+      out += fmt("%-12s %12s\n", estimator.c_str(), "N/A");
+    } else {
+      out += fmt("%-12s %12.6f\n", estimator.c_str(), runtime);
+    }
+  }
+  return out;
+}
+
+std::string render_anova(const std::vector<RunRecord>& records,
+                         const std::vector<std::string>& estimators) {
+  std::vector<std::vector<double>> groups;
+  std::string labels;
+  for (const std::string& estimator : estimators) {
+    std::vector<double> errors = errors_for_estimator(records, estimator);
+    if (errors.empty()) continue;
+    groups.push_back(std::move(errors));
+    labels += estimator + " ";
+  }
+  const util::AnovaResult anova = util::one_way_anova(groups);
+  std::string out = "== One-way ANOVA across estimators (" + labels + ") ==\n";
+  out += fmt("F(%.0f, %.0f) = %.2f, p = %.3g\n", anova.df_between,
+             anova.df_within, anova.f_statistic, anova.p_value);
+  return out;
+}
+
+std::string render_headline(const std::vector<RunRecord>& records,
+                            const std::vector<std::string>& estimators) {
+  std::string out = "== Headline aggregates ==\n";
+  out += fmt("%-12s %10s %10s %12s %8s\n", "estimator", "MRE%", "PEF%",
+             "MCP(GB)", "n");
+  double best_baseline_mre = std::numeric_limits<double>::infinity();
+  double xmem_mre = std::numeric_limits<double>::quiet_NaN();
+  for (const std::string& estimator : estimators) {
+    const std::vector<double> errors =
+        errors_for_estimator(records, estimator);
+    double mre = std::numeric_limits<double>::quiet_NaN();
+    if (!errors.empty()) mre = util::median(errors);
+
+    std::size_t n = 0, passed = 0;
+    for (const RunRecord& r : records) {
+      if (!r.supported || r.estimator != estimator) continue;
+      ++n;
+      if (r.c2) ++passed;
+    }
+    const double pef =
+        n > 0 ? static_cast<double>(n - passed) / static_cast<double>(n)
+              : std::numeric_limits<double>::quiet_NaN();
+    const double mcp = mcp_bytes_for(records, estimator);
+    out += fmt("%-12s %10.2f %10.2f %12.2f %8zu\n", estimator.c_str(),
+               mre * 100, pef * 100, mcp / static_cast<double>(util::kGiB), n);
+    if (estimator == "xMem") {
+      xmem_mre = mre;
+    } else if (!std::isnan(mre)) {
+      best_baseline_mre = std::min(best_baseline_mre, mre);
+    }
+  }
+  if (!std::isnan(xmem_mre) && std::isfinite(best_baseline_mre) &&
+      best_baseline_mre > 0) {
+    out += fmt("xMem reduces MRE vs best baseline by %.0f%%\n",
+               (1.0 - xmem_mre / best_baseline_mre) * 100.0);
+  }
+  return out;
+}
+
+}  // namespace xmem::eval

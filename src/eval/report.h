@@ -1,0 +1,42 @@
+// Text rendering of the paper's tables and figures (benches print these).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace xmem::eval {
+
+/// Fig. 7-style table: per-model MRE boxplot summaries (median / IQR /
+/// whiskers / outlier count) for every estimator. `family` filters models
+/// ("CNN" / "Transformer" / "" for all).
+std::string render_mre_boxplots(const std::vector<RunRecord>& records,
+                                const std::vector<std::string>& estimators,
+                                const std::string& family,
+                                const std::string& title);
+
+/// Fig. 8-style table: per-model (PEF, MRE) points with their quadrant
+/// classification at the paper's 20%/20% thresholds.
+std::string render_quadrants(const std::vector<RunRecord>& records,
+                             const std::vector<std::string>& estimators,
+                             const std::string& title);
+
+/// Table 3: average MCP in GB by architecture class.
+std::string render_mcp_table(const std::vector<RunRecord>& records,
+                             const std::vector<std::string>& estimators);
+
+/// Table 4: average estimator runtime in seconds.
+std::string render_runtime_table(const std::vector<RunRecord>& records,
+                                 const std::vector<std::string>& estimators);
+
+/// One-way ANOVA of the error distributions across estimators.
+std::string render_anova(const std::vector<RunRecord>& records,
+                         const std::vector<std::string>& estimators);
+
+/// Aggregate summary line per estimator (overall MRE / PEF / MCP), the
+/// numbers behind the abstract's "91% / 75% / 368%" claims.
+std::string render_headline(const std::vector<RunRecord>& records,
+                            const std::vector<std::string>& estimators);
+
+}  // namespace xmem::eval

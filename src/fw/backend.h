@@ -1,0 +1,64 @@
+// The CPU↔CUDA backend divergence table.
+//
+// Everything that makes a CPU profiling trace differ from the GPU execution
+// it predicts is enumerated here, in one place, with the mechanism it
+// models and where it is applied. These are the divergences the paper's
+// Memory Orchestrator corrects (its five rules) and the residual ones its
+// footnote 3 blames for the remaining error.
+//
+// | # | divergence                | CPU (oneDNN/heap)            | CUDA (cuDNN/cuBLAS/CCA)       | corrected by        |
+// |---|---------------------------|------------------------------|-------------------------------|---------------------|
+// | 1 | gradient release          | deferred to iteration-end GC | exactly at zero_grad()        | Orchestrator rule 4 |
+// | 2 | stale batch release       | deferred to iteration-end GC | at the dataloader rebind      | Orchestrator rule 2 |
+// | 3 | KxK conv workspace        | blocked-im2col tile (x8 imgs)| implicit-GEMM tile (~1/4)     | residual error      |
+// | 4 | kernel fusion temporaries | materialized (gelu/softmax/  | fused in registers/SRAM       | residual error      |
+// |   |                           | norm/log_softmax buffers)    | (~1/4 of the CPU size)        |                     |
+// | 5 | flash-attention scratch   | chunked KV accumulation      | SRAM tiling (~2-4 MiB)        | residual error      |
+// | 6 | workspace size stability  | near-deterministic           | per-run algorithm choice      | residual error      |
+// |   |                           | (kCpuJitterScale below)      | (ExecOptions.workspace_jitter)|                     |
+// | 7 | cudnn.benchmark trials    | n/a                          | iteration-1 trial workspaces  | none (off by        |
+// |   |                           |                              | retained as segments          | default, ablation)  |
+// | 8 | allocator                 | malloc-style heap w/         | two-level CUDACachingAllocator| Simulator replays   |
+// |   |                           | exact-size LIFO reuse        | over paged device driver      | the CUDA tower      |
+//
+// Divergences 3-5 are encoded as the {cpu, gpu} field pairs each OpSpec
+// carries (models/op_factory.cpp computes them from the op's shape math
+// using the ratios below); 1-2 live in fw/executor.cpp; 6-7 in ExecOptions;
+// 8 is the alloc/ + core/simulator machinery itself.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace xmem::fw::backend {
+
+/// Workspace caps, loosely matching library behaviour: neither oneDNN nor
+/// cuDNN lets scratch grow unboundedly with batch size.
+inline constexpr std::int64_t kCpuWorkspaceCap = 96 * util::kMiB;
+inline constexpr std::int64_t kGpuWorkspaceCap = 64 * util::kMiB;
+/// Benchmark-mode algorithm search may try FFT/Winograd tiles a few times
+/// the steady workspace, capped.
+inline constexpr std::int64_t kBenchmarkTrialCap = 192 * util::kMiB;
+
+/// oneDNN processes im2col in tiles of this many images.
+inline constexpr std::int64_t kCpuIm2colBatchTile = 8;
+/// cuDNN implicit-GEMM scratch relative to the CPU's full unfolded tile.
+inline constexpr std::int64_t kGpuConvWorkspaceDivisor = 4;
+
+/// Fused CUDA elementwise/normalization kernels keep the intermediate the
+/// CPU kernel materializes; the GPU-side scratch is this fraction of it.
+inline constexpr std::int64_t kGpuFusionDivisor = 4;
+
+/// CPU profiling runs are much more repeatable than CUDA executions:
+/// the effective CPU workspace jitter is the CUDA amplitude times this.
+inline constexpr double kCpuJitterScale = 0.1;
+
+/// Relative execution speed used by the duration model (timestamps only):
+/// CUDA ~12 TFLOP/s & ~400 GB/s, CPU ~0.4 TFLOP/s & ~22 GB/s.
+inline constexpr double kGpuUsPerGflop = 85.0;
+inline constexpr double kCpuUsPerGflop = 2700.0;
+inline constexpr double kGpuBytesPerUs = 4.0e5;
+inline constexpr double kCpuBytesPerUs = 2.2e4;
+
+}  // namespace xmem::fw::backend

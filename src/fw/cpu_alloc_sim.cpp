@@ -1,0 +1,40 @@
+#include "fw/cpu_alloc_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xmem::fw {
+
+std::uint64_t CpuAllocSim::alloc(std::int64_t bytes) {
+  if (bytes <= 0) {
+    throw std::invalid_argument("CpuAllocSim::alloc: bytes must be > 0");
+  }
+  std::uint64_t addr = 0;
+  auto it = free_lists_.find(bytes);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    addr = it->second.back();
+    it->second.pop_back();
+  } else {
+    addr = next_addr_;
+    // Keep blocks disjoint; 64-byte alignment like a real malloc.
+    next_addr_ += static_cast<std::uint64_t>(((bytes + 63) / 64) * 64) + 64;
+  }
+  live_[addr] = bytes;
+  total_allocated_ += bytes;
+  peak_allocated_ = std::max(peak_allocated_, total_allocated_);
+  return addr;
+}
+
+std::int64_t CpuAllocSim::free(std::uint64_t addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    throw std::logic_error("CpuAllocSim::free: unknown address");
+  }
+  const std::int64_t bytes = it->second;
+  live_.erase(it);
+  total_allocated_ -= bytes;
+  free_lists_[bytes].push_back(addr);
+  return bytes;
+}
+
+}  // namespace xmem::fw

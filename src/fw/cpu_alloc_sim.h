@@ -1,0 +1,41 @@
+// CPU heap model used during profiling runs.
+//
+// The CPU side of the paper's pipeline sees raw malloc-style events from
+// the PyTorch CPU allocator. What the Analyzer must cope with — and what
+// this model reproduces — is *address reuse*: caching mallocs hand a freed
+// block's address straight to the next same-size request, so a naive
+// address→lifetime map would merge distinct tensors. Reuse here is
+// exact-size LIFO, which is how PyTorch's CPU caching allocator behaves for
+// the hot allocation sizes of a training loop.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace xmem::fw {
+
+class CpuAllocSim {
+ public:
+  CpuAllocSim() = default;
+
+  /// Allocate `bytes`; returns the block address (reused when possible).
+  std::uint64_t alloc(std::int64_t bytes);
+
+  /// Free a live block; returns its size. Unknown addresses throw.
+  std::int64_t free(std::uint64_t addr);
+
+  std::int64_t total_allocated() const { return total_allocated_; }
+  std::int64_t peak_allocated() const { return peak_allocated_; }
+  std::size_t live_blocks() const { return live_.size(); }
+
+ private:
+  std::uint64_t next_addr_ = 0x560000000000ULL;  ///< CPU-heap-looking VA base
+  std::int64_t total_allocated_ = 0;
+  std::int64_t peak_allocated_ = 0;
+  std::unordered_map<std::uint64_t, std::int64_t> live_;
+  // size -> stack of freed addresses of exactly that size.
+  std::unordered_map<std::int64_t, std::vector<std::uint64_t>> free_lists_;
+};
+
+}  // namespace xmem::fw

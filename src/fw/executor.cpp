@@ -1,0 +1,415 @@
+#include "fw/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <string>
+
+#include "fw/backend.h"
+#include "util/bytes.h"
+
+namespace xmem::fw {
+
+namespace {
+
+// Strip "aten::" so "aten::convolution" -> "convolution".
+std::string base_op_name(const std::string& aten_name) {
+  constexpr const char* kPrefix = "aten::";
+  if (aten_name.rfind(kPrefix, 0) == 0) {
+    return aten_name.substr(6);
+  }
+  return aten_name;
+}
+
+std::string backward_node_name(const OpSpec& op) {
+  std::string base = base_op_name(op.name);
+  if (!base.empty()) base[0] = static_cast<char>(std::toupper(base[0]));
+  return "autograd::node: " + base + "Backward0";
+}
+
+std::string backward_op_name(const OpSpec& op) {
+  return op.name + "_backward";
+}
+
+}  // namespace
+
+TrainingExecutor::TrainingExecutor(const ModelDescriptor& model,
+                                   OptimizerKind optimizer, Backend backend,
+                                   MemoryEnv& env, util::SimClock& clock,
+                                   Profiler* profiler, ExecOptions options)
+    : model_(model),
+      optimizer_(optimizer),
+      backend_(backend),
+      env_(env),
+      clock_(clock),
+      profiler_(profiler),
+      options_(options),
+      rng_(util::derive_seed(options.seed, is_cuda() ? 0xC0DA : 0xC700)) {
+  std::uint64_t ordinal = 0;
+  for (std::size_t mi = 0; mi < model_.modules.size(); ++mi) {
+    for (const auto& param : model_.modules[mi].params) {
+      grad_slots_.push_back(GradSlot{mi, param, 0});
+    }
+    for (const auto& op : model_.modules[mi].ops) {
+      op_ordinals_[&op] = ordinal++;
+    }
+  }
+}
+
+std::int64_t TrainingExecutor::op_workspace(const OpSpec& op,
+                                            std::int64_t bytes,
+                                            double amplitude) {
+  if (bytes <= 0) return 0;
+  // One deterministic draw per (run seed, op): the library chooses its
+  // algorithm (and thus workspace size) once per shape per process.
+  std::uint64_t stream = util::derive_seed(
+      options_.seed, 0x5EED0000ULL + op_ordinals_.at(&op));
+  const double unit =
+      static_cast<double>(util::splitmix64(stream) >> 11) * 0x1.0p-53;
+  const double factor = 1.0 + amplitude * (2.0 * unit - 1.0);
+  return std::max<std::int64_t>(
+      256, static_cast<std::int64_t>(static_cast<double>(bytes) * factor));
+}
+
+std::int64_t TrainingExecutor::jittered(std::int64_t bytes, double amplitude) {
+  if (bytes <= 0) return 0;
+  const double factor = rng_.jitter(amplitude);
+  return std::max<std::int64_t>(256, static_cast<std::int64_t>(
+                                         static_cast<double>(bytes) * factor));
+}
+
+util::TimeUs TrainingExecutor::op_duration(const OpSpec& op) const {
+  // Coarse roofline: fixed launch/dispatch overhead + compute term +
+  // bandwidth term. CUDA ~12 TFLOP/s and ~400 GB/s; CPU (MKL, many cores)
+  // ~0.4 TFLOP/s and ~22 GB/s. Only relative magnitudes matter: timestamps
+  // drive NVML sampling and attribution windows, not any numeric result.
+  const double bytes_touched = static_cast<double>(op.output_bytes);
+  double us = 0.0;
+  if (is_cuda()) {
+    us = 8.0 + op.gflops * backend::kGpuUsPerGflop +
+         bytes_touched / backend::kGpuBytesPerUs;
+  } else {
+    us = 45.0 + op.gflops * backend::kCpuUsPerGflop +
+         bytes_touched / backend::kCpuBytesPerUs;
+  }
+  return static_cast<util::TimeUs>(us);
+}
+
+void TrainingExecutor::advance_op(const OpSpec& op, double fraction) {
+  const double jitter =
+      1.0 + options_.duration_jitter * (2.0 * rng_.next_double() - 1.0);
+  const auto dur = static_cast<util::TimeUs>(
+      static_cast<double>(op_duration(op)) * fraction * jitter);
+  clock_.advance(std::max<util::TimeUs>(1, dur));
+  env_.tick();
+}
+
+void TrainingExecutor::emit_script_noise(std::int64_t approx_bytes) {
+  if (!options_.script_noise || is_cuda() || approx_bytes <= 0) return;
+  // Python-side temporaries (collation lists, logging strings): allocated at
+  // script level, never inside an operator window, and short-lived. A
+  // correct Analyzer must drop these from the GPU-relevant event set.
+  const int count = 1 + static_cast<int>(rng_.next_below(3));
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t bytes = jittered(approx_bytes, 0.5);
+    const std::uint64_t handle = env_.alloc(bytes);
+    clock_.advance(2);
+    env_.free(handle);
+  }
+}
+
+void TrainingExecutor::model_to_device() {
+  SpanGuard span(profiler_, trace::EventKind::kUserAnnotation,
+                 trace::annotation::kModelToDevice);
+  for (const auto& module : model_.modules) {
+    if (module.params.empty()) continue;
+    // Module.to traverses submodules, so parameter allocations carry their
+    // module context — the per-layer attribution §6.2 builds on.
+    SpanGuard module_span(profiler_, trace::EventKind::kPythonFunction,
+                          "nn.Module: " + module.name);
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp, "aten::empty");
+    for (const auto& param : module.params) {
+      param_handles_.push_back(env_.alloc(param.bytes()));
+      clock_.advance(1);
+    }
+    clock_.advance(2);
+    env_.tick();
+  }
+  if (model_.extra_persistent_bytes > 0) {
+    // Mixed-precision parameter mirror (models/amp.h): one persistent
+    // block created while the model moves to the device.
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp, "aten::_to_copy");
+    param_handles_.push_back(env_.alloc(model_.extra_persistent_bytes));
+    clock_.advance(2);
+    env_.tick();
+  }
+}
+
+void TrainingExecutor::load_batch(int iteration) {
+  SpanGuard span(profiler_, trace::EventKind::kUserAnnotation,
+                 trace::annotation::kDataLoaderNext);
+  if (iteration == 0) {
+    emit_script_noise(std::min<std::int64_t>(model_.input_bytes / 8,
+                                             util::kMiB));
+  }
+  {
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp, "aten::stack");
+    clock_.advance(5);
+    batch_input_ = env_.alloc(model_.input_bytes);
+    env_.tick();
+  }
+  {
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp, "aten::stack");
+    clock_.advance(2);
+    batch_target_ = env_.alloc(model_.target_bytes);
+    env_.tick();
+  }
+  // The Python names were just rebound, so last iteration's device copies
+  // die now. CUDA releases storage at the rebind; the CPU heap sees the
+  // frees only at end-of-iteration GC (lazy reclamation divergence).
+  if (stale_batch_input_ != 0) {
+    if (is_cuda()) {
+      env_.free(stale_batch_input_);
+      env_.free(stale_batch_target_);
+    } else {
+      deferred_frees_.push_back(stale_batch_input_);
+      deferred_frees_.push_back(stale_batch_target_);
+    }
+    stale_batch_input_ = 0;
+    stale_batch_target_ = 0;
+  }
+}
+
+void TrainingExecutor::zero_grad(int iteration) {
+  (void)iteration;
+  SpanGuard span(profiler_, trace::EventKind::kUserAnnotation,
+                 std::string(trace::annotation::kZeroGrad) + "#" +
+                     to_string(optimizer_) + ".zero_grad");
+  clock_.advance(3);
+  for (auto& slot : grad_slots_) {
+    if (slot.handle == 0) continue;
+    if (is_cuda()) {
+      env_.free(slot.handle);
+    } else {
+      deferred_frees_.push_back(slot.handle);
+    }
+    slot.handle = 0;
+  }
+  clock_.advance(2);
+  env_.tick();
+}
+
+void TrainingExecutor::forward(int iteration) {
+  SpanGuard fwd_span(profiler_, trace::EventKind::kPythonFunction,
+                     "nn.Module: " + model_.name);
+  tape_.clear();
+  std::uint64_t chain_prev = 0;  // unsaved output awaiting consumption
+
+  for (std::size_t mi = 0; mi < model_.modules.size(); ++mi) {
+    const ModuleSpec& module = model_.modules[mi];
+    SpanGuard mod_span(profiler_, trace::EventKind::kPythonFunction,
+                       "nn.Module: " + module.name);
+    if (iteration == 0) emit_script_noise(32 * util::kKiB);
+
+    for (const OpSpec& op : module.ops) {
+      OpRuntime rt;
+      rt.module = &module;
+      rt.op = &op;
+      rt.seq = next_seq_++;
+
+      SpanGuard op_span(profiler_, trace::EventKind::kCpuOp, op.name, rt.seq);
+
+      // cuDNN benchmark mode: iteration 1 probes algorithms with trial
+      // workspaces. They are freed immediately, but the caching allocator
+      // keeps the grown segments — a reserved-memory residue the CPU trace
+      // cannot see directly.
+      if (is_cuda() && iteration == 0 && options_.cudnn_benchmark &&
+          op.benchmark_trial_bytes_gpu > 0) {
+        const std::uint64_t trial = env_.alloc(
+            jittered(op.benchmark_trial_bytes_gpu, options_.workspace_jitter));
+        advance_op(op, 0.15);
+        env_.free(trial);
+      }
+
+      const std::int64_t ws =
+          is_cuda() ? op.workspace_gpu : op.workspace_cpu;
+      const double ws_amp =
+          is_cuda() ? options_.workspace_jitter
+                    : options_.workspace_jitter * backend::kCpuJitterScale;
+      std::uint64_t ws_handle = 0;
+      if (ws > 0) ws_handle = env_.alloc(op_workspace(op, ws, ws_amp));
+
+      advance_op(op, 0.5);
+
+      std::uint64_t out_handle = 0;
+      if (op.output_bytes > 0) out_handle = env_.alloc(op.output_bytes);
+      const std::int64_t saved_extra =
+          is_cuda() ? op.saved_bytes_gpu : op.saved_bytes_cpu;
+      std::uint64_t saved_handle = 0;
+      if (saved_extra > 0) saved_handle = env_.alloc(saved_extra);
+
+      advance_op(op, 0.5);
+
+      if (ws_handle != 0) env_.free(ws_handle);
+      // The previous op's unsaved output has now been consumed.
+      if (chain_prev != 0) {
+        env_.free(chain_prev);
+        chain_prev = 0;
+      }
+
+      if (out_handle != 0) {
+        if (op.output_saved) {
+          rt.saved.push_back(SavedActivation{out_handle, op.output_bytes});
+        } else {
+          chain_prev = out_handle;
+        }
+      }
+      if (saved_handle != 0) {
+        rt.saved.push_back(SavedActivation{saved_handle, saved_extra});
+      }
+      tape_.push_back(std::move(rt));
+    }
+  }
+  // Whatever unsaved block remains is the loss value; backward consumes it.
+  loss_live_ = chain_prev;
+}
+
+void TrainingExecutor::backward(int iteration) {
+  (void)iteration;
+  SpanGuard bw_span(profiler_, trace::EventKind::kUserAnnotation,
+                    trace::annotation::kBackward);
+  if (loss_live_ != 0) {
+    env_.free(loss_live_);
+    loss_live_ = 0;
+  }
+  std::uint64_t grad_chain = 0;
+
+  for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
+    OpRuntime& rt = *it;
+    const OpSpec& op = *rt.op;
+    SpanGuard node_span(profiler_, trace::EventKind::kPythonFunction,
+                        backward_node_name(op));
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp,
+                      backward_op_name(op), rt.seq);
+
+    const std::int64_t ws =
+        is_cuda() ? op.bwd_workspace_gpu : op.bwd_workspace_cpu;
+    const double ws_amp =
+        is_cuda() ? options_.workspace_jitter
+                  : options_.workspace_jitter * backend::kCpuJitterScale;
+    std::uint64_t ws_handle = 0;
+    // Backward workspaces get their own per-run draw (ordinal offset).
+    if (ws > 0) ws_handle = env_.alloc(op_workspace(op, ws, ws_amp));
+
+    advance_op(op, 0.85);
+
+    if (op.allocates_param_grads) {
+      // conv_backward / addmm backward materializes parameter gradients.
+      const ModuleSpec* module = rt.module;
+      for (auto& slot : grad_slots_) {
+        if (&model_.modules[slot.module_index] != module) continue;
+        if (slot.handle == 0) {
+          const auto grad_bytes = static_cast<std::int64_t>(
+              static_cast<double>(slot.param.bytes()) *
+              model_.grad_bytes_scale);
+          slot.handle = env_.alloc(std::max<std::int64_t>(grad_bytes, 4));
+        }
+      }
+    }
+
+    std::uint64_t grad_input = 0;
+    if (op.grad_input_bytes > 0) grad_input = env_.alloc(op.grad_input_bytes);
+
+    advance_op(op, 0.85);
+
+    if (ws_handle != 0) env_.free(ws_handle);
+    // Saved-for-backward tensors of this op are no longer needed.
+    for (const SavedActivation& saved : rt.saved) env_.free(saved.handle);
+    rt.saved.clear();
+    // The incoming upstream gradient has been consumed.
+    if (grad_input != 0) {
+      if (grad_chain != 0) env_.free(grad_chain);
+      grad_chain = grad_input;
+    }
+  }
+  if (grad_chain != 0) env_.free(grad_chain);
+}
+
+void TrainingExecutor::optimizer_step(int iteration) {
+  (void)iteration;
+  SpanGuard step_span(profiler_, trace::EventKind::kUserAnnotation,
+                      std::string(trace::annotation::kOptimizerStep) + "#" +
+                          to_string(optimizer_) + ".step");
+  const bool allocate_state =
+      optimizer_is_stateful(optimizer_) && !optimizer_state_allocated_;
+
+  for (const auto& module : model_.modules) {
+    if (module.params.empty()) continue;
+    if (allocate_state) {
+      // PyTorch optimizers create state lazily inside the first step().
+      SpanGuard op_span(profiler_, trace::EventKind::kCpuOp,
+                        "aten::zeros_like");
+      for (const auto& param : module.params) {
+        for (const auto& state : optimizer_state_for_param(optimizer_, param)) {
+          optimizer_state_handles_.push_back(env_.alloc(state.bytes()));
+          clock_.advance(1);
+        }
+      }
+      env_.tick();
+    }
+    // Fused (foreach) update: one transient working buffer per module group.
+    std::int64_t ws = 0;
+    for (const auto& param : module.params) {
+      ws += optimizer_step_workspace_bytes(optimizer_, param);
+    }
+    SpanGuard op_span(profiler_, trace::EventKind::kCpuOp,
+                      "aten::_foreach_addcdiv_");
+    std::uint64_t ws_handle = 0;
+    if (ws > 0) ws_handle = env_.alloc(ws);
+    clock_.advance(is_cuda() ? 4 : 25);
+    env_.tick();
+    if (ws_handle != 0) env_.free(ws_handle);
+  }
+  if (allocate_state) optimizer_state_allocated_ = true;
+}
+
+void TrainingExecutor::end_of_iteration_gc() {
+  // Python reference-count/GC boundary: the CPU heap reclaims lazily freed
+  // storages here. The CUDA backend freed everything at its semantic point.
+  for (std::uint64_t handle : deferred_frees_) env_.free(handle);
+  deferred_frees_.clear();
+  clock_.advance(10);
+  env_.tick();
+}
+
+void TrainingExecutor::run_iteration(int iteration) {
+  SpanGuard step_span(profiler_, trace::EventKind::kUserAnnotation,
+                      std::string(trace::annotation::kProfilerStep) + "#" +
+                          std::to_string(iteration));
+  load_batch(iteration);
+  if (options_.placement == ZeroGradPlacement::kPos1IterStart) {
+    zero_grad(iteration);
+  }
+  forward(iteration);
+  if (options_.placement == ZeroGradPlacement::kPos0BeforeBackward) {
+    zero_grad(iteration);
+  }
+  backward(iteration);
+  optimizer_step(iteration);
+  // The batch tensors stay referenced until the loop variables are rebound
+  // by the next iteration's dataloader call.
+  stale_batch_input_ = batch_input_;
+  stale_batch_target_ = batch_target_;
+  batch_input_ = 0;
+  batch_target_ = 0;
+  end_of_iteration_gc();
+}
+
+void TrainingExecutor::run() {
+  model_to_device();
+  for (int i = 0; i < options_.iterations; ++i) {
+    run_iteration(i);
+  }
+}
+
+}  // namespace xmem::fw

@@ -1,0 +1,145 @@
+// Training-loop executor.
+//
+// Drives N iterations of the canonical PyTorch training loop (the paper's
+// [34]) against a MemoryEnv, reproducing the allocation/deallocation
+// structure of real training:
+//
+//   model.to(device)                       — persistent parameter blocks
+//   for batch in loader:
+//       [POS1] optimizer.zero_grad()       — old gradients die here ...
+//       forward                            — activations, saved-for-backward,
+//                                            transient workspaces
+//       [POS0] optimizer.zero_grad()       — ... or here (Figure 1)
+//       loss.backward()                    — gradient chain, parameter grads,
+//                                            saved activations released
+//       optimizer.step()                   — lazy state allocation (iter 1),
+//                                            transient update buffers
+//
+// Backend divergences (the reason xMem's Orchestrator exists) are encoded
+// here and in the OpSpec cpu/gpu fields:
+//   * CPU frees gradients and stale batch blocks lazily (end of iteration,
+//     Python-GC style); CUDA frees them at the exact semantic point.
+//   * CUDA runs cuDNN benchmark-mode trial workspaces in iteration 1.
+//   * Workspace/saved sizes differ per OpSpec cpu/gpu fields.
+//   * CUDA transient sizes get per-run multiplicative jitter (algo choice
+//     varies run to run); CPU profiling is more repeatable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fw/memory_env.h"
+#include "fw/model.h"
+#include "fw/optimizer.h"
+#include "fw/profiler.h"
+#include "fw/types.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace xmem::fw {
+
+struct ExecOptions {
+  int iterations = 3;  ///< paper default for profiling; ground truth uses more
+  ZeroGradPlacement placement = ZeroGradPlacement::kPos1IterStart;
+  std::uint64_t seed = 1;  ///< per-run jitter stream
+  /// Multiplicative jitter amplitude on CUDA transient workspaces (cuDNN /
+  /// cuBLAS algorithm choice varies run to run). CPU runs use a tenth of it.
+  double workspace_jitter = 0.06;
+  double duration_jitter = 0.10;
+  /// Model cuDNN benchmark-mode trial allocations in iteration 1 (CUDA).
+  /// Off by default, matching torch.backends.cudnn.benchmark = False; the
+  /// ablation benches enable it to study a GPU-only divergence xMem cannot
+  /// observe from a CPU trace.
+  bool cudnn_benchmark = false;
+  /// Emit Python-script-level noise allocations on CPU (filtered out by a
+  /// correct Analyzer; kept for realism and to exercise that filter).
+  bool script_noise = true;
+};
+
+class TrainingExecutor {
+ public:
+  /// `profiler` may be null (ground-truth runs record no trace).
+  TrainingExecutor(const ModelDescriptor& model, OptimizerKind optimizer,
+                   Backend backend, MemoryEnv& env, util::SimClock& clock,
+                   Profiler* profiler, ExecOptions options);
+
+  /// Run the configured number of iterations. Throws OomError if the device
+  /// cannot hold the job; leaves persistent state live (job killed, process
+  /// memory snapshot intact), which is what the harness wants to observe.
+  void run();
+
+ private:
+  struct SavedActivation {
+    std::uint64_t handle = 0;
+    std::int64_t bytes = 0;
+  };
+  struct OpRuntime {
+    const ModuleSpec* module = nullptr;
+    const OpSpec* op = nullptr;
+    std::int64_t seq = -1;
+    std::vector<SavedActivation> saved;  ///< blocks released by its backward
+  };
+
+  bool is_cuda() const { return backend_ == Backend::kCuda; }
+  std::int64_t jittered(std::int64_t bytes, double amplitude);
+  /// Workspace size for `op`: jittered once per (run, op) — cuDNN/cuBLAS
+  /// pick an algorithm per shape per process, so the size is stable within
+  /// a run but varies across runs.
+  std::int64_t op_workspace(const OpSpec& op, std::int64_t bytes,
+                            double amplitude);
+  util::TimeUs op_duration(const OpSpec& op) const;
+  void advance_op(const OpSpec& op, double fraction);
+
+  void model_to_device();
+  void run_iteration(int iteration);
+  void load_batch(int iteration);
+  void zero_grad(int iteration);
+  void forward(int iteration);
+  void backward(int iteration);
+  void optimizer_step(int iteration);
+  void end_of_iteration_gc();
+  void emit_script_noise(std::int64_t approx_bytes);
+
+  const ModelDescriptor& model_;
+  OptimizerKind optimizer_;
+  Backend backend_;
+  MemoryEnv& env_;
+  util::SimClock& clock_;
+  Profiler* profiler_;
+  ExecOptions options_;
+  util::Rng rng_;
+
+  // Persistent blocks.
+  std::vector<std::uint64_t> param_handles_;
+  std::vector<std::uint64_t> optimizer_state_handles_;
+  bool optimizer_state_allocated_ = false;
+
+  // Parameter gradients: one handle per (module, param), 0 when absent.
+  struct GradSlot {
+    std::size_t module_index = 0;
+    TensorDesc param;
+    std::uint64_t handle = 0;
+  };
+  std::vector<GradSlot> grad_slots_;
+  // CPU lazy-free queue: handles whose free events are deferred to the end
+  // of the current iteration (Python GC batching divergence).
+  std::vector<std::uint64_t> deferred_frees_;
+
+  // Current batch blocks; stale ones from the previous iteration.
+  std::uint64_t batch_input_ = 0;
+  std::uint64_t batch_target_ = 0;
+  std::uint64_t stale_batch_input_ = 0;
+  std::uint64_t stale_batch_target_ = 0;
+
+  // Forward bookkeeping, rebuilt every iteration.
+  std::vector<OpRuntime> tape_;
+  std::uint64_t loss_live_ = 0;  ///< loss scalar block, consumed by backward
+  std::int64_t next_seq_ = 0;
+
+  // Stable ordinal per OpSpec for per-run workspace jitter.
+  std::unordered_map<const OpSpec*, std::uint64_t> op_ordinals_;
+};
+
+}  // namespace xmem::fw

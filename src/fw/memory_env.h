@@ -1,0 +1,81 @@
+// Memory environment: what the executor allocates through.
+//
+// Two implementations exist. `CpuMemoryEnv` (here) backs profiling runs: it
+// allocates from the CPU heap model and records every event through the
+// Profiler, producing the trace xMem analyzes. `gpu::GpuMemoryEnv` backs
+// ground-truth runs: it allocates through the CachingAllocatorSim tower and
+// feeds the NVML sampler. The executor is agnostic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fw/cpu_alloc_sim.h"
+#include "fw/profiler.h"
+
+namespace xmem::fw {
+
+/// Thrown when the backing device cannot satisfy an allocation even after
+/// cache reclamation — the simulated equivalent of
+/// torch.cuda.OutOfMemoryError. Aborts the run; the harness records OOM=1.
+class OomError : public std::runtime_error {
+ public:
+  explicit OomError(std::int64_t requested)
+      : std::runtime_error("out of memory allocating " +
+                           std::to_string(requested) + " bytes"),
+        requested_(requested) {}
+  std::int64_t requested_bytes() const { return requested_; }
+
+ private:
+  std::int64_t requested_;
+};
+
+class MemoryEnv {
+ public:
+  virtual ~MemoryEnv() = default;
+
+  /// Allocate `bytes`; returns an opaque handle. Throws OomError when the
+  /// device is exhausted (never for the CPU env — profiling hosts have
+  /// abundant RAM, which is the paper's point).
+  virtual std::uint64_t alloc(std::int64_t bytes) = 0;
+  virtual void free(std::uint64_t handle) = 0;
+
+  /// Bytes currently allocated (tensor-level view).
+  virtual std::int64_t total_allocated() const = 0;
+
+  /// Called by the executor after every simulated-time advance; the GPU env
+  /// uses this to let the NVML sampler observe the current state.
+  virtual void tick() {}
+};
+
+/// Profiling-side environment: CPU heap + trace recording.
+class CpuMemoryEnv final : public MemoryEnv {
+ public:
+  explicit CpuMemoryEnv(Profiler& profiler) : profiler_(profiler) {}
+
+  std::uint64_t alloc(std::int64_t bytes) override {
+    const std::uint64_t addr = heap_.alloc(bytes);
+    profiler_.memory_event(addr, bytes, heap_.total_allocated(),
+                           /*device_id=*/-1);
+    return addr;
+  }
+
+  void free(std::uint64_t handle) override {
+    const std::int64_t bytes = heap_.free(handle);
+    profiler_.memory_event(handle, -bytes, heap_.total_allocated(),
+                           /*device_id=*/-1);
+  }
+
+  std::int64_t total_allocated() const override {
+    return heap_.total_allocated();
+  }
+
+  const CpuAllocSim& heap() const { return heap_; }
+
+ private:
+  Profiler& profiler_;
+  CpuAllocSim heap_;
+};
+
+}  // namespace xmem::fw

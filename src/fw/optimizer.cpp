@@ -1,0 +1,71 @@
+#include "fw/optimizer.h"
+
+namespace xmem::fw {
+
+std::vector<TensorDesc> optimizer_state_for_param(OptimizerKind kind,
+                                                  const TensorDesc& param) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      // Plain SGD (no momentum), the paper's minimal-overhead case.
+      return {};
+    case OptimizerKind::kAdam:
+    case OptimizerKind::kAdamW:
+      // exp_avg and exp_avg_sq, both parameter-shaped f32.
+      return {param, param};
+    case OptimizerKind::kRmsprop:
+      // square_avg.
+      return {param};
+    case OptimizerKind::kAdagrad:
+      // state sum. (PyTorch initializes it in the constructor, but the
+      // allocation is parameter-shaped and persistent either way.)
+      return {param};
+    case OptimizerKind::kAdafactor: {
+      // Factored second moment: for rank>=2 params, a row state and a
+      // column state instead of a full parameter-shaped tensor; rank<2
+      // params fall back to the full exp_avg_sq.
+      const auto [rows, cols] = param.as_matrix();
+      if (cols <= 1) return {param};
+      return {TensorDesc({rows}, DType::kF32), TensorDesc({cols}, DType::kF32)};
+    }
+  }
+  return {};
+}
+
+std::int64_t optimizer_step_workspace_bytes(OptimizerKind kind,
+                                            const TensorDesc& param) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      // d_p is consumed in place; no parameter-sized temporary.
+      return 0;
+    case OptimizerKind::kAdam:
+    case OptimizerKind::kAdamW:
+      // denom = exp_avg_sq.sqrt().add_(eps): one parameter-shaped temp.
+      return param.bytes();
+    case OptimizerKind::kRmsprop:
+      return param.bytes();
+    case OptimizerKind::kAdagrad:
+      // std = state_sum.sqrt().add_(eps).
+      return param.bytes();
+    case OptimizerKind::kAdafactor:
+      // update = grad**2 temporary before factorization.
+      return param.bytes();
+  }
+  return 0;
+}
+
+std::int64_t total_optimizer_state_bytes(
+    OptimizerKind kind, const std::vector<TensorDesc>& params) {
+  std::int64_t total = 0;
+  for (const auto& p : params) {
+    for (const auto& s : optimizer_state_for_param(kind, p)) {
+      total += s.bytes();
+    }
+  }
+  return total;
+}
+
+bool optimizer_is_stateful(OptimizerKind kind) {
+  return kind != OptimizerKind::kSgd;
+}
+
+}  // namespace xmem::fw

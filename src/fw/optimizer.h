@@ -1,0 +1,36 @@
+// Optimizer memory behaviour.
+//
+// What matters to peak-memory estimation is not the update rule but the
+// *state tensors* each optimizer materializes (lazily, on the first step)
+// and the transient buffers its step allocates. Table 2 of the paper pairs
+// CNNs with {SGD, Adam, AdamW, RMSprop, Adagrad} and Transformers with
+// {SGD, Adafactor, Adam, AdamW}; all six are modelled here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fw/types.h"
+
+namespace xmem::fw {
+
+/// State tensors an optimizer creates for one parameter tensor on its first
+/// step (PyTorch optimizers allocate state lazily inside step()).
+std::vector<TensorDesc> optimizer_state_for_param(OptimizerKind kind,
+                                                  const TensorDesc& param);
+
+/// Transient working bytes step() needs while updating one parameter tensor
+/// (e.g. Adam's temporary for the denominator; freed before the next param).
+std::int64_t optimizer_step_workspace_bytes(OptimizerKind kind,
+                                            const TensorDesc& param);
+
+/// Total persistent state bytes across a whole parameter list.
+std::int64_t total_optimizer_state_bytes(OptimizerKind kind,
+                                         const std::vector<TensorDesc>& params);
+
+/// True for optimizers whose first step allocates persistent state (i.e.
+/// everything except plain SGD). The paper's Orchestrator keys rule 5 on the
+/// difference between first-iteration and steady-state step behaviour.
+bool optimizer_is_stateful(OptimizerKind kind);
+
+}  // namespace xmem::fw

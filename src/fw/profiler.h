@@ -1,0 +1,66 @@
+// In-process profiler: the substrate's equivalent of the PyTorch Profiler.
+//
+// Records the four event categories of Section 3.2 into a trace::Trace,
+// maintaining the python_function / cpu_op call hierarchy through an open-
+// span stack. Events are appended in start order (parents first), with
+// durations patched in when a span closes — the same shape a Chrome trace
+// from torch.profiler has.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/sim_clock.h"
+
+namespace xmem::fw {
+
+class Profiler {
+ public:
+  Profiler(util::SimClock& clock, trace::Trace& out)
+      : clock_(clock), out_(out) {}
+
+  /// Open a span event; returns a token for close(). The parent is the
+  /// innermost still-open span.
+  std::int64_t open_span(trace::EventKind kind, std::string name,
+                         std::int64_t seq = -1);
+  void close_span(std::int64_t token);
+
+  /// Record a memory instant event. `bytes` > 0 allocation, < 0 free.
+  void memory_event(std::uint64_t addr, std::int64_t bytes,
+                    std::int64_t total_allocated, int device_id);
+
+  std::int64_t open_depth() const {
+    return static_cast<std::int64_t>(stack_.size());
+  }
+
+ private:
+  util::SimClock& clock_;
+  trace::Trace& out_;
+  std::vector<std::size_t> stack_;  ///< indices of open events in out_.events
+  std::int64_t next_id_ = 0;
+};
+
+/// RAII helper so executor code can't leak spans on early return.
+class SpanGuard {
+ public:
+  SpanGuard(Profiler* profiler, trace::EventKind kind, std::string name,
+            std::int64_t seq = -1)
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) {
+      token_ = profiler_->open_span(kind, std::move(name), seq);
+    }
+  }
+  ~SpanGuard() {
+    if (profiler_ != nullptr) profiler_->close_span(token_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Profiler* profiler_;
+  std::int64_t token_ = -1;
+};
+
+}  // namespace xmem::fw

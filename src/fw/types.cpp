@@ -1,0 +1,65 @@
+#include "fw/types.h"
+
+#include <stdexcept>
+
+namespace xmem::fw {
+
+const char* to_string(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+    case DType::kI64: return "i64";
+    case DType::kI32: return "i32";
+    case DType::kU8: return "u8";
+  }
+  return "?";
+}
+
+const char* to_string(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kCnn: return "CNN";
+    case ModelFamily::kTransformer: return "Transformer";
+  }
+  return "?";
+}
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kCpu: return "cpu";
+    case Backend::kCuda: return "cuda";
+  }
+  return "?";
+}
+
+const char* to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "SGD";
+    case OptimizerKind::kAdam: return "Adam";
+    case OptimizerKind::kAdamW: return "AdamW";
+    case OptimizerKind::kRmsprop: return "RMSprop";
+    case OptimizerKind::kAdagrad: return "Adagrad";
+    case OptimizerKind::kAdafactor: return "Adafactor";
+  }
+  return "?";
+}
+
+OptimizerKind optimizer_from_string(const std::string& name) {
+  if (name == "SGD" || name == "sgd") return OptimizerKind::kSgd;
+  if (name == "Adam" || name == "adam") return OptimizerKind::kAdam;
+  if (name == "AdamW" || name == "adamw") return OptimizerKind::kAdamW;
+  if (name == "RMSprop" || name == "rmsprop") return OptimizerKind::kRmsprop;
+  if (name == "Adagrad" || name == "adagrad") return OptimizerKind::kAdagrad;
+  if (name == "Adafactor" || name == "adafactor") return OptimizerKind::kAdafactor;
+  throw std::invalid_argument("unknown optimizer: " + name);
+}
+
+const char* to_string(ZeroGradPlacement placement) {
+  switch (placement) {
+    case ZeroGradPlacement::kPos0BeforeBackward: return "POS0";
+    case ZeroGradPlacement::kPos1IterStart: return "POS1";
+  }
+  return "?";
+}
+
+}  // namespace xmem::fw

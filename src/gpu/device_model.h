@@ -1,0 +1,45 @@
+// Target-device models for the paper's three evaluation GPUs.
+//
+// `capacity` is the card's physical memory; `m_init` the residue the paper
+// calls M^init_d (display/driver allocations present for the whole
+// experiment); `m_fm` the constant framework footprint M^fm (CUDA context +
+// cuBLAS/cuDNN handles). Estimators predict the *job* bytes; the two-round
+// validation caps a verification run at m_init + m_fm + estimate (§4.1.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace xmem::gpu {
+
+struct DeviceModel {
+  std::string name;
+  std::int64_t capacity = 0;
+  std::int64_t m_init = 0;
+  std::int64_t m_fm = 0;
+
+  /// Memory the job's allocator can actually reserve.
+  std::int64_t job_budget() const { return capacity - m_init - m_fm; }
+};
+
+inline DeviceModel rtx3060() {
+  return DeviceModel{"GeForce RTX 3060", 12 * util::kGiB,
+                     static_cast<std::int64_t>(296 * util::kMiB),
+                     static_cast<std::int64_t>(584 * util::kMiB)};
+}
+
+inline DeviceModel rtx4060() {
+  return DeviceModel{"GeForce RTX 4060", 8 * util::kGiB,
+                     static_cast<std::int64_t>(266 * util::kMiB),
+                     static_cast<std::int64_t>(584 * util::kMiB)};
+}
+
+inline DeviceModel a100_40gb() {
+  return DeviceModel{"NVIDIA A100 40GB", 40 * util::kGiB,
+                     static_cast<std::int64_t>(420 * util::kMiB),
+                     static_cast<std::int64_t>(660 * util::kMiB)};
+}
+
+}  // namespace xmem::gpu

@@ -1,0 +1,96 @@
+#include "gpu/ground_truth.h"
+
+#include <algorithm>
+
+namespace xmem::gpu {
+
+namespace {
+
+/// GpuMemoryEnv variant that also records event-granularity curves (the
+/// NVML sampler stays the source of the *metric* peak; curves are for the
+/// Fig. 1 / Fig. 6 plots, which the paper draws from the snapshot profiler).
+class RecordingGpuEnv final : public fw::MemoryEnv {
+ public:
+  RecordingGpuEnv(alloc::CachingAllocatorSim& allocator, NvmlSampler& sampler,
+                  const util::SimClock& clock, GroundTruthResult* out)
+      : allocator_(allocator), sampler_(sampler), clock_(clock), out_(out) {}
+
+  std::uint64_t alloc(std::int64_t bytes) override {
+    const alloc::AllocOutcome outcome = allocator_.allocate(bytes);
+    if (outcome.oom) throw fw::OomError(bytes);
+    sampler_.poll();
+    record();
+    return static_cast<std::uint64_t>(outcome.id);
+  }
+
+  void free(std::uint64_t handle) override {
+    allocator_.free(static_cast<alloc::BlockId>(handle));
+    sampler_.poll();
+    record();
+  }
+
+  std::int64_t total_allocated() const override {
+    return allocator_.stats().allocated_bytes;
+  }
+
+  void tick() override { sampler_.poll(); }
+
+ private:
+  void record() {
+    if (out_ == nullptr) return;
+    out_->reserved_series.emplace_back(clock_.now(),
+                                       allocator_.stats().reserved_bytes);
+    out_->allocated_series.emplace_back(clock_.now(),
+                                        allocator_.stats().allocated_bytes);
+  }
+
+  alloc::CachingAllocatorSim& allocator_;
+  NvmlSampler& sampler_;
+  const util::SimClock& clock_;
+  GroundTruthResult* out_;
+};
+
+}  // namespace
+
+GroundTruthResult GroundTruthRunner::run(const fw::ModelDescriptor& model,
+                                         fw::OptimizerKind optimizer,
+                                         const DeviceModel& device,
+                                         const GroundTruthOptions& options) const {
+  std::int64_t budget = options.budget_override >= 0 ? options.budget_override
+                                                     : device.job_budget();
+  budget = std::max(budget, alloc::SimulatedCudaDriver::kPageSize);
+
+  alloc::SimulatedCudaDriver driver(budget);
+  alloc::CachingAllocatorSim allocator(driver);
+  util::SimClock clock;
+  NvmlSampler sampler(clock, driver, /*interval=*/1000,
+                      /*record_series=*/false);
+
+  GroundTruthResult result;
+  RecordingGpuEnv env(allocator, sampler, clock,
+                      options.record_series ? &result : nullptr);
+
+  fw::ExecOptions exec_options;
+  exec_options.iterations = options.iterations;
+  exec_options.placement = options.placement;
+  exec_options.seed = options.seed;
+  exec_options.cudnn_benchmark = options.cudnn_benchmark;
+
+  fw::TrainingExecutor executor(model, optimizer, fw::Backend::kCuda, env,
+                                clock, /*profiler=*/nullptr, exec_options);
+  try {
+    executor.run();
+  } catch (const fw::OomError&) {
+    result.oom = true;
+  }
+  sampler.final_sample();
+
+  result.peak_job_bytes = sampler.peak();
+  result.peak_reserved_exact = allocator.stats().peak_reserved_bytes;
+  result.peak_allocated_exact = allocator.stats().peak_allocated_bytes;
+  result.allocator_stats = allocator.stats();
+  result.final_snapshot = allocator.snapshot();
+  return result;
+}
+
+}  // namespace xmem::gpu

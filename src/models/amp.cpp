@@ -1,0 +1,31 @@
+#include "models/amp.h"
+
+namespace xmem::models {
+
+fw::ModelDescriptor make_amp_variant(const fw::ModelDescriptor& model) {
+  fw::ModelDescriptor amp = model;
+  amp.name = model.name + "-amp";
+  for (fw::ModuleSpec& module : amp.modules) {
+    for (fw::OpSpec& op : module.ops) {
+      op.output_bytes /= 2;
+      op.saved_bytes_cpu /= 2;
+      op.saved_bytes_gpu /= 2;
+      op.workspace_cpu /= 2;
+      op.workspace_gpu /= 2;
+      op.bwd_workspace_cpu /= 2;
+      op.bwd_workspace_gpu /= 2;
+      op.grad_input_bytes /= 2;
+      op.benchmark_trial_bytes_gpu /= 2;
+    }
+  }
+  // fp16 parameter mirror, resident for the autocast kernels. Allocated at
+  // model-load time by the executor (one block; the per-tensor split of the
+  // mirror does not affect peaks at this granularity).
+  amp.extra_persistent_bytes += model.param_bytes() / 2;
+  // Gradients are fp16 under autocast (GradScaler handles the dynamic
+  // range); the optimizer still keeps fp32 state for the master weights.
+  amp.grad_bytes_scale = 0.5;
+  return amp;
+}
+
+}  // namespace xmem::models

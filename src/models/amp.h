@@ -1,0 +1,24 @@
+// Mixed-precision (AMP) variants — the §6.3 extension.
+//
+// torch.cuda.amp autocast semantics at the memory level:
+//   * activations, saved-for-backward payloads, workspaces and gradient
+//     buffers are fp16 (half the bytes);
+//   * master parameters stay fp32, but a persistent fp16 parameter mirror
+//     is resident for the autocast matmuls;
+//   * optimizer state stays fp32 (it attaches to the master weights).
+//
+// The paper's point (§6.3) holds by construction: once the (AMP) trace is
+// collected, the xMem analysis pipeline is unchanged — the same estimator
+// runs on the variant descriptor.
+#pragma once
+
+#include "fw/model.h"
+
+namespace xmem::models {
+
+/// Derive the AMP variant of a descriptor. The result carries "-amp" in its
+/// name and roughly halves the activation footprint while keeping fp32
+/// master weights and optimizer state.
+fw::ModelDescriptor make_amp_variant(const fw::ModelDescriptor& model);
+
+}  // namespace xmem::models

@@ -1,0 +1,287 @@
+#include "models/op_factory.h"
+
+#include <algorithm>
+
+#include "fw/backend.h"
+#include "util/bytes.h"
+
+namespace xmem::models {
+
+using fw::OpSpec;
+using util::kMiB;
+
+namespace {
+
+constexpr std::int64_t kF32 = 4;
+
+// Workspace caps and divergence ratios live in fw/backend.h (the
+// consolidated CPU/CUDA divergence table).
+constexpr std::int64_t kCpuWorkspaceCap = fw::backend::kCpuWorkspaceCap;
+constexpr std::int64_t kGpuWorkspaceCap = fw::backend::kGpuWorkspaceCap;
+constexpr std::int64_t kBenchmarkTrialCap = fw::backend::kBenchmarkTrialCap;
+
+std::int64_t conv_out_dim(std::int64_t in, int kernel, int stride,
+                          int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+}  // namespace
+
+OpSpec conv_op(std::int64_t batch, std::int64_t c_in, std::int64_t& h,
+               std::int64_t& w, std::int64_t c_out, int kernel, int stride,
+               int padding, std::int64_t groups) {
+  const std::int64_t h_out = conv_out_dim(h, kernel, stride, padding);
+  const std::int64_t w_out = conv_out_dim(w, kernel, stride, padding);
+  OpSpec op;
+  op.name = "aten::convolution";
+  op.output_bytes = batch * c_out * h_out * w_out * kF32;
+  op.output_saved = true;  // consumed by BN backward / conv_backward(input)
+  op.allocates_param_grads = true;
+  op.grad_input_bytes = batch * c_in * h * w * kF32;
+
+  const std::int64_t k2cin = static_cast<std::int64_t>(kernel) * kernel *
+                             (c_in / std::max<std::int64_t>(1, groups));
+  // oneDNN lowers KxK convs through blocked im2col; the scratch is a tile of
+  // the unfolded input, processed a few images at a time.
+  const std::int64_t im2col_tile =
+      k2cin * h_out * w_out * kF32 *
+      std::min<std::int64_t>(batch, fw::backend::kCpuIm2colBatchTile);
+  // cuDNN implicit-GEMM uses a much smaller tiled workspace.
+  const std::int64_t cudnn_ws =
+      k2cin * h_out * w_out * kF32 / fw::backend::kGpuConvWorkspaceDivisor +
+      kMiB;
+  if (kernel > 1) {
+    op.workspace_cpu = std::min(im2col_tile, kCpuWorkspaceCap);
+    op.workspace_gpu = std::min(cudnn_ws, kGpuWorkspaceCap);
+    op.bwd_workspace_cpu =
+        std::min(im2col_tile + im2col_tile / 2, kCpuWorkspaceCap);
+    op.bwd_workspace_gpu = std::min(cudnn_ws * 2, kGpuWorkspaceCap);
+    // Benchmark mode tries several algorithms, the hungriest of which (FFT /
+    // Winograd tiles) want a few times the steady-state workspace.
+    op.benchmark_trial_bytes_gpu =
+        std::min(cudnn_ws * 3, kBenchmarkTrialCap);
+  } else {
+    // 1x1 convs are plain GEMMs: small packing buffers that scale with the
+    // problem, capped well inside one pool class on both backends (sizes
+    // that straddle the allocator's small/large boundary would flip pools
+    // run-to-run under jitter).
+    op.workspace_cpu = std::min<std::int64_t>(2 * kMiB, im2col_tile);
+    op.workspace_gpu = std::min<std::int64_t>(kMiB / 2, im2col_tile);
+    op.bwd_workspace_cpu = op.workspace_cpu;
+    op.bwd_workspace_gpu = op.workspace_gpu;
+  }
+  op.gflops = 2.0 * static_cast<double>(batch) *
+              static_cast<double>(k2cin) * static_cast<double>(c_out) *
+              static_cast<double>(h_out * w_out) / 1e9;
+  h = h_out;
+  w = w_out;
+  return op;
+}
+
+OpSpec batch_norm_op(std::int64_t batch, std::int64_t channels, std::int64_t h,
+                     std::int64_t w) {
+  OpSpec op;
+  op.name = "aten::batch_norm";
+  op.output_bytes = batch * channels * h * w * kF32;
+  op.output_saved = true;  // the post-activation map feeds the next conv
+  op.allocates_param_grads = true;
+  // save_mean + save_invstd, per channel, on both backends.
+  op.saved_bytes_cpu = 2 * channels * kF32;
+  op.saved_bytes_gpu = 2 * channels * kF32;
+  // Fusion divergence: the CPU backward materializes the normalized-input
+  // temporary; the cuDNN kernel recomputes it in registers.
+  op.bwd_workspace_cpu = std::min(op.output_bytes / 2, kCpuWorkspaceCap);
+  op.bwd_workspace_gpu = std::min(op.output_bytes / 8, kGpuWorkspaceCap);
+  op.grad_input_bytes = op.output_bytes;
+  op.gflops = static_cast<double>(batch * channels * h * w) * 4.0 / 1e9;
+  return op;
+}
+
+OpSpec max_pool_op(std::int64_t batch, std::int64_t channels, std::int64_t& h,
+                   std::int64_t& w, int kernel, int stride) {
+  const std::int64_t h_out = std::max<std::int64_t>(1, (h - kernel) / stride + 1);
+  const std::int64_t w_out = std::max<std::int64_t>(1, (w - kernel) / stride + 1);
+  OpSpec op;
+  op.name = "aten::max_pool2d";
+  op.output_bytes = batch * channels * h_out * w_out * kF32;
+  op.output_saved = true;
+  // argmax indices (i64) kept for the backward scatter.
+  op.saved_bytes_cpu = batch * channels * h_out * w_out * 8;
+  op.saved_bytes_gpu = op.saved_bytes_cpu;
+  op.grad_input_bytes = batch * channels * h * w * kF32;
+  op.gflops = static_cast<double>(batch * channels * h * w) / 1e9;
+  h = h_out;
+  w = w_out;
+  return op;
+}
+
+OpSpec global_avg_pool_op(std::int64_t batch, std::int64_t channels,
+                          std::int64_t& h, std::int64_t& w) {
+  OpSpec op;
+  op.name = "aten::adaptive_avg_pool2d";
+  op.output_bytes = batch * channels * kF32;
+  op.output_saved = true;
+  op.grad_input_bytes = batch * channels * h * w * kF32;
+  op.gflops = static_cast<double>(batch * channels * h * w) / 1e9;
+  h = 1;
+  w = 1;
+  return op;
+}
+
+OpSpec linear_op(std::int64_t rows, std::int64_t in_features,
+                 std::int64_t out_features, bool save_output) {
+  OpSpec op;
+  op.name = "aten::addmm";
+  op.output_bytes = rows * out_features * kF32;
+  op.output_saved = save_output;
+  op.allocates_param_grads = true;
+  op.grad_input_bytes = rows * in_features * kF32;
+  // GEMM packing buffers (oneDNN) vs cuBLAS tile scratch.
+  op.workspace_cpu = std::min<std::int64_t>(
+      4 * kMiB + rows * in_features * kF32 / 16, 32 * kMiB);
+  op.workspace_gpu = 4 * kMiB;
+  op.bwd_workspace_cpu = op.workspace_cpu;
+  op.bwd_workspace_gpu = op.workspace_gpu;
+  op.gflops = 2.0 * static_cast<double>(rows) *
+              static_cast<double>(in_features) *
+              static_cast<double>(out_features) / 1e9;
+  return op;
+}
+
+OpSpec embedding_op(std::int64_t batch, std::int64_t seq, std::int64_t hidden) {
+  OpSpec op;
+  op.name = "aten::embedding";
+  op.output_bytes = batch * seq * hidden * kF32;
+  op.output_saved = true;
+  op.allocates_param_grads = true;
+  op.grad_input_bytes = 0;  // integer ids carry no gradient
+  op.gflops = static_cast<double>(batch * seq * hidden) / 1e9;
+  return op;
+}
+
+OpSpec layer_norm_op(std::int64_t rows, std::int64_t hidden) {
+  OpSpec op;
+  op.name = "aten::layer_norm";
+  op.output_bytes = rows * hidden * kF32;
+  op.output_saved = true;
+  op.allocates_param_grads = true;
+  op.saved_bytes_cpu = 2 * rows * kF32;  // mean + rstd per row
+  op.saved_bytes_gpu = 2 * rows * kF32;
+  // CPU layer_norm_backward materializes the re-normalized input; the CUDA
+  // kernel fuses the recomputation.
+  op.bwd_workspace_cpu = rows * hidden * kF32 / 4;
+  op.bwd_workspace_gpu = rows * hidden * kF32 / 16;
+  op.grad_input_bytes = rows * hidden * kF32;
+  op.gflops = static_cast<double>(rows * hidden) * 4.0 / 1e9;
+  return op;
+}
+
+OpSpec activation_op(std::int64_t rows, std::int64_t width, const char* name) {
+  OpSpec op;
+  op.name = name;
+  op.output_bytes = rows * width * kF32;
+  op.output_saved = true;  // backward needs the pre- or post-activation
+  // CPU GELU/SiLU materialize the inner erf/sigmoid as a real tensor; the
+  // CUDA elementwise kernels are fused (no intermediate).
+  op.workspace_cpu = rows * width * kF32 / 4;
+  op.workspace_gpu = rows * width * kF32 / 16;
+  op.bwd_workspace_cpu = rows * width * kF32 / 4;
+  op.bwd_workspace_gpu = rows * width * kF32 / 16;
+  op.grad_input_bytes = rows * width * kF32;
+  op.gflops = static_cast<double>(rows * width) * 2.0 / 1e9;
+  return op;
+}
+
+AttentionOps eager_attention_ops(std::int64_t batch, std::int64_t heads,
+                                 std::int64_t seq, std::int64_t head_dim) {
+  const std::int64_t score_bytes = batch * heads * seq * seq * kF32;
+  const std::int64_t ctx_bytes = batch * heads * seq * head_dim * kF32;
+  AttentionOps ops;
+
+  ops.scores.name = "aten::bmm";
+  ops.scores.output_bytes = score_bytes;
+  ops.scores.output_saved = false;  // softmax keeps its own output instead
+  ops.scores.grad_input_bytes = ctx_bytes;  // dQ (dK is symmetric, reuse)
+  ops.scores.workspace_cpu = 2 * kMiB;
+  ops.scores.workspace_gpu = 2 * kMiB;
+  ops.scores.gflops = 2.0 * static_cast<double>(batch * heads) *
+                      static_cast<double>(seq) * static_cast<double>(seq) *
+                      static_cast<double>(head_dim) / 1e9;
+
+  ops.softmax.name = "aten::_softmax";
+  ops.softmax.output_bytes = score_bytes;
+  ops.softmax.output_saved = true;  // probabilities are needed for backward
+  // softmax_backward keeps a small per-thread row buffer on CPU; the CUDA
+  // kernel fuses the reduction entirely.
+  ops.softmax.bwd_workspace_cpu = 4 * kMiB;
+  ops.softmax.bwd_workspace_gpu = kMiB;
+  ops.softmax.grad_input_bytes = score_bytes;
+  ops.softmax.gflops = static_cast<double>(batch * heads * seq * seq) * 3.0 / 1e9;
+
+  ops.context.name = "aten::bmm";
+  ops.context.output_bytes = ctx_bytes;
+  ops.context.output_saved = true;
+  ops.context.grad_input_bytes = score_bytes;  // dProbs
+  ops.context.workspace_cpu = 2 * kMiB;
+  ops.context.workspace_gpu = 2 * kMiB;
+  ops.context.gflops = ops.scores.gflops;
+  return ops;
+}
+
+OpSpec sdpa_flash_op(std::int64_t batch, std::int64_t heads, std::int64_t seq,
+                     std::int64_t head_dim, std::int64_t kv_heads) {
+  OpSpec op;
+  op.name = "aten::scaled_dot_product_attention";
+  op.output_bytes = batch * heads * seq * head_dim * kF32;
+  op.output_saved = true;
+  // Flash kernels save only O(S) row statistics (logsumexp), not the S^2
+  // probability matrix.
+  op.saved_bytes_cpu = batch * heads * seq * kF32;
+  op.saved_bytes_gpu = batch * heads * seq * kF32;
+  // CPU flash processes KV in chunks with a per-thread accumulation buffer;
+  // the CUDA kernel tiles through SRAM and needs almost nothing.
+  op.workspace_cpu =
+      std::min<std::int64_t>(batch * heads * seq * 128 * kF32, 48 * kMiB);
+  op.workspace_gpu = 2 * kMiB;
+  op.bwd_workspace_cpu = op.workspace_cpu;
+  op.bwd_workspace_gpu = 4 * kMiB;
+  // dQ + dK + dV (KV possibly grouped).
+  op.grad_input_bytes =
+      batch * seq * head_dim * (heads + 2 * kv_heads) * kF32;
+  op.gflops = 4.0 * static_cast<double>(batch * heads) *
+              static_cast<double>(seq) * static_cast<double>(seq) *
+              static_cast<double>(head_dim) / 1e9;
+  return op;
+}
+
+OpSpec log_softmax_op(std::int64_t rows, std::int64_t classes) {
+  OpSpec op;
+  op.name = "aten::log_softmax";
+  op.output_bytes = rows * classes * kF32;
+  op.output_saved = true;  // NLL backward recomputes softmax from these
+  // The CPU kernel materializes the shifted exponentials; CUDA keeps the
+  // reduction in shared memory.
+  op.workspace_cpu = rows * classes * kF32 / 16;
+  op.workspace_gpu = rows * classes * kF32 / 64;
+  // log_softmax_backward on CPU materializes exp(output) * grad_sum; its
+  // temporary matches the forward one in size (same row-major sweep), which
+  // matters: equal sizes reuse the cached forward temp instead of splitting
+  // a cached logits-sized block and ratcheting reserved memory.
+  op.bwd_workspace_cpu = rows * classes * kF32 / 16;
+  op.bwd_workspace_gpu = rows * classes * kF32 / 64;
+  op.grad_input_bytes = rows * classes * kF32;
+  op.gflops = static_cast<double>(rows * classes) * 3.0 / 1e9;
+  return op;
+}
+
+OpSpec nll_loss_op(std::int64_t rows, std::int64_t classes) {
+  OpSpec op;
+  op.name = "aten::nll_loss";
+  op.output_bytes = kF32;  // scalar loss
+  op.output_saved = false;
+  op.grad_input_bytes = rows * classes * kF32;  // dLoss/dLogProbs
+  op.gflops = static_cast<double>(rows) / 1e9;
+  return op;
+}
+
+}  // namespace xmem::models

@@ -1,0 +1,75 @@
+// Factory functions producing OpSpec memory recipes for the standard
+// operator types the zoo needs. Every byte count is derived from the real
+// shape math of the operator; backend workspace formulas encode the
+// CPU-vs-CUDA divergence (oneDNN im2col tiles vs cuDNN implicit-GEMM
+// workspaces, flash-attention chunk buffers, cuBLAS scratch) that the xMem
+// Orchestrator/Simulator must survive.
+#pragma once
+
+#include <cstdint>
+
+#include "fw/model.h"
+
+namespace xmem::models {
+
+/// Convolution: input (B, C_in, H, W) -> output (B, C_out, H_out, W_out).
+/// `h`/`w` are updated in place to the output spatial dims.
+fw::OpSpec conv_op(std::int64_t batch, std::int64_t c_in, std::int64_t& h,
+                   std::int64_t& w, std::int64_t c_out, int kernel, int stride,
+                   int padding, std::int64_t groups);
+
+/// BatchNorm2d over (B, C, H, W); saves per-channel statistics.
+fw::OpSpec batch_norm_op(std::int64_t batch, std::int64_t channels,
+                         std::int64_t h, std::int64_t w);
+
+/// MaxPool2d; updates h/w. Saves the argmax index map for backward.
+fw::OpSpec max_pool_op(std::int64_t batch, std::int64_t channels,
+                       std::int64_t& h, std::int64_t& w, int kernel,
+                       int stride);
+
+/// Global average pool to 1x1; updates h/w to 1.
+fw::OpSpec global_avg_pool_op(std::int64_t batch, std::int64_t channels,
+                              std::int64_t& h, std::int64_t& w);
+
+/// Dense layer on `rows` row-vectors: (rows, in) x (in, out).
+fw::OpSpec linear_op(std::int64_t rows, std::int64_t in_features,
+                     std::int64_t out_features, bool save_output = true);
+
+/// Token + position embedding lookup producing (B, S, H).
+fw::OpSpec embedding_op(std::int64_t batch, std::int64_t seq,
+                        std::int64_t hidden);
+
+/// LayerNorm over `rows` rows of width `hidden`; saves mean/rstd.
+fw::OpSpec layer_norm_op(std::int64_t rows, std::int64_t hidden);
+
+/// GELU / SiLU style activation over `rows` x `width` (output saved: the
+/// input is required for backward and we fold it into the saved output).
+fw::OpSpec activation_op(std::int64_t rows, std::int64_t width,
+                         const char* name = "aten::gelu");
+
+/// Eager ("math") attention pipeline: three ops (scores bmm, softmax,
+/// context bmm). Probabilities are saved for backward on both backends —
+/// the memory-hungry pre-flash formulation used by pre-2022 models.
+struct AttentionOps {
+  fw::OpSpec scores;   ///< q @ k^T
+  fw::OpSpec softmax;  ///< softmax(scores), probs saved
+  fw::OpSpec context;  ///< probs @ v
+};
+AttentionOps eager_attention_ops(std::int64_t batch, std::int64_t heads,
+                                 std::int64_t seq, std::int64_t head_dim);
+
+/// Fused scaled-dot-product attention (flash). Saves only the logsumexp
+/// row statistics; workspaces differ CPU vs CUDA (chunked CPU kernel vs
+/// tiled SRAM kernel).
+fw::OpSpec sdpa_flash_op(std::int64_t batch, std::int64_t heads,
+                         std::int64_t seq, std::int64_t head_dim,
+                         std::int64_t kv_heads);
+
+/// log_softmax over (rows, classes); output saved (needed by NLL backward).
+fw::OpSpec log_softmax_op(std::int64_t rows, std::int64_t classes);
+
+/// NLL loss reduction to a scalar; backward materializes the full
+/// (rows, classes) gradient w.r.t. the log-probabilities.
+fw::OpSpec nll_loss_op(std::int64_t rows, std::int64_t classes);
+
+}  // namespace xmem::models

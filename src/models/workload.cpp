@@ -1,0 +1,68 @@
+#include "models/workload.h"
+
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace xmem::models {
+
+using fw::OptimizerKind;
+
+std::vector<OptimizerKind> cnn_optimizers() {
+  return {OptimizerKind::kSgd, OptimizerKind::kAdam, OptimizerKind::kAdamW,
+          OptimizerKind::kRmsprop, OptimizerKind::kAdagrad};
+}
+
+std::vector<OptimizerKind> transformer_optimizers() {
+  return {OptimizerKind::kSgd, OptimizerKind::kAdafactor, OptimizerKind::kAdam,
+          OptimizerKind::kAdamW};
+}
+
+std::vector<OptimizerKind> optimizers_for(const std::string& model_name) {
+  for (const auto& rq5 : rq5_model_names()) {
+    if (rq5 == model_name) {
+      // RQ5 runs only the optimizers that never OOM on the A100 (4.1.2).
+      return {OptimizerKind::kSgd, OptimizerKind::kAdafactor};
+    }
+  }
+  if (detail::is_cnn_name(model_name)) return cnn_optimizers();
+  if (detail::is_transformer_name(model_name)) return transformer_optimizers();
+  throw std::invalid_argument("optimizers_for: unknown model " + model_name);
+}
+
+std::vector<int> batch_grid_for(const std::string& model_name) {
+  for (const auto& rq5 : rq5_model_names()) {
+    if (rq5 == model_name) return {1};
+  }
+  if (detail::is_cnn_name(model_name)) {
+    return {200, 300, 400, 500, 600, 700};
+  }
+  if (model_name == "Qwen3-0.6B" || model_name == "pythia-1b") {
+    return {1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  if (detail::is_transformer_name(model_name)) {
+    return {5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55};
+  }
+  throw std::invalid_argument("batch_grid_for: unknown model " + model_name);
+}
+
+std::string TrainConfig::label() const {
+  return model + "/" + to_string(optimizer) + "/b" + std::to_string(batch_size) +
+         "/" + to_string(placement);
+}
+
+std::vector<TrainConfig> anova_grid(
+    const std::vector<std::string>& model_names) {
+  std::vector<TrainConfig> grid;
+  for (const auto& model : model_names) {
+    for (const auto optimizer : optimizers_for(model)) {
+      for (const int batch : batch_grid_for(model)) {
+        grid.push_back(TrainConfig{model, optimizer, batch,
+                                   fw::ZeroGradPlacement::kPos1IterStart});
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace xmem::models

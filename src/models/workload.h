@@ -1,0 +1,39 @@
+// Workload space of the evaluation (Section 4.1.2, Table 2):
+// which optimizers pair with which architecture family, and the batch-size
+// grid per model. CNNs sweep 200-700 (step 100); Transformers sweep 5-55
+// (step 5) except Qwen3-0.6B and pythia-1b which sweep 1-8 (step 1) due to
+// their parameter counts. RQ5 models run at batch 1 with {SGD, Adafactor}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fw/types.h"
+
+namespace xmem::models {
+
+/// {SGD, Adam, AdamW, RMSprop, Adagrad} for CNNs.
+std::vector<fw::OptimizerKind> cnn_optimizers();
+/// {SGD, Adafactor, Adam, AdamW} for Transformers.
+std::vector<fw::OptimizerKind> transformer_optimizers();
+/// Optimizer set for a specific model name.
+std::vector<fw::OptimizerKind> optimizers_for(const std::string& model_name);
+
+/// Batch-size grid for a specific model name (Table 2 ranges).
+std::vector<int> batch_grid_for(const std::string& model_name);
+
+/// One fully specified training configuration "j" of the paper.
+struct TrainConfig {
+  std::string model;
+  fw::OptimizerKind optimizer = fw::OptimizerKind::kSgd;
+  int batch_size = 0;
+  fw::ZeroGradPlacement placement = fw::ZeroGradPlacement::kPos1IterStart;
+
+  std::string label() const;
+};
+
+/// The full ANOVA grid for the given model list (all models x applicable
+/// optimizers x batch grid, POS1 placement as the canonical loop).
+std::vector<TrainConfig> anova_grid(const std::vector<std::string>& model_names);
+
+}  // namespace xmem::models

@@ -1,0 +1,47 @@
+#include "models/zoo.h"
+
+#include <stdexcept>
+
+namespace xmem::models {
+
+std::vector<std::string> cnn_model_names() {
+  return {"ConvNeXtBase",     "ConvNeXtTiny",     "MnasNet",
+          "MobileNetV3Large", "MobileNetV3Small", "MobileNetV2",
+          "RegNetX400MF",     "RegNetY400MF",     "ResNet101",
+          "ResNet152",        "VGG16",            "VGG19"};
+}
+
+std::vector<std::string> transformer_model_names() {
+  return {"Cerebras-GPT-111M", "Qwen3-0.6B", "T5-small", "distilgpt2",
+          "gpt-neo-125M",      "gpt2",       "opt-125m", "opt-350m",
+          "pythia-1b",         "t5-base"};
+}
+
+std::vector<std::string> rq5_model_names() {
+  return {"DeepSeek-R1-Distill-Qwen-1.5B", "Llama-3.2-3B-Instruct",
+          "Qwen3-4B"};
+}
+
+std::vector<std::string> all_model_names() {
+  std::vector<std::string> names = cnn_model_names();
+  for (auto& n : transformer_model_names()) names.push_back(n);
+  for (auto& n : rq5_model_names()) names.push_back(n);
+  return names;
+}
+
+bool is_known_model(const std::string& name) {
+  return detail::is_cnn_name(name) || detail::is_transformer_name(name);
+}
+
+fw::ModelDescriptor build_model(const std::string& name, int batch_size) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("build_model: batch_size must be > 0");
+  }
+  if (detail::is_cnn_name(name)) return detail::build_cnn(name, batch_size);
+  if (detail::is_transformer_name(name)) {
+    return detail::build_transformer(name, batch_size);
+  }
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace xmem::models

@@ -1,0 +1,40 @@
+// The model zoo: the 25 workloads of the paper's Table 2.
+//
+// Builders compute every tensor size from the published architecture
+// hyper-parameters. CNNs run on 32x32 inputs with a 100-class head (the
+// paper's CNN batch range of 200-700 on a 12 GB card is only feasible at
+// CIFAR scale; see DESIGN.md); Transformers use sequence length 512 and
+// their real vocabulary/width/depth, so their parameter counts match the
+// published sizes within a few percent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fw/model.h"
+
+namespace xmem::models {
+
+/// Build a model descriptor for the given batch size. Throws
+/// std::invalid_argument for unknown names.
+fw::ModelDescriptor build_model(const std::string& name, int batch_size);
+
+bool is_known_model(const std::string& name);
+
+/// The 12 CNNs of Table 2 (RQ1-RQ4).
+std::vector<std::string> cnn_model_names();
+/// The 10 Transformers of Table 2 (RQ1-RQ4).
+std::vector<std::string> transformer_model_names();
+/// The 3 large Transformers of RQ5 (marked * in Table 2).
+std::vector<std::string> rq5_model_names();
+/// All 25.
+std::vector<std::string> all_model_names();
+
+namespace detail {
+fw::ModelDescriptor build_cnn(const std::string& name, int batch_size);
+fw::ModelDescriptor build_transformer(const std::string& name, int batch_size);
+bool is_cnn_name(const std::string& name);
+bool is_transformer_name(const std::string& name);
+}  // namespace detail
+
+}  // namespace xmem::models

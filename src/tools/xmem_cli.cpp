@@ -1,0 +1,245 @@
+// xmem — command-line front end, the artifact a cluster operator would
+// actually invoke from a submission hook:
+//
+//   xmem estimate --model gpt2 --batch 10 --optimizer AdamW \
+//                 --device rtx3060 [--pos0] [--json] [--curve]
+//   xmem verify   ... (same flags; also runs the simulated ground truth)
+//   xmem models
+//   xmem devices
+//
+// Exit code for `estimate`/`verify`: 0 = fits the device, 2 = predicted
+// OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/workload.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace xmem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xmem estimate --model NAME --batch N [--optimizer OPT]\n"
+               "                [--device rtx3060|rtx4060|a100] [--pos0]\n"
+               "                [--iterations N] [--json] [--curve]\n"
+               "  xmem verify   (same flags; adds a simulated ground-truth "
+               "run)\n"
+               "  xmem models\n"
+               "  xmem devices\n");
+  return 1;
+}
+
+gpu::DeviceModel device_by_name(const std::string& name) {
+  if (name == "rtx3060" || name == "3060") return gpu::rtx3060();
+  if (name == "rtx4060" || name == "4060") return gpu::rtx4060();
+  if (name == "a100" || name == "a100-40gb") return gpu::a100_40gb();
+  throw std::invalid_argument("unknown device: " + name +
+                              " (rtx3060 | rtx4060 | a100)");
+}
+
+struct Cli {
+  std::string command;
+  std::string model;
+  int batch = 0;
+  std::string optimizer = "AdamW";
+  std::string device = "rtx3060";
+  bool pos0 = false;
+  bool json = false;
+  bool curve = false;
+  int iterations = 3;
+};
+
+bool parse_args(int argc, char** argv, Cli& cli) {
+  if (argc < 2) return false;
+  cli.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      const char* v = next("--model");
+      if (v == nullptr) return false;
+      cli.model = v;
+    } else if (arg == "--batch") {
+      const char* v = next("--batch");
+      if (v == nullptr) return false;
+      cli.batch = std::atoi(v);
+    } else if (arg == "--optimizer") {
+      const char* v = next("--optimizer");
+      if (v == nullptr) return false;
+      cli.optimizer = v;
+    } else if (arg == "--device") {
+      const char* v = next("--device");
+      if (v == nullptr) return false;
+      cli.device = v;
+    } else if (arg == "--iterations") {
+      const char* v = next("--iterations");
+      if (v == nullptr) return false;
+      cli.iterations = std::atoi(v);
+    } else if (arg == "--pos0") {
+      cli.pos0 = true;
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--curve") {
+      cli.curve = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int list_models() {
+  std::printf("%-32s %-12s %10s %s\n", "model", "family", "params(M)",
+              "batch grid");
+  for (const auto& name : models::all_model_names()) {
+    const fw::ModelDescriptor model = models::build_model(name, 1);
+    const auto grid = models::batch_grid_for(name);
+    std::printf("%-32s %-12s %10.1f %d..%d\n", name.c_str(),
+                to_string(model.family),
+                static_cast<double>(model.param_count()) / 1e6, grid.front(),
+                grid.back());
+  }
+  return 0;
+}
+
+int list_devices() {
+  for (const gpu::DeviceModel& device :
+       {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()}) {
+    std::printf("%-20s capacity %-10s M_init %-10s M_fm %-10s job budget %s\n",
+                device.name.c_str(), util::format_bytes(device.capacity).c_str(),
+                util::format_bytes(device.m_init).c_str(),
+                util::format_bytes(device.m_fm).c_str(),
+                util::format_bytes(device.job_budget()).c_str());
+  }
+  return 0;
+}
+
+int run_estimate(const Cli& cli, bool verify) {
+  if (cli.model.empty() || cli.batch <= 0) {
+    std::fprintf(stderr, "estimate requires --model and --batch > 0\n");
+    return 1;
+  }
+  if (!models::is_known_model(cli.model)) {
+    std::fprintf(stderr, "unknown model '%s' (see `xmem models`)\n",
+                 cli.model.c_str());
+    return 1;
+  }
+  const gpu::DeviceModel device = device_by_name(cli.device);
+
+  core::TrainJob job;
+  job.model_name = cli.model;
+  job.batch_size = cli.batch;
+  job.optimizer = fw::optimizer_from_string(cli.optimizer);
+  job.placement = cli.pos0 ? fw::ZeroGradPlacement::kPos0BeforeBackward
+                           : fw::ZeroGradPlacement::kPos1IterStart;
+
+  core::XMemOptions options;
+  options.profile_iterations = cli.iterations;
+  core::XMemEstimator estimator(options);
+  const auto artifacts = estimator.run_pipeline(job, cli.curve);
+  const core::EstimateResult result = estimator.estimate(job, device);
+
+  std::int64_t truth_peak = -1;
+  bool truth_oom = false;
+  if (verify) {
+    const fw::ModelDescriptor model = models::build_model(cli.model, cli.batch);
+    gpu::GroundTruthRunner runner;
+    gpu::GroundTruthOptions gt;
+    gt.placement = job.placement;
+    gt.seed = job.seed;
+    const auto truth = runner.run(model, job.optimizer, device, gt);
+    truth_oom = truth.oom;
+    truth_peak = truth.oom ? -1 : truth.peak_job_bytes;
+  }
+
+  if (cli.json) {
+    util::Json out = util::Json::object();
+    out["model"] = util::Json(cli.model);
+    out["batch"] = util::Json(cli.batch);
+    out["optimizer"] = util::Json(cli.optimizer);
+    out["placement"] = util::Json(cli.pos0 ? "POS0" : "POS1");
+    out["device"] = util::Json(device.name);
+    out["estimated_peak_bytes"] = util::Json(result.estimated_peak);
+    out["device_job_budget_bytes"] = util::Json(device.job_budget());
+    out["oom_predicted"] = util::Json(result.oom_predicted);
+    out["estimator_runtime_seconds"] = util::Json(result.runtime_seconds);
+    out["trace_events"] =
+        util::Json(static_cast<std::int64_t>(artifacts.trace.events.size()));
+    if (verify) {
+      out["ground_truth_oom"] = util::Json(truth_oom);
+      if (!truth_oom) out["ground_truth_peak_bytes"] = util::Json(truth_peak);
+    }
+    if (cli.curve) {
+      util::Json series = util::Json::array();
+      for (const auto& [ts, bytes] : artifacts.simulation.reserved_series) {
+        util::Json point = util::Json::array();
+        point.push_back(util::Json(ts));
+        point.push_back(util::Json(bytes));
+        series.push_back(std::move(point));
+      }
+      out["reserved_curve"] = std::move(series);
+    }
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    std::printf("job            : %s\n", job.label().c_str());
+    std::printf("device         : %s (job budget %s)\n", device.name.c_str(),
+                util::format_bytes(device.job_budget()).c_str());
+    std::printf("estimated peak : %s\n",
+                util::format_bytes(result.estimated_peak).c_str());
+    std::printf("verdict        : %s\n",
+                result.oom_predicted ? "DOES NOT FIT (OOM predicted)"
+                                     : "fits");
+    if (verify) {
+      if (truth_oom) {
+        std::printf("ground truth   : OOM (prediction %s)\n",
+                    result.oom_predicted ? "correct" : "WRONG");
+      } else {
+        std::printf("ground truth   : %s (error %.2f%%)\n",
+                    util::format_bytes(truth_peak).c_str(),
+                    100.0 *
+                        std::abs(static_cast<double>(result.estimated_peak -
+                                                     truth_peak)) /
+                        static_cast<double>(truth_peak));
+      }
+    }
+    std::printf("analysis       : %zu trace events, %zu blocks, %.1f ms\n",
+                artifacts.trace.events.size(),
+                artifacts.analysis.timeline.blocks.size(),
+                result.runtime_seconds * 1e3);
+  }
+  return result.oom_predicted ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+  try {
+    if (cli.command == "models") return list_models();
+    if (cli.command == "devices") return list_devices();
+    if (cli.command == "estimate") return run_estimate(cli, /*verify=*/false);
+    if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,153 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xmem::trace {
+
+using util::Json;
+using util::JsonObject;
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPythonFunction: return "python_function";
+    case EventKind::kUserAnnotation: return "user_annotation";
+    case EventKind::kCpuOp: return "cpu_op";
+    case EventKind::kCpuInstantEvent: return "cpu_instant_event";
+  }
+  return "unknown";
+}
+
+namespace {
+
+EventKind kind_from_string(const std::string& s) {
+  if (s == "python_function") return EventKind::kPythonFunction;
+  if (s == "user_annotation") return EventKind::kUserAnnotation;
+  if (s == "cpu_op") return EventKind::kCpuOp;
+  if (s == "cpu_instant_event") return EventKind::kCpuInstantEvent;
+  throw std::runtime_error("Trace: unknown event category '" + s + "'");
+}
+
+Json event_to_json(const TraceEvent& e) {
+  JsonObject obj;
+  obj["cat"] = Json(std::string(to_string(e.kind)));
+  obj["name"] = Json(e.name);
+  obj["pid"] = Json(0);
+  obj["tid"] = Json(0);
+  obj["ts"] = Json(e.ts);
+  JsonObject args;
+  args["Ev Idx"] = Json(e.id);
+  switch (e.kind) {
+    case EventKind::kCpuInstantEvent: {
+      obj["ph"] = Json("i");
+      obj["s"] = Json("t");
+      args["Addr"] = Json(static_cast<std::int64_t>(e.addr));
+      args["Bytes"] = Json(e.bytes);
+      args["Total Allocated"] = Json(e.total_allocated);
+      args["Device Id"] = Json(e.device_id);
+      break;
+    }
+    case EventKind::kPythonFunction: {
+      obj["ph"] = Json("X");
+      obj["dur"] = Json(e.dur);
+      args["Python id"] = Json(e.id);
+      args["Python parent id"] = Json(e.parent_id);
+      break;
+    }
+    case EventKind::kCpuOp: {
+      obj["ph"] = Json("X");
+      obj["dur"] = Json(e.dur);
+      if (e.seq >= 0) args["Sequence number"] = Json(e.seq);
+      args["Parent id"] = Json(e.parent_id);
+      break;
+    }
+    case EventKind::kUserAnnotation: {
+      obj["ph"] = Json("X");
+      obj["dur"] = Json(e.dur);
+      break;
+    }
+  }
+  obj["args"] = Json(std::move(args));
+  return Json(std::move(obj));
+}
+
+TraceEvent event_from_json(const Json& j) {
+  TraceEvent e;
+  e.kind = kind_from_string(j.get_string_or("cat", ""));
+  e.name = j.get_string_or("name", "");
+  e.ts = j.get_int_or("ts", 0);
+  e.dur = j.get_int_or("dur", 0);
+  if (j.contains("args")) {
+    const Json& args = j.at("args");
+    e.id = args.get_int_or("Ev Idx", args.get_int_or("Python id", -1));
+    e.parent_id =
+        args.get_int_or("Python parent id", args.get_int_or("Parent id", -1));
+    e.seq = args.get_int_or("Sequence number", -1);
+    e.addr = static_cast<std::uint64_t>(args.get_int_or("Addr", 0));
+    e.bytes = args.get_int_or("Bytes", 0);
+    e.total_allocated = args.get_int_or("Total Allocated", 0);
+    e.device_id = static_cast<int>(args.get_int_or("Device Id", -1));
+  }
+  return e;
+}
+
+}  // namespace
+
+Json Trace::to_json() const {
+  JsonObject doc;
+  doc["schemaVersion"] = Json(1);
+  JsonObject props;
+  props["model"] = Json(model_name);
+  props["optimizer"] = Json(optimizer_name);
+  props["batch_size"] = Json(batch_size);
+  props["iterations"] = Json(iterations);
+  props["backend"] = Json(backend);
+  doc["traceMeta"] = Json(std::move(props));
+  Json events_json = Json::array();
+  for (const auto& e : events) events_json.push_back(event_to_json(e));
+  doc["traceEvents"] = std::move(events_json);
+  return Json(std::move(doc));
+}
+
+void Trace::save(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Trace::save: cannot open " + path);
+  }
+  out << to_json_string(indent);
+  if (!out) {
+    throw std::runtime_error("Trace::save: write failed for " + path);
+  }
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Trace::load: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json_string(buffer.str());
+}
+
+Trace Trace::from_json(const Json& doc) {
+  if (!doc.is_object() || !doc.contains("traceEvents")) {
+    throw std::runtime_error("Trace: document has no traceEvents array");
+  }
+  Trace t;
+  if (doc.contains("traceMeta")) {
+    const Json& meta = doc.at("traceMeta");
+    t.model_name = meta.get_string_or("model", "");
+    t.optimizer_name = meta.get_string_or("optimizer", "");
+    t.batch_size = static_cast<int>(meta.get_int_or("batch_size", 0));
+    t.iterations = static_cast<int>(meta.get_int_or("iterations", 0));
+    t.backend = meta.get_string_or("backend", "");
+  }
+  const auto& arr = doc.at("traceEvents").as_array();
+  t.events.reserve(arr.size());
+  for (const auto& item : arr) t.events.push_back(event_from_json(item));
+  return t;
+}
+
+}  // namespace xmem::trace

@@ -1,0 +1,105 @@
+// Profiler trace model.
+//
+// Mirrors the four PyTorch Profiler event categories the paper's Analyzer
+// consumes (Section 3.2):
+//
+//   python_function   — module-level calls forming the call hierarchy
+//   user_annotation   — training-loop phase markers (profiler.step,
+//                       optimizer.zero_grad, dataloader.__next__, ...)
+//   cpu_op            — computational kernels (aten::*) with start/duration
+//                       and forward/backward sequence numbers
+//   cpu_instant_event — memory allocation (+bytes) / deallocation (-bytes)
+//                       events with addresses and timestamps
+//
+// Traces serialize to and parse from PyTorch-Profiler-style Chrome-trace
+// JSON ({"schemaVersion":1, "traceEvents":[...]}); the xMem Analyzer
+// consumes the JSON form, exactly as the paper's tool consumes profiler
+// output files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace xmem::trace {
+
+enum class EventKind : std::uint8_t {
+  kPythonFunction,
+  kUserAnnotation,
+  kCpuOp,
+  kCpuInstantEvent,
+};
+
+const char* to_string(EventKind kind);
+
+/// Well-known user_annotation names the Orchestrator keys on.
+namespace annotation {
+inline constexpr const char* kProfilerStep = "ProfilerStep";
+inline constexpr const char* kZeroGrad = "Optimizer.zero_grad";
+inline constexpr const char* kOptimizerStep = "Optimizer.step";
+inline constexpr const char* kDataLoaderNext = "dataloader.__next__";
+inline constexpr const char* kModelToDevice = "Module.to";
+inline constexpr const char* kBackward = "autograd::engine::execute";
+}  // namespace annotation
+
+struct TraceEvent {
+  EventKind kind = EventKind::kCpuOp;
+  std::string name;
+  util::TimeUs ts = 0;   ///< start timestamp (µs, simulated)
+  util::TimeUs dur = 0;  ///< duration (0 for instant events)
+  std::int64_t id = -1;  ///< unique event index ("Ev Idx")
+  std::int64_t parent_id = -1;  ///< python_function parent ("Python parent id")
+  std::int64_t seq = -1;  ///< fwd/bwd linkage ("Sequence number"), -1 = none
+
+  // cpu_instant_event payload; unused (0) for the other kinds.
+  std::uint64_t addr = 0;
+  std::int64_t bytes = 0;            ///< >0 allocation, <0 deallocation
+  std::int64_t total_allocated = 0;  ///< allocator running total after event
+  int device_id = -1;                ///< -1 = CPU, >= 0 = CUDA ordinal
+
+  util::TimeUs end_ts() const { return ts + dur; }
+
+  bool is_allocation() const {
+    return kind == EventKind::kCpuInstantEvent && bytes > 0;
+  }
+  bool is_deallocation() const {
+    return kind == EventKind::kCpuInstantEvent && bytes < 0;
+  }
+};
+
+/// A complete profiling session: ordered events plus run metadata.
+struct Trace {
+  std::string model_name;
+  std::string optimizer_name;
+  int batch_size = 0;
+  int iterations = 0;
+  std::string backend;  ///< "cpu" or "cuda"
+  std::vector<TraceEvent> events;
+
+  void add(TraceEvent event) { events.push_back(std::move(event)); }
+  std::size_t size() const { return events.size(); }
+
+  /// Serialize to PyTorch-Profiler-style Chrome-trace JSON.
+  util::Json to_json() const;
+  /// Parse a trace back from JSON; throws util::JsonParseError /
+  /// std::runtime_error on malformed documents.
+  static Trace from_json(const util::Json& doc);
+
+  std::string to_json_string(int indent = -1) const {
+    return to_json().dump(indent);
+  }
+  static Trace from_json_string(std::string_view text) {
+    return from_json(util::Json::parse(text));
+  }
+
+  /// Write/read the JSON form to disk — the file-based handoff between the
+  /// profiling host and the estimator the paper's deployment uses. save()
+  /// throws std::runtime_error on I/O failure; load() also on parse errors.
+  void save(const std::string& path, int indent = -1) const;
+  static Trace load(const std::string& path);
+};
+
+}  // namespace xmem::trace

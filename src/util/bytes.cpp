@@ -1,0 +1,68 @@
+#include "util/bytes.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace xmem::util {
+
+std::string format_bytes(std::int64_t bytes) {
+  const bool negative = bytes < 0;
+  const double magnitude = std::abs(static_cast<double>(bytes));
+  static constexpr std::array<const char*, 4> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB"};
+  double value = magnitude;
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lld B", negative ? "-" : "",
+                  static_cast<long long>(magnitude));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2f %s", negative ? "-" : "", value,
+                  kUnits[unit]);
+  }
+  return buf;
+}
+
+std::int64_t parse_bytes(const std::string& text) {
+  if (text.empty()) return -1;
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) return -1;
+  double value = 0.0;
+  try {
+    value = std::stod(text.substr(0, pos));
+  } catch (...) {
+    return -1;
+  }
+  std::string unit;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == ' ') continue;
+    unit.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  double scale = 1.0;
+  if (unit.empty() || unit == "b") {
+    scale = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    scale = static_cast<double>(kKiB);
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    scale = static_cast<double>(kMiB);
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    return -1;
+  }
+  return static_cast<std::int64_t>(value * scale);
+}
+
+}  // namespace xmem::util

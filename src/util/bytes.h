@@ -1,0 +1,35 @@
+// Byte-size helpers shared across the code base.
+//
+// All memory quantities in xmem are `std::int64_t` byte counts. Signed
+// arithmetic is deliberate: profiler memory events carry negative byte
+// deltas for deallocations, and intermediate accounting (e.g. "free space
+// remaining") must not silently wrap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xmem::util {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Round `size` up to the next multiple of `alignment` (alignment > 0).
+constexpr std::int64_t round_up(std::int64_t size, std::int64_t alignment) {
+  return ((size + alignment - 1) / alignment) * alignment;
+}
+
+/// True when `size` is an exact multiple of `alignment`.
+constexpr bool is_aligned(std::int64_t size, std::int64_t alignment) {
+  return size % alignment == 0;
+}
+
+/// Human-readable rendering, e.g. "1.50 GiB", "512 B". Used by reports only;
+/// never parse the output.
+std::string format_bytes(std::int64_t bytes);
+
+/// Parse shorthand like "12GiB", "8gb", "512", "2MiB". Returns -1 on error.
+std::int64_t parse_bytes(const std::string& text);
+
+}  // namespace xmem::util

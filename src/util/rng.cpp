@@ -1,0 +1,11 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace xmem::util {
+
+double Rng::box_muller(double u1, double u2, double two_pi) {
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace xmem::util

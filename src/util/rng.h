@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the repository (run-to-run jitter, Monte
+// Carlo sampling, SchedTune's training-set generation) flows through `Rng`,
+// seeded explicitly from the experiment configuration, so that any run is
+// reproducible from (config, seed) alone. The generator is xoshiro256++,
+// seeded via splitmix64 — fast, well distributed, and dependency free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xmem::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing of ids
+/// into independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine a seed with a stream id so that sub-components derive independent
+/// deterministic streams from one experiment seed.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = (-bound) % bound;
+    while (true) {
+      const std::uint64_t r = next_u64();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Multiplicative jitter: uniform in [1 - amplitude, 1 + amplitude].
+  double jitter(double amplitude) {
+    return 1.0 + amplitude * (2.0 * next_double() - 1.0);
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Standard normal via Box–Muller (single value, no caching — simplicity
+  /// over speed; this is not on any hot path).
+  double next_gaussian() {
+    double u1 = next_double();
+    if (u1 <= std::numeric_limits<double>::min()) u1 = 1e-300;
+    const double u2 = next_double();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    // sqrt/log/cos via <cmath> through the inline include below.
+    return box_muller(u1, u2, kTwoPi);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double box_muller(double u1, double u2, double two_pi);
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace xmem::util

@@ -1,0 +1,35 @@
+// Simulated time.
+//
+// The whole system runs on virtual time measured in microseconds. The
+// executor advances the clock by each operator's duration; profiler events
+// and NVML-style samples are stamped from it. Using virtual time keeps every
+// experiment deterministic and lets a "3-iteration profiling run" complete
+// in microseconds of wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace xmem::util {
+
+using TimeUs = std::int64_t;  ///< microseconds of simulated time
+
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(TimeUs start) : now_(start) {}
+
+  TimeUs now() const { return now_; }
+
+  /// Advance by `delta` microseconds (delta >= 0) and return the new time.
+  TimeUs advance(TimeUs delta) {
+    now_ += delta;
+    return now_;
+  }
+
+  void reset(TimeUs to = 0) { now_ = to; }
+
+ private:
+  TimeUs now_ = 0;
+};
+
+}  // namespace xmem::util

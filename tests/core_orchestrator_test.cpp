@@ -1,0 +1,164 @@
+// Orchestrator unit tests: each of the five §3.3 rules in isolation, the
+// ablation toggles, and the event-stream flattening.
+#include <gtest/gtest.h>
+
+#include "core/orchestrator.h"
+
+namespace xmem::core {
+namespace {
+
+MemoryBlock make_block(std::int64_t id, std::int64_t size, util::TimeUs a,
+                       util::TimeUs f, Phase phase, int iteration) {
+  MemoryBlock b;
+  b.id = id;
+  b.size = size;
+  b.alloc_ts = a;
+  b.free_ts = f;
+  b.phase = phase;
+  b.iteration = iteration;
+  return b;
+}
+
+/// Two iterations: [100,200) and [200,300); zero_grads at [110,115) and
+/// [210,215); backward windows [150,180) and [250,280); one 1000-byte param.
+MemoryTimeline make_timeline() {
+  MemoryTimeline tl;
+  tl.iterations = {{100, 200}, {200, 300}};
+  tl.zero_grads = {{110, 115}, {210, 215}};
+  tl.backwards = {{150, 180}, {250, 280}};
+  tl.optimizer_steps = {{180, 195}, {280, 295}};
+  tl.dataloaders = {{100, 108}, {200, 208}};
+  tl.model_load = {0, 50};
+  tl.trace_end = 300;
+  tl.param_sizes = {1000};
+  return tl;
+}
+
+const MemoryBlock& block_by_id(const OrchestratedSequence& seq,
+                               std::int64_t id) {
+  for (const auto& b : seq.blocks) {
+    if (b.id == id) return b;
+  }
+  throw std::logic_error("block not found");
+}
+
+TEST(Orchestrator, Rule1PinsParameters) {
+  MemoryTimeline tl = make_timeline();
+  // A parameter block the CPU trace happened to free mid-way.
+  tl.blocks.push_back(make_block(1, 1000, 10, 120, Phase::kModelLoad, -1));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_TRUE(block_by_id(out.sequence, 1).persistent());
+  EXPECT_EQ(out.stats.params_pinned, 1u);
+}
+
+TEST(Orchestrator, Rule2TruncatesBatchAtRebind) {
+  MemoryTimeline tl = make_timeline();
+  // Batch loaded in iteration 0 but freed (deferred GC) deep in iteration
+  // 1: re-timed to the next dataloader.__next__ (the rebind point).
+  tl.blocks.push_back(make_block(2, 500, 105, 260, Phase::kDataLoader, 0));
+  // Last iteration's batch, never freed: truncated at the iteration marker.
+  tl.blocks.push_back(make_block(3, 500, 205, -1, Phase::kDataLoader, 1));
+  // Already-short lifecycle: untouched.
+  tl.blocks.push_back(make_block(10, 500, 105, 150, Phase::kDataLoader, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_EQ(block_by_id(out.sequence, 2).free_ts, 207);
+  EXPECT_EQ(block_by_id(out.sequence, 3).free_ts, 299);
+  EXPECT_EQ(block_by_id(out.sequence, 10).free_ts, 150);
+  EXPECT_EQ(out.stats.batch_truncated, 2u);
+}
+
+TEST(Orchestrator, Rule3KeepsActivationLifecycles) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(4, 300, 120, 160, Phase::kForward, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_EQ(block_by_id(out.sequence, 4).free_ts, 160);
+}
+
+TEST(Orchestrator, Rule4RetimesGradientsToNextZeroGrad) {
+  MemoryTimeline tl = make_timeline();
+  // Param-sized gradient allocated in iteration 0's backward, freed late
+  // (deferred GC at end of iteration 0).
+  tl.blocks.push_back(make_block(5, 1000, 155, 195, Phase::kBackward, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  // Must be re-timed to the *next* zero_grad window end - 1 = 214.
+  EXPECT_EQ(block_by_id(out.sequence, 5).free_ts, 214);
+  EXPECT_EQ(out.stats.gradients_retimed, 1u);
+}
+
+TEST(Orchestrator, Rule4LastIterationGradientsPersist) {
+  MemoryTimeline tl = make_timeline();
+  // Gradient from the final backward: no zero_grad follows.
+  tl.blocks.push_back(make_block(6, 1000, 255, 295, Phase::kBackward, 1));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_TRUE(block_by_id(out.sequence, 6).persistent());
+}
+
+TEST(Orchestrator, Rule4IgnoresTransientChainBlocks) {
+  MemoryTimeline tl = make_timeline();
+  // Param-sized but freed *inside* the backward window: a gradient-chain
+  // temporary, not a parameter gradient. Rule 3 applies.
+  tl.blocks.push_back(make_block(7, 1000, 155, 170, Phase::kBackward, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_EQ(block_by_id(out.sequence, 7).free_ts, 170);
+  EXPECT_EQ(out.stats.gradients_retimed, 0u);
+}
+
+TEST(Orchestrator, Rule4IgnoresNonParamSizes) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(8, 777, 155, 195, Phase::kBackward, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_EQ(block_by_id(out.sequence, 8).free_ts, 195);
+}
+
+TEST(Orchestrator, Rule5CountsPersistentOptimizerState) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(9, 1000, 185, -1, Phase::kOptimizerStep, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  EXPECT_TRUE(block_by_id(out.sequence, 9).persistent());
+  EXPECT_EQ(out.stats.optimizer_states_pinned, 1u);
+}
+
+TEST(Orchestrator, AblationTogglesDisableRules) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(1, 1000, 10, 120, Phase::kModelLoad, -1));
+  tl.blocks.push_back(make_block(2, 500, 105, 260, Phase::kDataLoader, 0));
+  tl.blocks.push_back(make_block(5, 1000, 155, 195, Phase::kBackward, 0));
+  OrchestratorConfig off;
+  off.rule_params = false;
+  off.rule_batch = false;
+  off.rule_gradients = false;
+  off.rule_optimizer_state = false;
+  const auto out = Orchestrator().orchestrate(tl, off);
+  EXPECT_EQ(block_by_id(out.sequence, 1).free_ts, 120);
+  EXPECT_EQ(block_by_id(out.sequence, 2).free_ts, 260);
+  EXPECT_EQ(block_by_id(out.sequence, 5).free_ts, 195);
+  EXPECT_EQ(out.stats.params_pinned, 0u);
+  EXPECT_EQ(out.stats.batch_truncated, 0u);
+  EXPECT_EQ(out.stats.gradients_retimed, 0u);
+}
+
+TEST(Orchestrator, EventStreamIsSortedFreesFirstOnTies) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(1, 100, 120, 130, Phase::kForward, 0));
+  tl.blocks.push_back(make_block(2, 100, 130, 140, Phase::kForward, 0));
+  const auto out = Orchestrator().orchestrate(tl);
+  ASSERT_EQ(out.sequence.events.size(), 4u);
+  // At t=130: block 1's free precedes block 2's alloc.
+  EXPECT_EQ(out.sequence.events[1].ts, 130);
+  EXPECT_FALSE(out.sequence.events[1].is_alloc);
+  EXPECT_EQ(out.sequence.events[1].block_id, 1);
+  EXPECT_EQ(out.sequence.events[2].ts, 130);
+  EXPECT_TRUE(out.sequence.events[2].is_alloc);
+  EXPECT_EQ(out.sequence.events[2].block_id, 2);
+}
+
+TEST(Orchestrator, PersistentBlocksEmitNoFree) {
+  MemoryTimeline tl = make_timeline();
+  tl.blocks.push_back(make_block(1, 100, 10, -1, Phase::kModelLoad, -1));
+  const auto out = Orchestrator().orchestrate(tl);
+  ASSERT_EQ(out.sequence.events.size(), 1u);
+  EXPECT_TRUE(out.sequence.events[0].is_alloc);
+}
+
+}  // namespace
+}  // namespace xmem::core

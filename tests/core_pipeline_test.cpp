@@ -1,0 +1,225 @@
+// End-to-end xMem pipeline tests: estimates against ground truth across the
+// zoo, OOM prediction consistency, the orchestrator ablation, determinism,
+// and pipeline internals (filtering, address reuse on real traces).
+#include <gtest/gtest.h>
+
+#include "core/xmem_estimator.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace xmem::core {
+namespace {
+
+struct PipelineCase {
+  const char* model;
+  int batch;
+  fw::OptimizerKind optimizer;
+};
+
+core::TrainJob make_job(const PipelineCase& c,
+                        fw::ZeroGradPlacement placement =
+                            fw::ZeroGradPlacement::kPos1IterStart) {
+  TrainJob job;
+  job.model_name = c.model;
+  job.batch_size = c.batch;
+  job.optimizer = c.optimizer;
+  job.placement = placement;
+  job.seed = 5;
+  return job;
+}
+
+gpu::GroundTruthResult ground_truth(const TrainJob& job,
+                                    const gpu::DeviceModel& device) {
+  const fw::ModelDescriptor model =
+      models::build_model(job.model_name, job.batch_size);
+  gpu::GroundTruthRunner runner;
+  gpu::GroundTruthOptions options;
+  options.placement = job.placement;
+  options.seed = job.seed;
+  return runner.run(model, job.optimizer, device, options);
+}
+
+class PipelineAccuracy : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineAccuracy, EstimateWithinTolerance) {
+  const TrainJob job = make_job(GetParam());
+  const gpu::DeviceModel device = gpu::rtx3060();
+  const gpu::GroundTruthResult truth = ground_truth(job, device);
+  XMemEstimator estimator;
+  const EstimateResult estimate = estimator.estimate(job, device);
+
+  if (truth.oom) {
+    EXPECT_TRUE(estimate.oom_predicted) << job.label();
+    return;
+  }
+  const double error =
+      std::abs(static_cast<double>(estimate.estimated_peak -
+                                   truth.peak_job_bytes)) /
+      static_cast<double>(truth.peak_job_bytes);
+  EXPECT_LT(error, 0.15) << job.label() << ": estimate "
+                         << util::format_bytes(estimate.estimated_peak)
+                         << " vs truth "
+                         << util::format_bytes(truth.peak_job_bytes);
+  EXPECT_GT(estimate.runtime_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, PipelineAccuracy,
+    ::testing::Values(
+        PipelineCase{"VGG16", 300, fw::OptimizerKind::kSgd},
+        PipelineCase{"ResNet101", 400, fw::OptimizerKind::kAdam},
+        PipelineCase{"MobileNetV2", 500, fw::OptimizerKind::kRmsprop},
+        PipelineCase{"MobileNetV3Small", 700, fw::OptimizerKind::kAdagrad},
+        PipelineCase{"ConvNeXtTiny", 200, fw::OptimizerKind::kAdamW},
+        PipelineCase{"ConvNeXtBase", 300, fw::OptimizerKind::kSgd},
+        PipelineCase{"distilgpt2", 10, fw::OptimizerKind::kAdamW},
+        PipelineCase{"gpt2", 10, fw::OptimizerKind::kSgd},
+        PipelineCase{"T5-small", 10, fw::OptimizerKind::kAdafactor},
+        PipelineCase{"opt-125m", 15, fw::OptimizerKind::kSgd},
+        PipelineCase{"Qwen3-0.6B", 2, fw::OptimizerKind::kSgd},
+        PipelineCase{"pythia-1b", 1, fw::OptimizerKind::kAdafactor}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.model) + "_b" +
+                         std::to_string(info.param.batch) + "_" +
+                         to_string(info.param.optimizer);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Pipeline, ErrorsAreSmallAndTwoSidedBounded) {
+  // xMem's reliability comes from errors staying within a few percent in
+  // either direction: small underestimates are absorbed by the allocator's
+  // cache reclamation in the capped rerun, and small overestimates waste
+  // little memory. Assert both tails are tight across a mixed sample.
+  const std::vector<PipelineCase> cases = {
+      {"VGG19", 400, fw::OptimizerKind::kSgd},
+      {"ResNet152", 300, fw::OptimizerKind::kAdamW},
+      {"MnasNet", 600, fw::OptimizerKind::kAdam},
+      {"distilgpt2", 15, fw::OptimizerKind::kSgd},
+      {"gpt2", 5, fw::OptimizerKind::kAdafactor},
+      {"t5-base", 5, fw::OptimizerKind::kSgd},
+  };
+  XMemEstimator estimator;
+  double worst_under = 0.0;
+  double sum_abs = 0.0;
+  for (const auto& c : cases) {
+    const TrainJob job = make_job(c);
+    const gpu::GroundTruthResult truth = ground_truth(job, gpu::rtx3060());
+    ASSERT_FALSE(truth.oom) << job.label();
+    const EstimateResult estimate = estimator.estimate(job, gpu::rtx3060());
+    const double signed_error =
+        static_cast<double>(estimate.estimated_peak - truth.peak_job_bytes) /
+        static_cast<double>(truth.peak_job_bytes);
+    worst_under = std::min(worst_under, signed_error);
+    sum_abs += std::abs(signed_error);
+  }
+  EXPECT_GT(worst_under, -0.06)
+      << "underestimates beyond reclamation reach would inflate PEF";
+  EXPECT_LT(sum_abs / static_cast<double>(cases.size()), 0.05);
+}
+
+TEST(Pipeline, OomPredictionMatchesBudgetComparison) {
+  XMemEstimator estimator;
+  const TrainJob job = make_job({"pythia-1b", 8, fw::OptimizerKind::kAdam});
+  const EstimateResult on_3060 = estimator.estimate(job, gpu::rtx3060());
+  EXPECT_TRUE(on_3060.oom_predicted);
+  EXPECT_GT(on_3060.estimated_peak, gpu::rtx3060().job_budget());
+  // The same estimate against a 40 GB device flips the prediction.
+  const EstimateResult on_a100 = estimator.estimate(job, gpu::a100_40gb());
+  EXPECT_FALSE(on_a100.oom_predicted);
+  EXPECT_NEAR(static_cast<double>(on_3060.estimated_peak),
+              static_cast<double>(on_a100.estimated_peak),
+              static_cast<double>(on_a100.estimated_peak) * 0.02);
+}
+
+TEST(Pipeline, DeterministicEstimates) {
+  XMemEstimator estimator;
+  const TrainJob job = make_job({"gpt2", 10, fw::OptimizerKind::kAdamW});
+  const EstimateResult a = estimator.estimate(job, gpu::rtx3060());
+  const EstimateResult b = estimator.estimate(job, gpu::rtx3060());
+  EXPECT_EQ(a.estimated_peak, b.estimated_peak);
+}
+
+TEST(Pipeline, JsonRoundTripDoesNotChangeEstimate) {
+  const TrainJob job = make_job({"distilgpt2", 8, fw::OptimizerKind::kAdam});
+  XMemOptions with_json;
+  with_json.json_round_trip = true;
+  XMemOptions without_json;
+  without_json.json_round_trip = false;
+  const auto a = XMemEstimator(with_json).estimate(job, gpu::rtx3060());
+  const auto b = XMemEstimator(without_json).estimate(job, gpu::rtx3060());
+  EXPECT_EQ(a.estimated_peak, b.estimated_peak);
+}
+
+TEST(Pipeline, OrchestratorAblationUnderestimates) {
+  // With POS0 placement the previous iteration's gradients overlap forward;
+  // the raw CPU trace frees gradients early (deferred-GC timestamps land
+  // after optimizer.step but the batch/grad retiming is what models the GPU
+  // timeline). Disabling the Orchestrator must lower the estimate.
+  const TrainJob job = make_job({"Qwen3-0.6B", 2, fw::OptimizerKind::kSgd},
+                                fw::ZeroGradPlacement::kPos0BeforeBackward);
+  XMemOptions on;
+  XMemOptions off;
+  off.orchestrate = false;
+  const auto with_orch = XMemEstimator(on).estimate(job, gpu::rtx3060());
+  const auto without_orch = XMemEstimator(off).estimate(job, gpu::rtx3060());
+  EXPECT_NE(without_orch.estimated_peak, with_orch.estimated_peak);
+
+  const gpu::GroundTruthResult truth = ground_truth(job, gpu::rtx3060());
+  ASSERT_FALSE(truth.oom);
+  const auto err = [&](const EstimateResult& e) {
+    return std::abs(static_cast<double>(e.estimated_peak -
+                                        truth.peak_job_bytes)) /
+           static_cast<double>(truth.peak_job_bytes);
+  };
+  EXPECT_LT(err(with_orch), err(without_orch))
+      << "the Orchestrator must improve accuracy on POS0 workloads";
+}
+
+TEST(Pipeline, ArtifactsExposeInternals) {
+  const TrainJob job = make_job({"distilgpt2", 6, fw::OptimizerKind::kAdamW});
+  XMemEstimator estimator;
+  const auto artifacts = estimator.run_pipeline(job, /*record_series=*/true);
+
+  // The profiler trace is non-trivial and CPU-backed.
+  EXPECT_GT(artifacts.trace.events.size(), 500u);
+  EXPECT_EQ(artifacts.trace.backend, "cpu");
+  // The Analyzer filtered script noise and saw address reuse.
+  EXPECT_GT(artifacts.analysis.stats.filtered_blocks, 0u);
+  EXPECT_GT(artifacts.analysis.stats.address_reuses, 0u);
+  EXPECT_GT(artifacts.analysis.stats.matched_pairs, 0u);
+  // The Orchestrator applied its rules.
+  EXPECT_GT(artifacts.orchestration.stats.gradients_retimed, 0u);
+  EXPECT_GT(artifacts.orchestration.stats.batch_truncated, 0u);
+  EXPECT_GT(artifacts.orchestration.stats.optimizer_states_pinned, 0u);
+  // The Simulator produced curves.
+  EXPECT_FALSE(artifacts.simulation.reserved_series.empty());
+  EXPECT_GT(artifacts.simulation.peak_reserved, 0);
+}
+
+TEST(Pipeline, ThreeIterationsMatchFiveIterationGroundTruth) {
+  // The paper profiles only 3 iterations; memory must have stabilized so
+  // the estimate holds for longer runs.
+  const TrainJob job = make_job({"MobileNetV2", 300, fw::OptimizerKind::kAdam});
+  XMemEstimator estimator;
+  const EstimateResult estimate = estimator.estimate(job, gpu::rtx3060());
+
+  const fw::ModelDescriptor model = models::build_model(job.model_name, 300);
+  gpu::GroundTruthRunner runner;
+  gpu::GroundTruthOptions options;
+  options.iterations = 8;  // much longer than the profiling window
+  options.seed = job.seed;
+  const auto truth = runner.run(model, job.optimizer, gpu::rtx3060(), options);
+  ASSERT_FALSE(truth.oom);
+  const double error =
+      std::abs(static_cast<double>(estimate.estimated_peak -
+                                   truth.peak_job_bytes)) /
+      static_cast<double>(truth.peak_job_bytes);
+  EXPECT_LT(error, 0.15);
+}
+
+}  // namespace
+}  // namespace xmem::core

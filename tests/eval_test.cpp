@@ -1,0 +1,249 @@
+// Evaluation harness tests: Eq. 1-8 semantics on synthetic records plus a
+// miniature end-to-end harness run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "util/bytes.h"
+
+namespace xmem::eval {
+namespace {
+
+using util::kGiB;
+
+RunRecord base_record(const std::string& model, const std::string& estimator) {
+  RunRecord r;
+  r.config.model = model;
+  r.config.batch_size = 8;
+  r.estimator = estimator;
+  r.device_capacity = 12 * kGiB;
+  r.supported = true;
+  return r;
+}
+
+TEST(Metrics, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.10);
+  EXPECT_DOUBLE_EQ(relative_error(90, 100), 0.10);
+  EXPECT_DOUBLE_EQ(relative_error(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(50, 0), 0.0);  // guarded
+}
+
+TEST(Metrics, FinalizeHappyPath) {
+  // Fits, predicted to fit, round 2 passed: C1=C2=1, error from round 2,
+  // m_save = capacity - estimate.
+  RunRecord r = base_record("m", "xMem");
+  r.estimate = 4 * kGiB;
+  r.oom_predicted = false;
+  r.oom_actual_1 = false;
+  r.peak_1 = 4 * kGiB + 100 * 1024 * 1024;
+  r.round2_run = true;
+  r.oom_actual_2 = false;
+  r.peak_2 = 4 * kGiB - 50 * 1024 * 1024;
+  finalize_record(r);
+  EXPECT_TRUE(r.c1);
+  EXPECT_TRUE(r.c2);
+  EXPECT_TRUE(r.has_error);
+  EXPECT_DOUBLE_EQ(r.error, relative_error(r.estimate, r.peak_2));
+  EXPECT_EQ(r.m_save, r.device_capacity - r.estimate);
+}
+
+TEST(Metrics, FinalizeRound2Oom) {
+  // Fits, predicted to fit, but the capped rerun OOMed: C2=0, error falls
+  // back to round 1, m_save = -capacity (Eq. 7 penalty).
+  RunRecord r = base_record("m", "xMem");
+  r.estimate = 3 * kGiB;
+  r.oom_actual_1 = false;
+  r.peak_1 = 4 * kGiB;
+  r.round2_run = true;
+  r.oom_actual_2 = true;
+  finalize_record(r);
+  EXPECT_TRUE(r.c1);
+  EXPECT_FALSE(r.c2);
+  EXPECT_DOUBLE_EQ(r.error, relative_error(3 * kGiB, 4 * kGiB));
+  EXPECT_EQ(r.m_save, -r.device_capacity);
+}
+
+TEST(Metrics, FinalizeTrueOomPredicted) {
+  // True OOM predicted correctly: C1=C2=1, no error sample, full capacity
+  // conserved (the job was never scheduled).
+  RunRecord r = base_record("m", "xMem");
+  r.estimate = 20 * kGiB;
+  r.oom_predicted = true;
+  r.oom_actual_1 = true;
+  finalize_record(r);
+  EXPECT_TRUE(r.c1);
+  EXPECT_TRUE(r.c2);
+  EXPECT_FALSE(r.has_error);
+  EXPECT_EQ(r.m_save, r.device_capacity);
+}
+
+TEST(Metrics, FinalizeWrongOomPrediction) {
+  // Predicted OOM but the job fit: C1=0, penalty.
+  RunRecord r = base_record("m", "xMem");
+  r.estimate = 20 * kGiB;
+  r.oom_predicted = true;
+  r.oom_actual_1 = false;
+  r.peak_1 = 2 * kGiB;
+  finalize_record(r);
+  EXPECT_FALSE(r.c1);
+  EXPECT_FALSE(r.c2);
+  EXPECT_EQ(r.m_save, -r.device_capacity);
+  // Error is still defined (the job ran in round 1).
+  EXPECT_TRUE(r.has_error);
+}
+
+TEST(Metrics, Aggregations) {
+  std::vector<RunRecord> records;
+  for (double e : {0.01, 0.02, 0.03}) {
+    RunRecord r = base_record("A", "xMem");
+    r.has_error = true;
+    r.error = e;
+    r.c2 = e < 0.025;  // two pass, one fails
+    r.m_save = kGiB;
+    r.is_cnn = true;
+    records.push_back(r);
+  }
+  RunRecord other = base_record("A", "DNNMem");
+  other.has_error = true;
+  other.error = 0.5;
+  other.is_cnn = true;
+  records.push_back(other);
+
+  EXPECT_DOUBLE_EQ(mre_for(records, "A", "xMem"), 0.02);
+  EXPECT_NEAR(pef_for(records, "A", "xMem"), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mre_for(records, "A", "DNNMem"), 0.5);
+  EXPECT_TRUE(std::isnan(mre_for(records, "B", "xMem")));
+  EXPECT_DOUBLE_EQ(mcp_bytes_for(records, "xMem", "CNN"),
+                   static_cast<double>(kGiB));
+  EXPECT_TRUE(std::isnan(mcp_bytes_for(records, "xMem", "Transformer")));
+  EXPECT_EQ(models_in(records), (std::vector<std::string>{"A"}));
+}
+
+TEST(Metrics, UnsupportedRecordsAreExcluded) {
+  std::vector<RunRecord> records;
+  RunRecord r = base_record("cnn", "LLMem");
+  r.supported = false;
+  records.push_back(r);
+  EXPECT_TRUE(std::isnan(pef_for(records, "cnn", "LLMem")));
+  EXPECT_TRUE(std::isnan(mcp_bytes_for(records, "LLMem")));
+  EXPECT_TRUE(errors_for(records, "cnn", "LLMem").empty());
+}
+
+// ---------- miniature end-to-end harness run ----------
+
+class HarnessFixture : public ::testing::Test {
+ protected:
+  static const std::vector<RunRecord>& records() {
+    static const std::vector<RunRecord> kRecords = [] {
+      HarnessOptions options;
+      options.repeats = 2;
+      options.use_schedtune = false;  // keep the fixture fast
+      options.use_llmem = true;
+      EvalHarness harness(options);
+      std::vector<RunRecord> out;
+      std::vector<models::TrainConfig> grid;
+      grid.push_back({"MobileNetV2", fw::OptimizerKind::kAdam, 200,
+                      fw::ZeroGradPlacement::kPos1IterStart});
+      grid.push_back({"distilgpt2", fw::OptimizerKind::kSgd, 10,
+                      fw::ZeroGradPlacement::kPos1IterStart});
+      grid.push_back({"pythia-1b", fw::OptimizerKind::kAdam, 8,
+                      fw::ZeroGradPlacement::kPos1IterStart});  // true OOM
+      harness.run_anova(grid, gpu::rtx3060(), out);
+      return out;
+    }();
+    return kRecords;
+  }
+};
+
+TEST_F(HarnessFixture, RecordCountMatchesGrid) {
+  // 3 configs x 2 repeats x 3 estimators (xMem, DNNMem, LLMem).
+  EXPECT_EQ(records().size(), 3u * 2u * 3u);
+}
+
+TEST_F(HarnessFixture, LLMemUnsupportedOnCnn) {
+  for (const RunRecord& r : records()) {
+    if (r.estimator == "LLMem" && r.config.model == "MobileNetV2") {
+      EXPECT_FALSE(r.supported);
+    }
+  }
+}
+
+TEST_F(HarnessFixture, Round2OnlyWhenJustified) {
+  for (const RunRecord& r : records()) {
+    if (!r.supported) continue;
+    if (r.round2_run) {
+      EXPECT_FALSE(r.oom_actual_1);
+      EXPECT_EQ(r.oom_predicted, r.oom_actual_1);
+    }
+    if (r.oom_actual_1) EXPECT_FALSE(r.round2_run);
+  }
+}
+
+TEST_F(HarnessFixture, TrueOomIsDetectedAndPredictedByXmem) {
+  bool saw_oom_config = false;
+  for (const RunRecord& r : records()) {
+    if (r.config.model == "pythia-1b" && r.estimator == "xMem") {
+      saw_oom_config = true;
+      EXPECT_TRUE(r.oom_actual_1);
+      EXPECT_TRUE(r.oom_predicted);
+      EXPECT_TRUE(r.c2);
+      EXPECT_EQ(r.m_save, r.device_capacity);
+    }
+  }
+  EXPECT_TRUE(saw_oom_config);
+}
+
+TEST_F(HarnessFixture, XmemBeatsDnnmemOnAdamConfig) {
+  const double xmem = mre_for(records(), "MobileNetV2", "xMem");
+  const double dnnmem = mre_for(records(), "MobileNetV2", "DNNMem");
+  ASSERT_FALSE(std::isnan(xmem));
+  ASSERT_FALSE(std::isnan(dnnmem));
+  EXPECT_LT(xmem, dnnmem);
+}
+
+TEST_F(HarnessFixture, ReportsRenderWithoutCrashing) {
+  const std::vector<std::string> estimators = {"xMem", "DNNMem", "LLMem"};
+  EXPECT_NE(render_mre_boxplots(records(), estimators, "", "test").find("model"),
+            std::string::npos);
+  EXPECT_NE(render_quadrants(records(), estimators, "test").find("quadrant"),
+            std::string::npos);
+  EXPECT_NE(render_mcp_table(records(), estimators).find("Overall"),
+            std::string::npos);
+  EXPECT_NE(render_runtime_table(records(), estimators).find("xMem"),
+            std::string::npos);
+  EXPECT_NE(render_anova(records(), estimators).find("ANOVA"),
+            std::string::npos);
+  EXPECT_NE(render_headline(records(), estimators).find("estimator"),
+            std::string::npos);
+}
+
+TEST(Harness, MonteCarloIsDeterministicPerSeed) {
+  HarnessOptions options;
+  options.repeats = 1;
+  options.use_schedtune = false;
+  options.use_llmem = false;
+  options.use_dnnmem = false;
+  options.seed = 123;
+
+  auto run = [&options] {
+    EvalHarness harness(options);
+    std::vector<RunRecord> out;
+    harness.run_monte_carlo({"MobileNetV2", "distilgpt2"},
+                            {gpu::rtx3060(), gpu::rtx4060()}, 6, out);
+    return out;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config.label(), b[i].config.label());
+    EXPECT_EQ(a[i].estimate, b[i].estimate);
+    EXPECT_EQ(a[i].peak_1, b[i].peak_1);
+  }
+}
+
+}  // namespace
+}  // namespace xmem::eval

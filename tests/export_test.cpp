@@ -1,0 +1,99 @@
+// CSV export and pairwise-comparison rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/export.h"
+#include "util/bytes.h"
+
+namespace xmem::eval {
+namespace {
+
+RunRecord sample_record(const std::string& model, const std::string& estimator,
+                        double error) {
+  RunRecord r;
+  r.config.model = model;
+  r.config.optimizer = fw::OptimizerKind::kAdamW;
+  r.config.batch_size = 8;
+  r.device_name = "GeForce RTX 3060";
+  r.estimator = estimator;
+  r.supported = true;
+  r.estimate = 123456789;
+  r.peak_1 = 120000000;
+  r.has_error = true;
+  r.error = error;
+  r.c1 = true;
+  r.c2 = true;
+  r.m_save = 5 * util::kGiB;
+  r.estimator_runtime = 0.0123;
+  return r;
+}
+
+TEST(CsvExport, HeaderAndRowShape) {
+  const std::string csv = to_csv({sample_record("gpt2", "xMem", 0.01)});
+  std::istringstream lines(csv);
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_FALSE(std::getline(lines, extra));
+  // Same column count in header and row.
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  EXPECT_NE(header.find("estimate_bytes"), std::string::npos);
+  EXPECT_NE(row.find("gpt2,AdamW,8,POS1"), std::string::npos);
+  EXPECT_NE(row.find("123456789"), std::string::npos);
+}
+
+TEST(CsvExport, QuotesAwkwardValues) {
+  RunRecord r = sample_record("weird,model\"name", "xMem", 0.5);
+  const std::string csv = to_csv({r});
+  EXPECT_NE(csv.find("\"weird,model\"\"name\""), std::string::npos);
+}
+
+TEST(CsvExport, EmptyRecordsGiveHeaderOnly) {
+  const std::string csv = to_csv({});
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+TEST(CsvExport, WriteCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/xmem_records.csv";
+  write_csv({sample_record("gpt2", "xMem", 0.02),
+             sample_record("VGG16", "DNNMem", 0.2)},
+            path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 3);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_csv({}, "/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(PairwiseComparisons, SeparatedDistributionsAreSignificant) {
+  std::vector<RunRecord> records;
+  for (int i = 0; i < 30; ++i) {
+    records.push_back(sample_record("m", "xMem", 0.01 + 0.001 * i));
+    records.push_back(sample_record("m", "DNNMem", 0.20 + 0.002 * i));
+  }
+  const std::string report =
+      render_pairwise_comparisons(records, {"xMem", "DNNMem"});
+  EXPECT_NE(report.find("xMem"), std::string::npos);
+  EXPECT_NE(report.find("vs"), std::string::npos);
+  // p value should be tiny for such separated groups.
+  EXPECT_NE(report.find("p = "), std::string::npos);
+  EXPECT_EQ(report.find("p = 1 "), std::string::npos);
+}
+
+TEST(PairwiseComparisons, SkipsEmptyGroups) {
+  std::vector<RunRecord> records = {sample_record("m", "xMem", 0.01)};
+  const std::string report =
+      render_pairwise_comparisons(records, {"xMem", "Ghost"});
+  EXPECT_EQ(report.find("Ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmem::eval

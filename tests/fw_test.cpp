@@ -1,0 +1,323 @@
+// Tests for the framework substrate: optimizers, CPU heap model, profiler,
+// and the training executor's memory behaviour on both backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fw/cpu_alloc_sim.h"
+#include "fw/executor.h"
+#include "fw/memory_env.h"
+#include "fw/optimizer.h"
+#include "fw/profiler.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace xmem::fw {
+namespace {
+
+using trace::EventKind;
+
+// ---------- optimizer state models ----------
+
+TEST(Optimizer, StateShapes) {
+  const TensorDesc weight({512, 256});
+  EXPECT_TRUE(optimizer_state_for_param(OptimizerKind::kSgd, weight).empty());
+  EXPECT_EQ(optimizer_state_for_param(OptimizerKind::kAdam, weight).size(), 2u);
+  EXPECT_EQ(optimizer_state_for_param(OptimizerKind::kAdamW, weight).size(), 2u);
+  EXPECT_EQ(optimizer_state_for_param(OptimizerKind::kRmsprop, weight).size(), 1u);
+  EXPECT_EQ(optimizer_state_for_param(OptimizerKind::kAdagrad, weight).size(), 1u);
+}
+
+TEST(Optimizer, AdamStateBytesAreTwiceParam) {
+  const TensorDesc weight({1000, 1000});
+  EXPECT_EQ(total_optimizer_state_bytes(OptimizerKind::kAdam, {weight}),
+            2 * weight.bytes());
+}
+
+TEST(Optimizer, AdafactorFactorsMatrices) {
+  const TensorDesc matrix({4096, 1024});
+  const auto states =
+      optimizer_state_for_param(OptimizerKind::kAdafactor, matrix);
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0].bytes() + states[1].bytes(), (4096 + 1024) * 4);
+  // Far smaller than Adam's 2 * param.
+  EXPECT_LT(total_optimizer_state_bytes(OptimizerKind::kAdafactor, {matrix}),
+            matrix.bytes() / 100);
+}
+
+TEST(Optimizer, AdafactorFallsBackForVectors) {
+  const TensorDesc bias({768});
+  const auto states = optimizer_state_for_param(OptimizerKind::kAdafactor, bias);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].bytes(), bias.bytes());
+}
+
+TEST(Optimizer, Statefulness) {
+  EXPECT_FALSE(optimizer_is_stateful(OptimizerKind::kSgd));
+  for (const auto kind : {OptimizerKind::kAdam, OptimizerKind::kAdamW,
+                          OptimizerKind::kRmsprop, OptimizerKind::kAdagrad,
+                          OptimizerKind::kAdafactor}) {
+    EXPECT_TRUE(optimizer_is_stateful(kind));
+  }
+}
+
+TEST(Optimizer, NamesRoundTrip) {
+  for (const auto kind : {OptimizerKind::kSgd, OptimizerKind::kAdam,
+                          OptimizerKind::kAdamW, OptimizerKind::kRmsprop,
+                          OptimizerKind::kAdagrad, OptimizerKind::kAdafactor}) {
+    EXPECT_EQ(optimizer_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(optimizer_from_string("Lion"), std::invalid_argument);
+}
+
+// ---------- CPU heap model ----------
+
+TEST(CpuAllocSim, ReusesAddressesOfExactSize) {
+  CpuAllocSim heap;
+  const std::uint64_t a = heap.alloc(4096);
+  heap.free(a);
+  EXPECT_EQ(heap.alloc(4096), a);   // exact-size LIFO reuse
+  EXPECT_NE(heap.alloc(4096), a);   // already taken again
+}
+
+TEST(CpuAllocSim, NoReuseAcrossSizes) {
+  CpuAllocSim heap;
+  const std::uint64_t a = heap.alloc(4096);
+  heap.free(a);
+  EXPECT_NE(heap.alloc(8192), a);
+}
+
+TEST(CpuAllocSim, AccountingAndPeak) {
+  CpuAllocSim heap;
+  const std::uint64_t a = heap.alloc(1000);
+  const std::uint64_t b = heap.alloc(2000);
+  EXPECT_EQ(heap.total_allocated(), 3000);
+  heap.free(a);
+  EXPECT_EQ(heap.total_allocated(), 2000);
+  EXPECT_EQ(heap.peak_allocated(), 3000);
+  heap.free(b);
+  EXPECT_EQ(heap.live_blocks(), 0u);
+  EXPECT_THROW(heap.free(b), std::logic_error);
+  EXPECT_THROW(heap.alloc(0), std::invalid_argument);
+}
+
+// ---------- profiler ----------
+
+TEST(Profiler, SpanNestingAndDurations) {
+  util::SimClock clock;
+  trace::Trace trace;
+  Profiler profiler(clock, trace);
+  const auto outer = profiler.open_span(EventKind::kPythonFunction, "outer");
+  clock.advance(10);
+  const auto inner = profiler.open_span(EventKind::kCpuOp, "inner", 3);
+  clock.advance(5);
+  profiler.close_span(inner);
+  clock.advance(2);
+  profiler.close_span(outer);
+
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[0].name, "outer");
+  EXPECT_EQ(trace.events[0].dur, 17);
+  EXPECT_EQ(trace.events[1].parent_id, trace.events[0].id);
+  EXPECT_EQ(trace.events[1].dur, 5);
+  EXPECT_EQ(trace.events[1].seq, 3);
+}
+
+TEST(Profiler, OutOfOrderCloseThrows) {
+  util::SimClock clock;
+  trace::Trace trace;
+  Profiler profiler(clock, trace);
+  const auto outer = profiler.open_span(EventKind::kPythonFunction, "outer");
+  profiler.open_span(EventKind::kCpuOp, "inner");
+  EXPECT_THROW(profiler.close_span(outer), std::logic_error);
+}
+
+// ---------- executor ----------
+
+trace::Trace profile(const std::string& model_name, int batch,
+                     OptimizerKind opt, ZeroGradPlacement placement,
+                     int iterations = 3) {
+  const ModelDescriptor model = models::build_model(model_name, batch);
+  trace::Trace trace;
+  util::SimClock clock;
+  Profiler profiler(clock, trace);
+  CpuMemoryEnv env(profiler);
+  ExecOptions options;
+  options.iterations = iterations;
+  options.placement = placement;
+  TrainingExecutor executor(model, opt, Backend::kCpu, env, clock, &profiler,
+                            options);
+  executor.run();
+  return trace;
+}
+
+TEST(Executor, TraceHasAllAnnotationKinds) {
+  const trace::Trace t = profile("distilgpt2", 4, OptimizerKind::kAdamW,
+                                 ZeroGradPlacement::kPos1IterStart);
+  std::set<std::string> prefixes;
+  for (const auto& e : t.events) {
+    if (e.kind == EventKind::kUserAnnotation) {
+      prefixes.insert(e.name.substr(0, e.name.find('#')));
+    }
+  }
+  EXPECT_TRUE(prefixes.count("ProfilerStep"));
+  EXPECT_TRUE(prefixes.count("Optimizer.zero_grad"));
+  EXPECT_TRUE(prefixes.count("Optimizer.step"));
+  EXPECT_TRUE(prefixes.count(trace::annotation::kDataLoaderNext));
+  EXPECT_TRUE(prefixes.count(trace::annotation::kModelToDevice));
+  EXPECT_TRUE(prefixes.count(trace::annotation::kBackward));
+}
+
+TEST(Executor, IterationCountMatches) {
+  const trace::Trace t = profile("MobileNetV2", 32, OptimizerKind::kSgd,
+                                 ZeroGradPlacement::kPos1IterStart, 4);
+  int steps = 0;
+  for (const auto& e : t.events) {
+    if (e.kind == EventKind::kUserAnnotation &&
+        e.name.rfind("ProfilerStep", 0) == 0) {
+      ++steps;
+    }
+  }
+  EXPECT_EQ(steps, 4);
+}
+
+TEST(Executor, MemoryEventsBalanceExceptPersistent) {
+  const trace::Trace t = profile("gpt2", 2, OptimizerKind::kAdam,
+                                 ZeroGradPlacement::kPos1IterStart);
+  std::map<std::uint64_t, int> live;
+  std::int64_t live_bytes = 0;
+  for (const auto& e : t.events) {
+    if (e.kind != EventKind::kCpuInstantEvent) continue;
+    if (e.bytes > 0) {
+      live[e.addr] += 1;
+      live_bytes += e.bytes;
+    } else {
+      live[e.addr] -= 1;
+      live_bytes += e.bytes;
+    }
+  }
+  // What stays live: params + grads of last iteration + optimizer states +
+  // final batch. All counts must be 0 or 1 (no double alloc at one address).
+  const ModelDescriptor model = models::build_model("gpt2", 2);
+  std::vector<TensorDesc> params;
+  for (const auto& m : model.modules) {
+    for (const auto& p : m.params) params.push_back(p);
+  }
+  const std::int64_t expected =
+      model.param_bytes() +                                        // weights
+      model.param_bytes() +                                        // last grads
+      total_optimizer_state_bytes(OptimizerKind::kAdam, params) +  // states
+      model.input_bytes + model.target_bytes;                      // last batch
+  EXPECT_EQ(live_bytes, expected);
+  for (const auto& [addr, count] : live) {
+    EXPECT_GE(count, 0) << "address freed more often than allocated";
+    EXPECT_LE(count, 1) << "address allocated twice without free";
+  }
+}
+
+TEST(Executor, SgdAllocatesNoOptimizerState) {
+  const trace::Trace sgd = profile("MobileNetV2", 16, OptimizerKind::kSgd,
+                                   ZeroGradPlacement::kPos1IterStart);
+  const trace::Trace adam = profile("MobileNetV2", 16, OptimizerKind::kAdam,
+                                    ZeroGradPlacement::kPos1IterStart);
+  auto final_total = [](const trace::Trace& t) {
+    std::int64_t total = 0;
+    for (const auto& e : t.events) {
+      if (e.kind == EventKind::kCpuInstantEvent) total = e.total_allocated;
+    }
+    return total;
+  };
+  const ModelDescriptor model = models::build_model("MobileNetV2", 16);
+  EXPECT_EQ(final_total(adam) - final_total(sgd), 2 * model.param_bytes());
+}
+
+TEST(Executor, ZeroGradPlacementChangesAnnotationOrder) {
+  // The CPU heap defers gradient frees to end-of-iteration GC under both
+  // placements (the divergence the Orchestrator corrects), so CPU footprints
+  // match — but the zero_grad annotation must move: POS1 places it before
+  // the forward modules, POS0 between forward and backward.
+  auto zero_grad_precedes_forward = [](ZeroGradPlacement placement) {
+    const trace::Trace t = profile("distilgpt2", 4, OptimizerKind::kAdamW,
+                                   placement, 2);
+    util::TimeUs zg = -1, fwd = -1, bwd = -1;
+    for (const auto& e : t.events) {
+      if (e.kind == EventKind::kUserAnnotation &&
+          e.name.rfind("Optimizer.zero_grad", 0) == 0 && zg < 0) {
+        zg = e.ts;
+      }
+      if (e.kind == EventKind::kPythonFunction &&
+          e.name.rfind("nn.Module: distilgpt2", 0) == 0 && fwd < 0) {
+        fwd = e.ts;
+      }
+      if (e.kind == EventKind::kUserAnnotation &&
+          e.name == trace::annotation::kBackward && bwd < 0) {
+        bwd = e.ts;
+      }
+    }
+    EXPECT_GE(zg, 0);
+    EXPECT_GE(fwd, 0);
+    EXPECT_GE(bwd, 0);
+    EXPECT_LT(zg, bwd) << "zero_grad always precedes backward";
+    return zg < fwd;
+  };
+  EXPECT_TRUE(zero_grad_precedes_forward(ZeroGradPlacement::kPos1IterStart));
+  EXPECT_FALSE(zero_grad_precedes_forward(ZeroGradPlacement::kPos0BeforeBackward));
+}
+
+TEST(Executor, ScriptNoiseOnlyOutsideOperators) {
+  const trace::Trace t = profile("T5-small", 4, OptimizerKind::kSgd,
+                                 ZeroGradPlacement::kPos1IterStart);
+  // Collect op windows.
+  struct W { util::TimeUs s, e; };
+  std::vector<W> ops;
+  for (const auto& e : t.events) {
+    if (e.kind == EventKind::kCpuOp) ops.push_back({e.ts, e.end_ts()});
+  }
+  int inside = 0, outside = 0;
+  for (const auto& e : t.events) {
+    if (e.kind != EventKind::kCpuInstantEvent || e.bytes <= 0) continue;
+    const bool in_op = std::any_of(ops.begin(), ops.end(), [&](const W& w) {
+      return e.ts >= w.s && e.ts < w.e;
+    });
+    in_op ? ++inside : ++outside;
+  }
+  EXPECT_GT(inside, 0);
+  EXPECT_GT(outside, 0) << "script noise should exist on the CPU backend";
+}
+
+TEST(Executor, NullProfilerRecordsNoSpans) {
+  // Ground-truth runs pass a null profiler: the executor must not emit any
+  // span events (the memory env may still record instant events).
+  const ModelDescriptor model = models::build_model("MobileNetV2", 8);
+  util::SimClock clock;
+  trace::Trace sink;
+  Profiler profiler(clock, sink);
+  CpuMemoryEnv env(profiler);
+  ExecOptions options;
+  options.iterations = 2;
+  TrainingExecutor executor(model, OptimizerKind::kSgd, Backend::kCpu, env,
+                            clock, nullptr, options);
+  executor.run();
+  for (const auto& e : sink.events) {
+    EXPECT_EQ(e.kind, EventKind::kCpuInstantEvent)
+        << "span event leaked from a null-profiler run: " << e.name;
+  }
+}
+
+TEST(Executor, DeterministicTraceForSameSeed) {
+  const trace::Trace a = profile("gpt2", 4, OptimizerKind::kSgd,
+                                 ZeroGradPlacement::kPos1IterStart);
+  const trace::Trace b = profile("gpt2", 4, OptimizerKind::kSgd,
+                                 ZeroGradPlacement::kPos1IterStart);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].ts, b.events[i].ts);
+    EXPECT_EQ(a.events[i].bytes, b.events[i].bytes);
+    EXPECT_EQ(a.events[i].addr, b.events[i].addr);
+  }
+}
+
+}  // namespace
+}  // namespace xmem::fw

@@ -1,0 +1,194 @@
+// Ground-truth runner and NVML sampler tests.
+#include <gtest/gtest.h>
+
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace xmem::gpu {
+namespace {
+
+using util::kGiB;
+using util::kMiB;
+
+TEST(DeviceModel, BudgetsAreSane) {
+  for (const DeviceModel& device : {rtx3060(), rtx4060(), a100_40gb()}) {
+    EXPECT_GT(device.job_budget(), 0) << device.name;
+    EXPECT_LT(device.job_budget(), device.capacity) << device.name;
+    EXPECT_EQ(device.job_budget() + device.m_init + device.m_fm,
+              device.capacity)
+        << device.name;
+  }
+  EXPECT_EQ(rtx3060().capacity, 12 * kGiB);
+  EXPECT_EQ(rtx4060().capacity, 8 * kGiB);
+  EXPECT_EQ(a100_40gb().capacity, 40 * kGiB);
+}
+
+TEST(NvmlSampler, SamplesAtIntervalBoundaries) {
+  util::SimClock clock;
+  alloc::SimulatedCudaDriver driver(kGiB);
+  NvmlSampler sampler(clock, driver, /*interval=*/1000);
+  driver.cuda_malloc(10 * kMiB);
+  clock.advance(2500);
+  sampler.poll();
+  EXPECT_EQ(sampler.sample_count(), 3u);  // t = 0, 1000, 2000
+  EXPECT_EQ(sampler.peak(), 10 * kMiB);
+}
+
+TEST(NvmlSampler, MissesSubIntervalSpikes) {
+  util::SimClock clock;
+  alloc::SimulatedCudaDriver driver(kGiB);
+  NvmlSampler sampler(clock, driver, 1000);
+  sampler.poll();  // t=0 baseline
+  const auto spike = driver.cuda_malloc(100 * kMiB);
+  clock.advance(200);  // spike lives 200us < 1ms
+  sampler.poll();      // no boundary crossed
+  driver.cuda_free(*spike);
+  clock.advance(1000);
+  sampler.poll();
+  EXPECT_EQ(sampler.peak(), 0) << "sub-millisecond spike must be missed";
+}
+
+TEST(NvmlSampler, FinalSampleSeesTerminalPlateau) {
+  util::SimClock clock;
+  alloc::SimulatedCudaDriver driver(kGiB);
+  NvmlSampler sampler(clock, driver, 1000);
+  driver.cuda_malloc(4 * kMiB);
+  clock.advance(10);  // run ends before the next boundary
+  sampler.final_sample();
+  EXPECT_EQ(sampler.peak(), 4 * kMiB);
+}
+
+GroundTruthResult run_job(const std::string& model_name, int batch,
+                          fw::OptimizerKind opt, const DeviceModel& device,
+                          std::uint64_t seed = 1,
+                          std::int64_t budget_override = -1) {
+  const fw::ModelDescriptor model = models::build_model(model_name, batch);
+  GroundTruthRunner runner;
+  GroundTruthOptions options;
+  options.seed = seed;
+  options.budget_override = budget_override;
+  return runner.run(model, opt, device, options);
+}
+
+TEST(GroundTruth, SmallJobFitsAndReportsPeak) {
+  const GroundTruthResult r =
+      run_job("MobileNetV2", 64, fw::OptimizerKind::kSgd, rtx3060());
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(r.peak_job_bytes, 0);
+  // NVML (1ms, page-granular) peak must be consistent with the exact peak.
+  EXPECT_LE(r.peak_job_bytes,
+            r.peak_reserved_exact + alloc::SimulatedCudaDriver::kPageSize *
+                                        (1 + r.allocator_stats.num_segments_allocated));
+  EXPECT_GE(r.peak_reserved_exact, r.peak_allocated_exact);
+}
+
+TEST(GroundTruth, HugeJobOoms) {
+  const GroundTruthResult r =
+      run_job("pythia-1b", 8, fw::OptimizerKind::kAdam, rtx3060());
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(GroundTruth, PeakGrowsWithBatch) {
+  const auto small = run_job("gpt2", 5, fw::OptimizerKind::kSgd, rtx3060());
+  const auto large = run_job("gpt2", 10, fw::OptimizerKind::kSgd, rtx3060());
+  ASSERT_FALSE(small.oom);
+  ASSERT_FALSE(large.oom);
+  EXPECT_GT(large.peak_job_bytes, small.peak_job_bytes);
+}
+
+TEST(GroundTruth, StatefulOptimizerCostsMore) {
+  // Use a flash-attention model at small batch: its transient footprint is
+  // small, so the Adam states cannot hide inside cached segment slack (for
+  // eager-attention models with a large CE spike they sometimes can — a
+  // real caching-allocator effect).
+  const auto sgd = run_job("Qwen3-0.6B", 1, fw::OptimizerKind::kSgd, rtx3060());
+  const auto adam =
+      run_job("Qwen3-0.6B", 1, fw::OptimizerKind::kAdam, rtx3060());
+  ASSERT_FALSE(sgd.oom);
+  ASSERT_FALSE(adam.oom);
+  const auto model = models::build_model("Qwen3-0.6B", 1);
+  // At least (nearly) the two state tensors; at most states + the fused
+  // step's transient update buffer.
+  const auto delta = adam.peak_job_bytes - sgd.peak_job_bytes;
+  EXPECT_GE(delta, 2 * model.param_bytes() * 8 / 10);
+  EXPECT_LE(delta, 3 * model.param_bytes());
+}
+
+TEST(GroundTruth, BudgetOverrideForcesOom) {
+  const auto full = run_job("MobileNetV2", 64, fw::OptimizerKind::kSgd,
+                            rtx3060());
+  ASSERT_FALSE(full.oom);
+  const auto capped = run_job("MobileNetV2", 64, fw::OptimizerKind::kSgd,
+                              rtx3060(), 1, full.peak_job_bytes / 2);
+  EXPECT_TRUE(capped.oom);
+}
+
+TEST(GroundTruth, BudgetAtPeakSucceeds) {
+  // Running with exactly the observed reserved peak must fit: the caching
+  // allocator's reclamation keeps the job within any budget >= true need.
+  const auto full = run_job("distilgpt2", 4, fw::OptimizerKind::kSgd,
+                            rtx3060(), 3);
+  ASSERT_FALSE(full.oom);
+  const auto capped = run_job("distilgpt2", 4, fw::OptimizerKind::kSgd,
+                              rtx3060(), 3, full.peak_reserved_exact);
+  EXPECT_FALSE(capped.oom);
+}
+
+TEST(GroundTruth, DeterministicForSameSeed) {
+  const auto a = run_job("gpt2", 5, fw::OptimizerKind::kAdamW, rtx3060(), 11);
+  const auto b = run_job("gpt2", 5, fw::OptimizerKind::kAdamW, rtx3060(), 11);
+  EXPECT_EQ(a.peak_job_bytes, b.peak_job_bytes);
+  EXPECT_EQ(a.peak_reserved_exact, b.peak_reserved_exact);
+}
+
+TEST(GroundTruth, SeedJitterPerturbsPeakSlightly) {
+  const auto a = run_job("VGG16", 300, fw::OptimizerKind::kSgd, rtx3060(), 1);
+  const auto b = run_job("VGG16", 300, fw::OptimizerKind::kSgd, rtx3060(), 2);
+  ASSERT_FALSE(a.oom);
+  ASSERT_FALSE(b.oom);
+  const double rel =
+      std::abs(static_cast<double>(a.peak_reserved_exact - b.peak_reserved_exact)) /
+      static_cast<double>(a.peak_reserved_exact);
+  EXPECT_LT(rel, 0.10) << "jitter should be small";
+}
+
+TEST(GroundTruth, Pos0PeaksHigherThanPos1) {
+  // Figure 1: the placement effect shows when parameter gradients are large
+  // relative to the loss-side activation spike — forward activations then
+  // coexist with the previous iteration's gradients under POS0. Qwen3-0.6B
+  // (2.4 GB of gradients, small batch) is such a workload.
+  const fw::ModelDescriptor model = models::build_model("Qwen3-0.6B", 2);
+  GroundTruthRunner runner;
+  GroundTruthOptions pos0;
+  pos0.placement = fw::ZeroGradPlacement::kPos0BeforeBackward;
+  GroundTruthOptions pos1;
+  pos1.placement = fw::ZeroGradPlacement::kPos1IterStart;
+  const auto r0 = runner.run(model, fw::OptimizerKind::kSgd, rtx3060(), pos0);
+  const auto r1 = runner.run(model, fw::OptimizerKind::kSgd, rtx3060(), pos1);
+  ASSERT_FALSE(r0.oom);
+  ASSERT_FALSE(r1.oom);
+  EXPECT_GT(r0.peak_job_bytes, r1.peak_job_bytes + util::kGiB / 2);
+}
+
+TEST(GroundTruth, SeriesRecordingProducesCurves) {
+  const fw::ModelDescriptor model = models::build_model("MobileNetV2", 32);
+  GroundTruthRunner runner;
+  GroundTruthOptions options;
+  options.record_series = true;
+  const auto r = runner.run(model, fw::OptimizerKind::kSgd, rtx3060(), options);
+  ASSERT_FALSE(r.oom);
+  EXPECT_GT(r.reserved_series.size(), 100u);
+  EXPECT_EQ(r.reserved_series.size(), r.allocated_series.size());
+  // Reserved >= allocated pointwise; timestamps non-decreasing.
+  for (std::size_t i = 0; i < r.reserved_series.size(); ++i) {
+    EXPECT_GE(r.reserved_series[i].second, r.allocated_series[i].second);
+    if (i > 0) {
+      EXPECT_GE(r.reserved_series[i].first, r.reserved_series[i - 1].first);
+    }
+  }
+  EXPECT_FALSE(r.final_snapshot.empty());
+}
+
+}  // namespace
+}  // namespace xmem::gpu

@@ -1,0 +1,232 @@
+// Model-zoo tests: parameter counts against published sizes, structural
+// sanity, and workload-grid coverage (Table 2).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/workload.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+
+namespace xmem::models {
+namespace {
+
+using fw::ModelDescriptor;
+using fw::ModelFamily;
+
+TEST(Zoo, TwentyFiveModels) {
+  EXPECT_EQ(cnn_model_names().size(), 12u);
+  EXPECT_EQ(transformer_model_names().size(), 10u);
+  EXPECT_EQ(rq5_model_names().size(), 3u);
+  EXPECT_EQ(all_model_names().size(), 25u);
+  for (const auto& name : all_model_names()) {
+    EXPECT_TRUE(is_known_model(name)) << name;
+  }
+  EXPECT_FALSE(is_known_model("AlexNet"));
+  EXPECT_THROW(build_model("AlexNet", 8), std::invalid_argument);
+  EXPECT_THROW(build_model("gpt2", 0), std::invalid_argument);
+}
+
+// Published parameter counts (millions). Transformers are input-independent
+// so they should match closely; CNN counts are architecture-derived at the
+// 32x32/100-class scale (VGG's flatten-dependent classifier shrinks, the
+// rest match their torchvision sizes).
+struct ParamExpectation {
+  const char* name;
+  double millions;
+  double tolerance;  // relative
+};
+
+class ParamCount : public ::testing::TestWithParam<ParamExpectation> {};
+
+TEST_P(ParamCount, MatchesPublishedSize) {
+  const ParamExpectation expected = GetParam();
+  const ModelDescriptor model = build_model(expected.name, 1);
+  const double actual =
+      static_cast<double>(model.param_count()) / 1e6;
+  EXPECT_NEAR(actual, expected.millions, expected.millions * expected.tolerance)
+      << expected.name << " has " << actual << "M parameters";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transformers, ParamCount,
+    ::testing::Values(ParamExpectation{"distilgpt2", 82, 0.10},
+                      ParamExpectation{"gpt2", 124, 0.10},
+                      ParamExpectation{"gpt-neo-125M", 125, 0.10},
+                      ParamExpectation{"opt-125m", 125, 0.12},
+                      ParamExpectation{"opt-350m", 331, 0.12},
+                      ParamExpectation{"Cerebras-GPT-111M", 111, 0.10},
+                      ParamExpectation{"pythia-1b", 1011, 0.10},
+                      ParamExpectation{"Qwen3-0.6B", 600, 0.15},
+                      ParamExpectation{"T5-small", 60, 0.25},
+                      ParamExpectation{"t5-base", 223, 0.25}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Rq5Models, ParamCount,
+    ::testing::Values(ParamExpectation{"Llama-3.2-3B-Instruct", 3212, 0.12},
+                      ParamExpectation{"DeepSeek-R1-Distill-Qwen-1.5B", 1540,
+                                       0.15},
+                      ParamExpectation{"Qwen3-4B", 4020, 0.12}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Cnns, ParamCount,
+    ::testing::Values(ParamExpectation{"ResNet101", 44.5, 0.12},
+                      ParamExpectation{"ResNet152", 60.2, 0.12},
+                      // Published sizes include a 1000-class ImageNet head; at this
+                      // zoo's CIFAR head (100 classes) the expected counts
+                      // shrink by the head delta (see EXPERIMENTS.md).
+                      ParamExpectation{"MobileNetV2", 2.35, 0.10},
+                      ParamExpectation{"MobileNetV3Large", 3.09, 0.10},
+                      ParamExpectation{"MobileNetV3Small", 1.25, 0.10},
+                      ParamExpectation{"MnasNet", 3.7, 0.15},
+                      ParamExpectation{"ConvNeXtTiny", 28.6, 0.15},
+                      ParamExpectation{"ConvNeXtBase", 88.6, 0.15},
+                      ParamExpectation{"RegNetX400MF", 5.2, 0.35},
+                      ParamExpectation{"RegNetY400MF", 5.9, 0.15}));
+
+class EveryModel : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryModel, BuildsWithSaneStructure) {
+  const ModelDescriptor model = build_model(GetParam(), 4);
+  EXPECT_EQ(model.name, GetParam());
+  EXPECT_EQ(model.batch_size, 4);
+  EXPECT_GT(model.modules.size(), 3u);
+  EXPECT_GT(model.param_bytes(), 0);
+  EXPECT_GT(model.input_bytes, 0);
+  EXPECT_GT(model.target_bytes, 0);
+  // Loss module must close the graph.
+  EXPECT_EQ(model.modules.back().kind, "CrossEntropyLoss");
+  // Every op has non-negative sizes and param-grad owners have params.
+  for (const auto& module : model.modules) {
+    for (const auto& op : module.ops) {
+      EXPECT_GE(op.output_bytes, 0);
+      EXPECT_GE(op.workspace_cpu, 0);
+      EXPECT_GE(op.workspace_gpu, 0);
+      if (op.allocates_param_grads) {
+        EXPECT_FALSE(module.params.empty())
+            << module.name << "/" << op.name;
+      }
+    }
+  }
+}
+
+TEST_P(EveryModel, ActivationsScaleWithBatch) {
+  const ModelDescriptor b4 = build_model(GetParam(), 4);
+  const ModelDescriptor b8 = build_model(GetParam(), 8);
+  // Parameters are batch-independent; saved activations roughly double.
+  EXPECT_EQ(b4.param_bytes(), b8.param_bytes());
+  const auto saved4 = b4.saved_activation_bytes(fw::Backend::kCuda);
+  const auto saved8 = b8.saved_activation_bytes(fw::Backend::kCuda);
+  EXPECT_GT(saved8, saved4 * 3 / 2);
+  EXPECT_LE(saved8, saved4 * 3);
+  EXPECT_EQ(b8.input_bytes, 2 * b4.input_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryModel,
+                         ::testing::ValuesIn(all_model_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Zoo, FamiliesAreCorrect) {
+  for (const auto& name : cnn_model_names()) {
+    EXPECT_EQ(build_model(name, 1).family, ModelFamily::kCnn) << name;
+  }
+  for (const auto& name : transformer_model_names()) {
+    EXPECT_EQ(build_model(name, 1).family, ModelFamily::kTransformer) << name;
+  }
+}
+
+TEST(Zoo, AttentionImplementationFollowsTableYear) {
+  // Pre-2022 models use eager attention (softmax probabilities saved);
+  // 2022+ models use fused SDPA.
+  auto has_sdpa = [](const ModelDescriptor& m) {
+    for (const auto& module : m.modules) {
+      for (const auto& op : module.ops) {
+        if (op.name == "aten::scaled_dot_product_attention") return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_sdpa(build_model("gpt2", 2)));
+  EXPECT_FALSE(has_sdpa(build_model("T5-small", 2)));
+  EXPECT_TRUE(has_sdpa(build_model("Qwen3-0.6B", 2)));
+  EXPECT_TRUE(has_sdpa(build_model("pythia-1b", 2)));
+  EXPECT_TRUE(has_sdpa(build_model("opt-125m", 2)));
+}
+
+TEST(Zoo, EagerAttentionSavesQuadraticProbabilities) {
+  const ModelDescriptor model = build_model("gpt2", 2);
+  bool found = false;
+  const std::int64_t score_bytes = 2 * 12 * 512 * 512 * 4;  // B h S S f32
+  for (const auto& module : model.modules) {
+    for (const auto& op : module.ops) {
+      if (op.name == "aten::_softmax" && op.output_bytes == score_bytes) {
+        EXPECT_TRUE(op.output_saved);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Zoo, CnnSpatialDimsShrinkToOne) {
+  // The classifier's pooled features must be channels x 1 x 1: the global
+  // pool op's output equals batch * channels * 4 bytes.
+  const ModelDescriptor model = build_model("ResNet101", 10);
+  const fw::ModuleSpec* pool = nullptr;
+  for (const auto& module : model.modules) {
+    if (module.kind == "AdaptiveAvgPool2d") pool = &module;
+  }
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->ops[0].output_bytes, 10 * 2048 * 4);  // ResNet C5 = 2048
+}
+
+// ---------- workload grids (Table 2) ----------
+
+TEST(Workload, OptimizerSets) {
+  EXPECT_EQ(cnn_optimizers().size(), 5u);
+  EXPECT_EQ(transformer_optimizers().size(), 4u);
+  EXPECT_EQ(optimizers_for("VGG16").size(), 5u);
+  EXPECT_EQ(optimizers_for("gpt2").size(), 4u);
+  // RQ5: only the optimizers that never OOM on the A100.
+  EXPECT_EQ(optimizers_for("Qwen3-4B").size(), 2u);
+  EXPECT_THROW(optimizers_for("nope"), std::invalid_argument);
+}
+
+TEST(Workload, BatchGrids) {
+  EXPECT_EQ(batch_grid_for("VGG16"),
+            (std::vector<int>{200, 300, 400, 500, 600, 700}));
+  EXPECT_EQ(batch_grid_for("gpt2").front(), 5);
+  EXPECT_EQ(batch_grid_for("gpt2").back(), 55);
+  EXPECT_EQ(batch_grid_for("gpt2").size(), 11u);
+  // High-parameter models use the small grid.
+  EXPECT_EQ(batch_grid_for("Qwen3-0.6B"), (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(batch_grid_for("pythia-1b").size(), 8u);
+  EXPECT_EQ(batch_grid_for("Llama-3.2-3B-Instruct"), (std::vector<int>{1}));
+}
+
+TEST(Workload, AnovaGridSizeMatchesPaperScale) {
+  // CNNs: 12 x 5 x 6 = 360; Transformers: 8 x 4 x 11 + 2 x 4 x 8 = 416.
+  EXPECT_EQ(anova_grid(cnn_model_names()).size(), 360u);
+  EXPECT_EQ(anova_grid(transformer_model_names()).size(), 416u);
+  // x5 repeats = 3880 runs, matching the paper's "3903 runs" order.
+  EXPECT_NEAR((360 + 416) * 5, 3903, 100);
+}
+
+TEST(Workload, ConfigLabelsAreUnique) {
+  std::map<std::string, int> seen;
+  for (const auto& config : anova_grid(all_model_names())) {
+    seen[config.label()] += 1;
+  }
+  for (const auto& [label, count] : seen) EXPECT_EQ(count, 1) << label;
+}
+
+}  // namespace
+}  // namespace xmem::models

@@ -1,0 +1,143 @@
+// Whole-zoo trace properties: for every model in the zoo, a profiling run
+// must produce a structurally sound trace (balanced spans, valid parents,
+// coherent timestamps) that survives JSON round-tripping and analysis.
+// These are the invariants the downstream pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/analyzer.h"
+#include "core/profile_runner.h"
+#include "models/workload.h"
+#include "models/zoo.h"
+
+namespace xmem {
+namespace {
+
+int small_batch_for(const std::string& model_name) {
+  const auto grid = models::batch_grid_for(model_name);
+  return grid.front();
+}
+
+class ZooTraceProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  static trace::Trace make_trace(const std::string& model_name) {
+    const fw::ModelDescriptor model =
+        models::build_model(model_name, small_batch_for(model_name));
+    core::ProfileOptions options;
+    options.iterations = 2;  // keep the sweep quick
+    return core::profile_on_cpu(model, fw::OptimizerKind::kAdamW, options);
+  }
+};
+
+TEST_P(ZooTraceProperty, SpansAreWellFormed) {
+  const trace::Trace t = make_trace(GetParam());
+  std::unordered_map<std::int64_t, const trace::TraceEvent*> by_id;
+  for (const auto& e : t.events) {
+    if (e.kind != trace::EventKind::kCpuInstantEvent) {
+      EXPECT_GE(e.dur, 0);
+      EXPECT_EQ(by_id.count(e.id), 0u) << "duplicate event id";
+      by_id[e.id] = &e;
+    }
+  }
+  for (const auto& e : t.events) {
+    if (e.kind == trace::EventKind::kCpuInstantEvent) continue;
+    if (e.parent_id < 0) continue;
+    auto parent = by_id.find(e.parent_id);
+    ASSERT_NE(parent, by_id.end()) << "dangling parent id";
+    // A child's span lies within its parent's span.
+    EXPECT_GE(e.ts, parent->second->ts);
+    EXPECT_LE(e.end_ts(), parent->second->end_ts());
+  }
+}
+
+TEST_P(ZooTraceProperty, TimestampsAreMonotoneNonDecreasing) {
+  const trace::Trace t = make_trace(GetParam());
+  util::TimeUs last = 0;
+  for (const auto& e : t.events) {
+    EXPECT_GE(e.ts, last) << "events must be emitted in start order";
+    last = e.ts;
+  }
+}
+
+TEST_P(ZooTraceProperty, JsonRoundTripIsLossless) {
+  const trace::Trace t = make_trace(GetParam());
+  const trace::Trace parsed = trace::Trace::from_json_string(t.to_json_string());
+  ASSERT_EQ(parsed.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].kind, t.events[i].kind);
+    EXPECT_EQ(parsed.events[i].ts, t.events[i].ts);
+    EXPECT_EQ(parsed.events[i].bytes, t.events[i].bytes);
+    EXPECT_EQ(parsed.events[i].addr, t.events[i].addr);
+    EXPECT_EQ(parsed.events[i].seq, t.events[i].seq);
+  }
+}
+
+TEST_P(ZooTraceProperty, AnalyzerProducesCoherentTimeline) {
+  const trace::Trace t = make_trace(GetParam());
+  const auto out = core::Analyzer().analyze(t);
+  const auto& tl = out.timeline;
+  ASSERT_EQ(tl.iterations.size(), 2u);
+  EXPECT_FALSE(tl.blocks.empty());
+  EXPECT_FALSE(tl.param_sizes.empty());
+  // Lifecycles are sane: free after alloc, windows ordered.
+  for (const auto& b : tl.blocks) {
+    EXPECT_GT(b.size, 0);
+    if (!b.persistent()) {
+      EXPECT_GT(b.free_ts, b.alloc_ts);
+    }
+  }
+  for (std::size_t i = 1; i < tl.iterations.size(); ++i) {
+    EXPECT_LE(tl.iterations[i - 1].end, tl.iterations[i].start);
+  }
+  // Model-load blocks exist and are persistent (they become param_sizes).
+  std::size_t model_load_blocks = 0;
+  for (const auto& b : tl.blocks) {
+    if (b.phase == core::Phase::kModelLoad) {
+      ++model_load_blocks;
+      EXPECT_TRUE(b.persistent());
+    }
+  }
+  EXPECT_GT(model_load_blocks, 0u);
+  // Script noise must have been filtered on every model.
+  EXPECT_GT(out.stats.filtered_blocks, 0u);
+}
+
+TEST_P(ZooTraceProperty, BackwardMirrorsForwardSequenceNumbers) {
+  const trace::Trace t = make_trace(GetParam());
+  // Every backward op's sequence number matches exactly one forward op.
+  std::unordered_set<std::int64_t> forward_seqs;
+  for (const auto& e : t.events) {
+    if (e.kind == trace::EventKind::kCpuOp && e.seq >= 0 &&
+        e.name.find("_backward") == std::string::npos) {
+      forward_seqs.insert(e.seq);
+    }
+  }
+  std::size_t backward_ops = 0;
+  for (const auto& e : t.events) {
+    if (e.kind == trace::EventKind::kCpuOp &&
+        e.name.find("_backward") != std::string::npos) {
+      ++backward_ops;
+      EXPECT_TRUE(forward_seqs.count(e.seq))
+          << e.name << " has unmatched sequence number " << e.seq;
+    }
+  }
+  EXPECT_GT(backward_ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooTraceProperty,
+                         ::testing::ValuesIn(models::all_model_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace xmem

@@ -1,0 +1,69 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace xmem::util {
+namespace {
+
+TEST(RoundUp, ExactMultiplesAreUnchanged) {
+  EXPECT_EQ(round_up(0, 512), 0);
+  EXPECT_EQ(round_up(512, 512), 512);
+  EXPECT_EQ(round_up(1024, 512), 1024);
+  EXPECT_EQ(round_up(2 * kMiB, kMiB), 2 * kMiB);
+}
+
+TEST(RoundUp, RoundsUpToNextMultiple) {
+  EXPECT_EQ(round_up(1, 512), 512);
+  EXPECT_EQ(round_up(513, 512), 1024);
+  EXPECT_EQ(round_up(kMiB + 1, kMiB), 2 * kMiB);
+}
+
+TEST(RoundUp, AlignmentOne) { EXPECT_EQ(round_up(12345, 1), 12345); }
+
+class RoundUpSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RoundUpSweep, ResultIsAlignedAndMinimal) {
+  const std::int64_t alignment = GetParam();
+  for (std::int64_t size = 1; size <= 4 * alignment; size += 7) {
+    const std::int64_t rounded = round_up(size, alignment);
+    EXPECT_TRUE(is_aligned(rounded, alignment));
+    EXPECT_GE(rounded, size);
+    EXPECT_LT(rounded - size, alignment);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, RoundUpSweep,
+                         ::testing::Values(2, 64, 512, 4096, 2 * kMiB));
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(static_cast<std::int64_t>(1.5 * kMiB)), "1.50 MiB");
+  EXPECT_EQ(format_bytes(12 * kGiB), "12.00 GiB");
+}
+
+TEST(FormatBytes, Negative) { EXPECT_EQ(format_bytes(-kMiB), "-1.00 MiB"); }
+
+TEST(ParseBytes, UnitsAndCase) {
+  EXPECT_EQ(parse_bytes("512"), 512);
+  EXPECT_EQ(parse_bytes("1KiB"), kKiB);
+  EXPECT_EQ(parse_bytes("2mb"), 2 * kMiB);
+  EXPECT_EQ(parse_bytes("12GiB"), 12 * kGiB);
+  EXPECT_EQ(parse_bytes("1.5 GiB"), static_cast<std::int64_t>(1.5 * kGiB));
+}
+
+TEST(ParseBytes, Invalid) {
+  EXPECT_EQ(parse_bytes(""), -1);
+  EXPECT_EQ(parse_bytes("abc"), -1);
+  EXPECT_EQ(parse_bytes("12XB"), -1);
+}
+
+TEST(ParseBytes, RoundTripWithFormat) {
+  for (const std::int64_t v : {kKiB, kMiB, kGiB, 7 * kGiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace xmem::util

@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xmem::util {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Variance, SampleVariance) {
+  // Var of {2,4,4,4,5,5,7,9} with n-1 denominator: 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance({42.0}), 0.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);  // numpy default matches
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Boxplot, MatchesHandComputation) {
+  // 1..9 plus an outlier at 100.
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const BoxplotSummary s = boxplot_summary(xs);
+  EXPECT_EQ(s.n, 10u);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_DOUBLE_EQ(s.q1, 3.25);
+  EXPECT_DOUBLE_EQ(s.q3, 7.75);
+  EXPECT_DOUBLE_EQ(s.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(s.maximum, 100.0);
+  // Hi fence = 7.75 + 1.5*4.5 = 14.5 -> whisker at 9; 100 is an outlier.
+  EXPECT_DOUBLE_EQ(s.whisker_high, 9.0);
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_EQ(s.outliers, 1u);
+}
+
+TEST(Boxplot, EmptyInput) {
+  const BoxplotSummary s = boxplot_summary({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(regularized_incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = 3x^2 - 2x^3.
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.25),
+              3 * 0.0625 - 2 * 0.015625, 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3, 4, 1.0), 1.0);
+}
+
+TEST(FDistribution, SurvivalFunctionKnownValues) {
+  // scipy.stats.f.sf(1.0, 1, 1) == 0.5.
+  EXPECT_NEAR(f_distribution_sf(1.0, 1, 1), 0.5, 1e-9);
+  // For d1=2: P(F>f) = (1 + f*d1/d2)^(-d2/2) = 1.8^-5 = 0.0529221...
+  EXPECT_NEAR(f_distribution_sf(4.0, 2, 10), 0.0529221, 1e-6);
+  EXPECT_DOUBLE_EQ(f_distribution_sf(0.0, 3, 7), 1.0);
+}
+
+TEST(Anova, IdenticalGroupsGiveFNearZero) {
+  const std::vector<std::vector<double>> groups = {
+      {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_NEAR(r.f_statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(Anova, KnownTextbookExample) {
+  // Three groups; F computed independently (scipy.stats.f_oneway):
+  // F = 9.3, p ~= 0.00255 for these data.
+  const std::vector<std::vector<double>> groups = {
+      {6, 8, 4, 5, 3, 4}, {8, 12, 9, 11, 6, 8}, {13, 9, 11, 8, 7, 12}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_NEAR(r.f_statistic, 9.3, 0.05);
+  EXPECT_NEAR(r.p_value, 0.00255, 5e-4);
+  EXPECT_DOUBLE_EQ(r.df_between, 2.0);
+  EXPECT_DOUBLE_EQ(r.df_within, 15.0);
+}
+
+TEST(Anova, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(one_way_anova({}).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(one_way_anova({{1, 2, 3}}).p_value, 1.0);
+  // Zero within-group variance but different means: F -> infinity, p -> 0.
+  const AnovaResult r = one_way_anova({{1, 1, 1}, {2, 2, 2}});
+  EXPECT_TRUE(std::isinf(r.f_statistic));
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(Pearson, PerfectAndNone) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 1, 1}, {2, 4, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 2}, {1}), 0.0);  // length mismatch
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, QuantileIsMonotoneInQ) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  const double q = GetParam();
+  EXPECT_LE(quantile(xs, q), quantile(xs, std::min(1.0, q + 0.1)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileMonotone,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace xmem::util
