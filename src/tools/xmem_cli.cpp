@@ -1,7 +1,7 @@
 // xmem — command-line front end, the artifact a cluster operator would
 // actually invoke from a submission hook:
 //
-//   xmem estimate --model gpt2 --batch 10 --optimizer AdamW \
+//   xmem estimate --model gpt2 --batch 10 --optimizer AdamW
 //                 --device rtx3060 [--pos0] [--json] [--curve]
 //   xmem verify   ... (same flags; also runs the simulated ground truth)
 //   xmem models
