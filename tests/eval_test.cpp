@@ -178,7 +178,9 @@ TEST_F(HarnessFixture, Round2OnlyWhenJustified) {
       EXPECT_FALSE(r.oom_actual_1);
       EXPECT_EQ(r.oom_predicted, r.oom_actual_1);
     }
-    if (r.oom_actual_1) EXPECT_FALSE(r.round2_run);
+    if (r.oom_actual_1) {
+      EXPECT_FALSE(r.round2_run);
+    }
   }
 }
 
