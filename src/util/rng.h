@@ -58,8 +58,8 @@ class Rng {
     const std::uint64_t threshold = (-bound) % bound;
     while (true) {
       const std::uint64_t r = next_u64();
-      const unsigned __int128 m =
-          static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+      __extension__ typedef unsigned __int128 uint128;
+      const uint128 m = static_cast<uint128>(r) * static_cast<uint128>(bound);
       if (static_cast<std::uint64_t>(m) >= threshold) {
         return static_cast<std::uint64_t>(m >> 64);
       }

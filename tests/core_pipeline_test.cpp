@@ -79,10 +79,10 @@ INSTANTIATE_TEST_SUITE_P(
         PipelineCase{"opt-125m", 15, fw::OptimizerKind::kSgd},
         PipelineCase{"Qwen3-0.6B", 2, fw::OptimizerKind::kSgd},
         PipelineCase{"pythia-1b", 1, fw::OptimizerKind::kAdafactor}),
-    [](const auto& info) {
-      std::string name = std::string(info.param.model) + "_b" +
-                         std::to_string(info.param.batch) + "_" +
-                         to_string(info.param.optimizer);
+    [](const auto& param_info) {
+      std::string name = std::string(param_info.param.model) + "_b" +
+                         std::to_string(param_info.param.batch) + "_" +
+                         to_string(param_info.param.optimizer);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

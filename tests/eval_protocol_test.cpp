@@ -199,8 +199,8 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return names;
     }()),
-    [](const auto& info) {
-      std::string name = info.param;
+    [](const auto& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -124,8 +124,8 @@ TEST_P(EveryModel, ActivationsScaleWithBatch) {
 
 INSTANTIATE_TEST_SUITE_P(All, EveryModel,
                          ::testing::ValuesIn(all_model_names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';
