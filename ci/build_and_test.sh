@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification as one script: configure + build + ctest, with
+# warnings treated as errors. Exits non-zero on any failure.
+#
+# Usage: ci/build_and_test.sh [build-dir]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DXMEM_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
