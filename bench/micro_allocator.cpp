@@ -3,8 +3,10 @@
 // simulation phase's cost).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "alloc/backend_registry.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/cuda_driver_sim.h"
 #include "baselines/basic_bfc.h"
@@ -87,6 +89,32 @@ void BM_BasicBfcChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_BasicBfcChurn);
 
+/// The same churn against every registered backend through the generic
+/// fw::AllocatorBackend interface — the apples-to-apples policy comparison,
+/// plus a measure of the virtual-dispatch overhead vs. BM_AllocFreeChurn.
+/// Registered dynamically in main() so new registry entries are benchmarked
+/// without touching this file.
+void BM_RegistryChurn(benchmark::State& state, const std::string& name) {
+  SimulatedCudaDriver driver(8 * kGiB);
+  const auto backend = xmem::alloc::make_backend(name, driver);
+  xmem::util::Rng rng(42);
+  std::vector<std::int64_t> live;
+  for (auto _ : state) {
+    if (live.empty() || rng.next_bool(0.55)) {
+      const auto outcome = backend->backend_alloc(
+          1 + static_cast<std::int64_t>(rng.next_below(8 * kMiB)));
+      if (!outcome.oom) live.push_back(outcome.id);
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      backend->backend_free(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto id : live) backend->backend_free(id);
+  state.SetItemsProcessed(state.iterations());
+}
+
 void BM_SnapshotDump(benchmark::State& state) {
   SimulatedCudaDriver driver(8 * kGiB);
   CachingAllocatorSim allocator(driver);
@@ -112,4 +140,14 @@ BENCHMARK(BM_SnapshotDump);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : xmem::alloc::backend_names()) {
+    benchmark::RegisterBenchmark(("BM_RegistryChurn/" + name).c_str(),
+                                 BM_RegistryChurn, name);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,14 +1,68 @@
 #!/usr/bin/env bash
-# Tier-1 verification as one script: configure + build + ctest, with
-# warnings treated as errors. Exits non-zero on any failure.
+# Tier-1 verification as one script: configure + build + ctest + bench
+# golden diff, with warnings treated as errors. Exits non-zero on any
+# failure.
 #
-# Usage: ci/build_and_test.sh [build-dir]   (default: build)
+# Usage: ci/build_and_test.sh [--update-goldens] [build-dir]
+#   (default build-dir: build)
+#
+# The golden step runs the deterministic evaluation benches
+# (bench/table03_mcp, bench/table04_runtime) in --fast scope and diffs their
+# output against bench/goldens/*.txt, so estimator-accuracy regressions fail
+# CI instead of surfacing in a paper comparison later. Wall-clock runtime
+# numbers (table04's payload) are normalized to <runtime> before diffing —
+# the golden pins the table structure and estimator set, not the timings.
+# After an intentional accuracy change, regenerate with --update-goldens and
+# commit the new goldens alongside the change.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-${REPO_ROOT}/build}"
+UPDATE_GOLDENS=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "${arg}" in
+    --update-goldens) UPDATE_GOLDENS=1 ;;
+    -*) echo "unknown flag: ${arg}" >&2; exit 1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+GOLDEN_DIR="${REPO_ROOT}/bench/goldens"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DXMEM_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# --- bench goldens ---------------------------------------------------------
+
+# Strip nondeterministic values: any 6-decimal float is a wall-clock
+# reading (the %f runtimes of table04); everything else in the tables is a
+# deterministic product of the seeded Monte Carlo runs.
+normalize() {
+  sed -E 's/[0-9]+\.[0-9]{6}/<runtime>/g'
+}
+
+GOLDEN_FAILED=0
+for bench in table03_mcp table04_runtime; do
+  golden="${GOLDEN_DIR}/${bench}.txt"
+  actual="$(mktemp)"
+  "${BUILD_DIR}/bench/${bench}" --fast | normalize > "${actual}"
+  if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
+    mkdir -p "${GOLDEN_DIR}"
+    cp "${actual}" "${golden}"
+    echo "updated ${golden}"
+  elif [[ ! -f "${golden}" ]]; then
+    echo "MISSING GOLDEN: ${golden} (run ci/build_and_test.sh --update-goldens)" >&2
+    GOLDEN_FAILED=1
+  elif ! diff -u "${golden}" "${actual}" > /dev/null; then
+    echo "GOLDEN MISMATCH: ${bench} (estimator output changed)" >&2
+    diff -u "${golden}" "${actual}" >&2 || true
+    echo "If intentional, regenerate: ci/build_and_test.sh --update-goldens" >&2
+    GOLDEN_FAILED=1
+  else
+    echo "golden ok: ${bench}"
+  fi
+  rm -f "${actual}"
+done
+exit "${GOLDEN_FAILED}"

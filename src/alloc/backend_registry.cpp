@@ -1,0 +1,91 @@
+#include "alloc/backend_registry.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "alloc/caching_allocator.h"
+#include "alloc/tf_bfc_allocator.h"
+#include "baselines/basic_bfc.h"
+
+namespace xmem::alloc {
+
+namespace {
+
+struct Entry {
+  std::string description;
+  BackendFactory factory;
+};
+
+std::map<std::string, Entry>& registry() {
+  static std::map<std::string, Entry> entries = {
+      {"pytorch",
+       {"CUDACachingAllocator port: 512 B rounding, 2/20 MiB buffers, "
+        "split/coalesce, cached-segment reclaim (paper §3.4)",
+        [](SimulatedCudaDriver& driver) -> std::unique_ptr<fw::AllocatorBackend> {
+          return std::make_unique<CachingAllocatorSim>(driver);
+        }}},
+      {"tf-bfc",
+       {"TensorFlow-style BFC: 256 B rounding, doubling regions never "
+        "returned to the device (§6.4(ii))",
+        [](SimulatedCudaDriver& driver) -> std::unique_ptr<fw::AllocatorBackend> {
+          return std::make_unique<TfBfcAllocator>(driver);
+        }}},
+      {"basic-bfc",
+       {"DNNMem's single-level BFC over an unbounded arena: no driver, no "
+        "caching policy, never OOMs",
+        [](SimulatedCudaDriver&) -> std::unique_ptr<fw::AllocatorBackend> {
+          return std::make_unique<baselines::BasicBfcAllocator>();
+        }}},
+  };
+  return entries;
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, const std::string& description,
+                      BackendFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("register_backend: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("register_backend: null factory for " + name);
+  }
+  const auto [it, inserted] =
+      registry().emplace(name, Entry{description, std::move(factory)});
+  if (!inserted) {
+    throw std::invalid_argument("register_backend: duplicate name " + name);
+  }
+}
+
+bool is_known_backend(const std::string& name) {
+  return registry().count(name) > 0;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+std::string backend_description(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? std::string() : it->second.description;
+}
+
+std::unique_ptr<fw::AllocatorBackend> make_backend(
+    const std::string& name, SimulatedCudaDriver& driver) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& n : backend_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("make_backend: unknown backend '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second.factory(driver);
+}
+
+}  // namespace xmem::alloc

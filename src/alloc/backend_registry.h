@@ -1,0 +1,49 @@
+// Allocator-backend registry: construct any fw::AllocatorBackend by name.
+//
+// The simulator, CLI, benches, and the parity harness all select backends
+// through this factory, so a new allocator model becomes available
+// everywhere by registering one name + factory pair (docs/ALLOCATORS.md
+// walks through it). Built-ins:
+//
+//   pytorch    — CachingAllocatorSim, the CUDACachingAllocator port (§3.4)
+//   tf-bfc     — TfBfcAllocator, TF-style growing-region BFC (§6.4(ii))
+//   basic-bfc  — BasicBfcAllocator, DNNMem's single-level BFC baseline
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/cuda_driver_sim.h"
+#include "fw/backend.h"
+
+namespace xmem::alloc {
+
+/// The backend the simulator replays against unless told otherwise.
+inline constexpr const char* kDefaultBackendName = "pytorch";
+
+/// Constructs a backend over the given driver. Driverless models (the
+/// unbounded basic-bfc arena) ignore the argument.
+using BackendFactory =
+    std::function<std::unique_ptr<fw::AllocatorBackend>(SimulatedCudaDriver&)>;
+
+/// Register an additional backend. Throws std::invalid_argument on an empty
+/// or already-registered name.
+void register_backend(const std::string& name, const std::string& description,
+                      BackendFactory factory);
+
+bool is_known_backend(const std::string& name);
+
+/// Registered names in sorted order.
+std::vector<std::string> backend_names();
+
+/// One-line description for `xmem backends` and docs tooling.
+std::string backend_description(const std::string& name);
+
+/// Construct a backend by name. Throws std::invalid_argument on unknown
+/// names (the message lists what is registered).
+std::unique_ptr<fw::AllocatorBackend> make_backend(const std::string& name,
+                                                   SimulatedCudaDriver& driver);
+
+}  // namespace xmem::alloc

@@ -225,6 +225,20 @@ std::int64_t CachingAllocatorSim::release_cached_segments() {
 
 void CachingAllocatorSim::empty_cache() { release_cached_segments(); }
 
+fw::BackendStats CachingAllocatorSim::backend_stats() const {
+  fw::BackendStats s;
+  s.active_bytes = stats_.allocated_bytes;
+  s.peak_active_bytes = stats_.peak_allocated_bytes;
+  s.reserved_bytes = stats_.reserved_bytes;
+  s.peak_reserved_bytes = stats_.peak_reserved_bytes;
+  s.num_allocs = stats_.num_allocs;
+  s.num_frees = stats_.num_frees;
+  s.num_segments =
+      stats_.num_segments_allocated - stats_.num_segments_released;
+  s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+  return s;
+}
+
 bool CachingAllocatorSim::is_live(BlockId id) const {
   return live_.count(id) > 0;
 }

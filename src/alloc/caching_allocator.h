@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "alloc/cuda_driver_sim.h"
+#include "fw/backend.h"
 
 namespace xmem::alloc {
 
@@ -75,7 +76,7 @@ struct AllocOutcome {
   std::int64_t rounded_size = 0;
 };
 
-class CachingAllocatorSim {
+class CachingAllocatorSim final : public fw::AllocatorBackend {
  public:
   // Constants from c10/cuda/CUDACachingAllocator.cpp (PyTorch 2.6).
   static constexpr std::int64_t kMinBlockSize = 512;
@@ -110,6 +111,21 @@ class CachingAllocatorSim {
   void empty_cache();
 
   const CachingAllocatorStats& stats() const { return stats_; }
+
+  // fw::AllocatorBackend — the generic view the registry, simulator, and
+  // parity harness use (docs/ALLOCATORS.md documents the contract).
+  std::string_view backend_name() const override { return "pytorch"; }
+  fw::BackendAllocResult backend_alloc(std::int64_t bytes) override {
+    const AllocOutcome outcome = allocate(bytes);
+    return fw::BackendAllocResult{outcome.id, outcome.rounded_size,
+                                  outcome.oom};
+  }
+  void backend_free(std::int64_t id) override { free(id); }
+  fw::BackendStats backend_stats() const override;
+  std::int64_t backend_round(std::int64_t bytes) const override {
+    return round_size(bytes);
+  }
+  void backend_trim() override { empty_cache(); }
 
   /// Live-block introspection (tests + snapshot dumps).
   bool is_live(BlockId id) const;

@@ -1,0 +1,259 @@
+#include "alloc/event_stream.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace xmem::alloc {
+
+namespace {
+
+struct LiveBlock {
+  std::int64_t block_id = 0;
+  std::int64_t bytes = 0;
+};
+
+std::int64_t draw_size(util::Rng& rng, const EventStreamConfig& config) {
+  const double roll = rng.next_double();
+  if (roll < config.huge_fraction) {
+    return rng.next_in_range(config.min_huge, config.max_huge);
+  }
+  if (roll < config.huge_fraction + config.small_fraction) {
+    return rng.next_in_range(config.min_small, config.max_small);
+  }
+  return rng.next_in_range(config.min_large, config.max_large);
+}
+
+}  // namespace
+
+std::vector<StreamEvent> generate_event_stream(
+    const EventStreamConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<StreamEvent> events;
+  events.reserve(config.num_events + 64);
+  // Per logical stream: the live blocks it owns, newest last.
+  std::vector<std::vector<LiveBlock>> live(
+      static_cast<std::size_t>(std::max(config.num_streams, 1)));
+  std::int64_t next_block_id = 1;
+  std::int64_t ts = 0;
+
+  for (std::size_t i = 0; i < config.num_events; ++i) {
+    const auto stream =
+        static_cast<std::size_t>(rng.next_below(live.size()));
+    auto& pool = live[stream];
+    const bool do_alloc = pool.empty() || rng.next_bool(config.alloc_bias);
+    StreamEvent event;
+    event.ts = ts++;
+    event.stream = static_cast<int>(stream);
+    if (do_alloc) {
+      event.is_alloc = true;
+      event.block_id = next_block_id++;
+      event.bytes = draw_size(rng, config);
+      pool.push_back(LiveBlock{event.block_id, event.bytes});
+    } else {
+      // Tensor stacks free newest-first most of the time; the rest models
+      // out-of-order releases (gradient buckets, dataloader rebinds).
+      const std::size_t pick =
+          rng.next_bool(config.lifo_bias)
+              ? pool.size() - 1
+              : static_cast<std::size_t>(rng.next_below(pool.size()));
+      event.is_alloc = false;
+      event.block_id = pool[pick].block_id;
+      event.bytes = pool[pick].bytes;
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    events.push_back(event);
+  }
+
+  if (config.drain_at_end) {
+    for (auto& pool : live) {
+      while (!pool.empty()) {
+        StreamEvent event;
+        event.ts = ts++;
+        event.stream = static_cast<int>(&pool - live.data());
+        event.is_alloc = false;
+        event.block_id = pool.back().block_id;
+        event.bytes = pool.back().bytes;
+        pool.pop_back();
+        events.push_back(event);
+      }
+    }
+  }
+  return events;
+}
+
+std::uint64_t stream_fingerprint(const std::vector<StreamEvent>& events) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  for (const StreamEvent& e : events) {
+    mix(static_cast<std::uint64_t>(e.ts));
+    mix(static_cast<std::uint64_t>(e.block_id));
+    mix(static_cast<std::uint64_t>(e.bytes));
+    mix(e.is_alloc ? 1 : 0);
+    mix(static_cast<std::uint64_t>(e.stream));
+  }
+  return hash;
+}
+
+std::string dump_stream(const std::vector<StreamEvent>& events,
+                        std::size_t max_lines) {
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "stream of %zu events, fingerprint %016" PRIx64 "\n",
+                events.size(), stream_fingerprint(events));
+  std::string out = line;
+  const std::size_t shown = std::min(events.size(), max_lines);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const StreamEvent& e = events[i];
+    std::snprintf(line, sizeof(line),
+                  "  [%4zu] ts=%" PRId64 " s%d %s block=%" PRId64
+                  " bytes=%" PRId64 "\n",
+                  i, e.ts, e.stream, e.is_alloc ? "alloc" : "free ",
+                  e.block_id, e.bytes);
+    out += line;
+  }
+  if (shown < events.size()) {
+    std::snprintf(line, sizeof(line), "  ... %zu more events\n",
+                  events.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+ReplayReport replay_with_invariants(fw::AllocatorBackend& backend,
+                                    const std::vector<StreamEvent>& events) {
+  ReplayReport report;
+  struct Charged {
+    std::int64_t handle = -1;
+    std::int64_t charged = 0;
+    std::int64_t requested = 0;
+  };
+  std::unordered_map<std::int64_t, Charged> live;
+  std::int64_t charged_sum = 0;
+  std::int64_t requested_sum = 0;
+  fw::BackendStats prev = backend.backend_stats();
+
+  const auto fail = [&](std::size_t index, std::string what) {
+    report.ok = false;
+    report.event_index = index;
+    report.violation = std::move(what);
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const StreamEvent& e = events[i];
+    if (e.is_alloc) {
+      if (live.count(e.block_id) > 0) {
+        fail(i, "generator emitted a duplicate live block id");
+        break;
+      }
+      const fw::BackendAllocResult out = backend.backend_alloc(e.bytes);
+      if (out.oom) break;  // capacity-bound replay; not a contract violation
+      if (out.charged_bytes < e.bytes) {
+        fail(i, "charged_bytes below the requested size");
+        break;
+      }
+      live[e.block_id] = Charged{out.id, out.charged_bytes, e.bytes};
+      charged_sum += out.charged_bytes;
+      requested_sum += e.bytes;
+    } else {
+      const auto it = live.find(e.block_id);
+      if (it == live.end()) {
+        fail(i, "generator emitted a free for a dead block id");
+        break;
+      }
+      backend.backend_free(it->second.handle);
+      charged_sum -= it->second.charged;
+      requested_sum -= it->second.requested;
+      live.erase(it);
+    }
+
+    const fw::BackendStats s = backend.backend_stats();
+    if (s.active_bytes != charged_sum) {
+      fail(i, "conservation: active_bytes != sum of live charged bytes");
+      break;
+    }
+    if (s.active_bytes < requested_sum) {
+      fail(i, "active_bytes below the live requested bytes");
+      break;
+    }
+    if (s.reserved_bytes < s.active_bytes) {
+      fail(i, "reserved_bytes < active_bytes");
+      break;
+    }
+    if (s.peak_reserved_bytes < s.reserved_bytes ||
+        s.peak_reserved_bytes < prev.peak_reserved_bytes) {
+      fail(i, "peak_reserved_bytes not a monotone high-water mark");
+      break;
+    }
+    if (s.peak_active_bytes < s.active_bytes ||
+        s.peak_active_bytes < prev.peak_active_bytes) {
+      fail(i, "peak_active_bytes not a monotone high-water mark");
+      break;
+    }
+    if (s.num_allocs - s.num_frees != s.num_live_blocks ||
+        s.num_live_blocks != static_cast<std::int64_t>(live.size())) {
+      fail(i, "num_allocs - num_frees != live block count");
+      break;
+    }
+    report.peak_reserved = std::max(report.peak_reserved, s.reserved_bytes);
+    report.peak_active = std::max(report.peak_active, s.active_bytes);
+    report.peak_live_bytes = std::max(report.peak_live_bytes, requested_sum);
+    prev = s;
+  }
+
+  report.final_stats = backend.backend_stats();
+  return report;
+}
+
+std::vector<StreamEvent> shrink_failing_stream(
+    const std::vector<StreamEvent>& events,
+    const std::function<bool(const std::vector<StreamEvent>&)>& still_fails) {
+  if (!still_fails(events)) return {};
+
+  // Shortest failing prefix by binary search.
+  std::size_t lo = 1;
+  std::size_t hi = events.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::vector<StreamEvent> prefix(events.begin(),
+                                          events.begin() +
+                                              static_cast<std::ptrdiff_t>(mid));
+    if (still_fails(prefix)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<StreamEvent> current(
+      events.begin(), events.begin() + static_cast<std::ptrdiff_t>(hi));
+
+  // Greedy pair removal: drop a block's alloc+free together so candidates
+  // stay well-formed streams.
+  std::vector<std::int64_t> block_ids;
+  std::unordered_set<std::int64_t> seen;
+  for (const StreamEvent& e : current) {
+    if (seen.insert(e.block_id).second) block_ids.push_back(e.block_id);
+  }
+  for (const std::int64_t id : block_ids) {
+    std::vector<StreamEvent> candidate;
+    candidate.reserve(current.size());
+    for (const StreamEvent& e : current) {
+      if (e.block_id != id) candidate.push_back(e);
+    }
+    if (candidate.size() < current.size() && still_fails(candidate)) {
+      current = std::move(candidate);
+    }
+  }
+  return current;
+}
+
+}  // namespace xmem::alloc

@@ -1,0 +1,101 @@
+// Randomized allocator event streams + the differential parity harness.
+//
+// generate_event_stream() produces a seeded, fully deterministic alloc/free
+// stream shaped like the traces in src/trace/: a few interleaved logical
+// streams, LIFO-biased frees (tensor stacks), and a size mixture spanning
+// small tensors, layer-sized blocks, and occasional huge activations. The
+// same stream replayed through every registered backend
+// (alloc/backend_registry.h) with replay_with_invariants() is the parity
+// test that keeps allocator refactors honest: shared invariants must hold
+// event-by-event on every backend, and peak reserved memory across backends
+// must stay within the documented divergence bounds (docs/ALLOCATORS.md).
+//
+// On failure, shrink_failing_stream() reduces the stream to a small
+// reproducer (prefix truncation + per-block pair removal) and dump_stream()
+// renders it for the test log, so a parity divergence arrives as a handful
+// of events rather than a 10k-event haystack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fw/backend.h"
+
+namespace xmem::alloc {
+
+/// One event of a generated stream. `block_id` names the logical tensor
+/// (unique per allocation); `stream` is the logical CUDA stream it belongs
+/// to (frees stay on their allocation's stream, as in profiler traces).
+struct StreamEvent {
+  std::int64_t ts = 0;
+  std::int64_t block_id = 0;
+  std::int64_t bytes = 0;
+  bool is_alloc = false;
+  int stream = 0;
+};
+
+struct EventStreamConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_events = 10000;  ///< generated churn events (pre-drain)
+  int num_streams = 2;             ///< interleaved logical streams
+  double alloc_bias = 0.55;        ///< P(alloc) when frees are possible
+  double lifo_bias = 0.6;          ///< P(free newest) vs uniform pick
+  double small_fraction = 0.65;    ///< small-tensor share of the size mix
+  double huge_fraction = 0.03;     ///< huge-activation share
+  std::int64_t min_small = 64;
+  std::int64_t max_small = 1 << 20;         // 1 MiB
+  std::int64_t min_large = 1 << 20;
+  std::int64_t max_large = 24 * (1 << 20);  // 24 MiB
+  std::int64_t min_huge = 24 * (1 << 20);
+  std::int64_t max_huge = 80 * (1 << 20);   // 80 MiB
+  /// Append frees for every still-live block so conservation-to-zero can be
+  /// asserted at stream end.
+  bool drain_at_end = true;
+};
+
+std::vector<StreamEvent> generate_event_stream(const EventStreamConfig& config);
+
+/// Order-sensitive FNV-1a over every event field — byte-identical streams
+/// and nothing else collide (used by the determinism tests).
+std::uint64_t stream_fingerprint(const std::vector<StreamEvent>& events);
+
+/// Human-readable reproducer dump (at most `max_lines` events, plus a
+/// header with the count and fingerprint).
+std::string dump_stream(const std::vector<StreamEvent>& events,
+                        std::size_t max_lines = 64);
+
+/// What replay_with_invariants() saw. `ok == false` pinpoints the first
+/// violated invariant and the event index it surfaced at.
+struct ReplayReport {
+  bool ok = true;
+  std::string violation;
+  std::size_t event_index = 0;
+  std::int64_t peak_reserved = 0;   ///< max reserved_bytes over the replay
+  std::int64_t peak_active = 0;     ///< max active_bytes over the replay
+  std::int64_t peak_live_bytes = 0; ///< max sum of live *requested* bytes
+  fw::BackendStats final_stats;
+};
+
+/// Replay `events` through `backend`, checking the shared backend contract
+/// after every event:
+///   * active_bytes == sum of charged bytes over live blocks (conservation)
+///   * reserved_bytes >= active_bytes >= live requested bytes
+///   * peaks are monotone and >= their base counters
+///   * num_allocs - num_frees == num_live_blocks
+/// OOM aborts the replay (report stays ok) — parity streams are meant to be
+/// replayed against effectively unbounded drivers.
+ReplayReport replay_with_invariants(fw::AllocatorBackend& backend,
+                                    const std::vector<StreamEvent>& events);
+
+/// Shrink a failing stream to a small reproducer: binary-search the
+/// shortest failing prefix (valid because a violation at event i fails
+/// every longer prefix too), then greedily drop whole alloc/free block
+/// pairs while `still_fails` holds. `still_fails` must build a fresh
+/// backend per call. Returns empty if `events` does not fail.
+std::vector<StreamEvent> shrink_failing_stream(
+    const std::vector<StreamEvent>& events,
+    const std::function<bool(const std::vector<StreamEvent>&)>& still_fails);
+
+}  // namespace xmem::alloc

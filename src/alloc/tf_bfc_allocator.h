@@ -16,6 +16,7 @@
 #include <set>
 
 #include "alloc/cuda_driver_sim.h"
+#include "fw/backend.h"
 
 namespace xmem::alloc {
 
@@ -34,7 +35,7 @@ struct TfBfcStats {
   std::int64_t num_frees = 0;
 };
 
-class TfBfcAllocator {
+class TfBfcAllocator final : public fw::AllocatorBackend {
  public:
   static constexpr std::int64_t kMinAllocationSize = 256;
   static constexpr std::int64_t kInitialRegionSize = 2 * 1024 * 1024;
@@ -51,6 +52,31 @@ class TfBfcAllocator {
 
   const TfBfcStats& stats() const { return stats_; }
   std::size_t num_live() const { return live_.size(); }
+
+  // fw::AllocatorBackend. Regions are never returned to the device, so
+  // reserved_bytes is monotone and backend_trim() stays the default no-op.
+  std::string_view backend_name() const override { return "tf-bfc"; }
+  fw::BackendAllocResult backend_alloc(std::int64_t bytes) override {
+    const TfAllocOutcome outcome = allocate(bytes);
+    return fw::BackendAllocResult{outcome.id, outcome.rounded_size,
+                                  outcome.oom};
+  }
+  void backend_free(std::int64_t id) override { free(id); }
+  fw::BackendStats backend_stats() const override {
+    fw::BackendStats s;
+    s.active_bytes = stats_.allocated_bytes;
+    s.peak_active_bytes = stats_.peak_allocated_bytes;
+    s.reserved_bytes = stats_.region_bytes;
+    s.peak_reserved_bytes = stats_.region_bytes;
+    s.num_allocs = stats_.num_allocs;
+    s.num_frees = stats_.num_frees;
+    s.num_segments = stats_.num_regions;
+    s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+    return s;
+  }
+  std::int64_t backend_round(std::int64_t bytes) const override {
+    return round_size(bytes);
+  }
 
  private:
   struct Chunk;

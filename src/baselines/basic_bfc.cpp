@@ -46,6 +46,7 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
     blocks_[block->addr] = std::move(owned);
     reserved_ += segment;
     peak_reserved_ = std::max(peak_reserved_, reserved_);
+    ++num_segments_;
   }
 
   if (block->size - rounded >= kAlignment) {
@@ -66,6 +67,7 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
   live_[block->id] = block;
   allocated_ += block->size;
   peak_allocated_ = std::max(peak_allocated_, allocated_);
+  ++num_allocs_;
   return block->id;
 }
 
@@ -77,6 +79,7 @@ void BasicBfcAllocator::free(std::int64_t id) {
   Block* block = it->second;
   live_.erase(it);
   allocated_ -= block->size;
+  ++num_frees_;
   block->allocated = false;
   block->id = -1;
 
@@ -96,6 +99,28 @@ void BasicBfcAllocator::free(std::int64_t id) {
     blocks_.erase(next->addr);
   }
   free_blocks_.insert(block);
+}
+
+fw::BackendAllocResult BasicBfcAllocator::backend_alloc(std::int64_t bytes) {
+  const std::int64_t id = alloc(bytes);
+  return fw::BackendAllocResult{id, live_.at(id)->size, false};
+}
+
+fw::BackendStats BasicBfcAllocator::backend_stats() const {
+  fw::BackendStats s;
+  s.active_bytes = allocated_;
+  s.peak_active_bytes = peak_allocated_;
+  s.reserved_bytes = reserved_;
+  s.peak_reserved_bytes = peak_reserved_;
+  s.num_allocs = num_allocs_;
+  s.num_frees = num_frees_;
+  s.num_segments = num_segments_;
+  s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+  return s;
+}
+
+std::int64_t BasicBfcAllocator::backend_round(std::int64_t bytes) const {
+  return util::round_up(bytes, kAlignment);
 }
 
 }  // namespace xmem::baselines

@@ -11,9 +11,11 @@
 #include <set>
 #include <vector>
 
+#include "fw/backend.h"
+
 namespace xmem::baselines {
 
-class BasicBfcAllocator {
+class BasicBfcAllocator final : public fw::AllocatorBackend {
  public:
   static constexpr std::int64_t kAlignment = 512;
   static constexpr std::int64_t kSegmentGranularity = 2 * 1024 * 1024;
@@ -34,6 +36,15 @@ class BasicBfcAllocator {
   std::int64_t peak_allocated_bytes() const { return peak_allocated_; }
   std::size_t num_live() const { return live_.size(); }
 
+  // fw::AllocatorBackend. The arena is unbounded (no driver underneath), so
+  // backend_alloc never reports OOM and backend_trim() is the default no-op
+  // (the model never returns memory).
+  std::string_view backend_name() const override { return "basic-bfc"; }
+  fw::BackendAllocResult backend_alloc(std::int64_t bytes) override;
+  void backend_free(std::int64_t id) override { free(id); }
+  fw::BackendStats backend_stats() const override;
+  std::int64_t backend_round(std::int64_t bytes) const override;
+
  private:
   struct Block;
   struct Less {
@@ -46,6 +57,9 @@ class BasicBfcAllocator {
   std::int64_t peak_reserved_ = 0;
   std::int64_t allocated_ = 0;
   std::int64_t peak_allocated_ = 0;
+  std::int64_t num_allocs_ = 0;
+  std::int64_t num_frees_ = 0;
+  std::int64_t num_segments_ = 0;
   std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
   std::map<std::int64_t, Block*> live_;
   std::set<Block*, Less> free_blocks_;

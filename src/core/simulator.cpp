@@ -5,62 +5,23 @@
 
 namespace xmem::core {
 
-namespace {
-
-/// TF-backend replay: same event semantics, different allocator policies.
-SimulationResult replay_tf(const OrchestratedSequence& sequence,
-                           const SimulationOptions& options) {
-  SimulationResult result;
-  alloc::SimulatedCudaDriver driver(options.capacity);
-  alloc::TfBfcAllocator allocator(driver);
-  std::unordered_map<std::int64_t, std::int64_t> live;
-  for (const OrchestratedEvent& event : sequence.events) {
-    if (event.is_alloc) {
-      const alloc::TfAllocOutcome outcome = allocator.allocate(event.bytes);
-      if (outcome.oom) {
-        result.oom = true;
-        break;
-      }
-      live[event.block_id] = outcome.id;
-    } else {
-      auto it = live.find(event.block_id);
-      if (it == live.end()) continue;
-      allocator.free(it->second);
-      live.erase(it);
-    }
-    result.peak_reserved =
-        std::max(result.peak_reserved, allocator.stats().region_bytes);
-    if (options.record_series) {
-      result.reserved_series.emplace_back(event.ts,
-                                          allocator.stats().region_bytes);
-      result.allocated_series.emplace_back(event.ts,
-                                           allocator.stats().allocated_bytes);
-    }
-  }
-  result.peak_device = driver.stats().peak_used_bytes;
-  result.peak_allocated = allocator.stats().peak_allocated_bytes;
-  return result;
-}
-
-}  // namespace
-
 SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
                                          const SimulationOptions& options) const {
-  if (options.backend == AllocatorBackend::kTensorFlowBfc) {
-    return replay_tf(sequence, options);
-  }
   SimulationResult result;
   alloc::SimulatedCudaDriver driver(options.capacity);
-  alloc::CachingAllocatorSim allocator(driver);
-  std::unordered_map<std::int64_t, alloc::BlockId> live;
+  const std::unique_ptr<fw::AllocatorBackend> allocator =
+      alloc::make_backend(options.backend, driver);
+  std::unordered_map<std::int64_t, std::int64_t> live;
   live.reserve(sequence.blocks.size());
 
   for (const OrchestratedEvent& event : sequence.events) {
     if (event.is_alloc) {
-      const alloc::AllocOutcome outcome = allocator.allocate(event.bytes);
+      const fw::BackendAllocResult outcome =
+          allocator->backend_alloc(event.bytes);
       if (outcome.oom) {
-        // Both levels failed even after reclaiming cached segments: the
-        // simulated job dies here, exactly like the real one would.
+        // Every allocator level failed (for the PyTorch model: even after
+        // reclaiming cached segments): the simulated job dies here, exactly
+        // like the real one would.
         result.oom = true;
         break;
       }
@@ -68,21 +29,28 @@ SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
     } else {
       auto it = live.find(event.block_id);
       if (it == live.end()) continue;  // freed past an OOM cut-off
-      allocator.free(it->second);
+      allocator->backend_free(it->second);
       live.erase(it);
     }
     if (options.record_series) {
-      result.reserved_series.emplace_back(event.ts,
-                                          allocator.stats().reserved_bytes);
-      result.allocated_series.emplace_back(event.ts,
-                                           allocator.stats().allocated_bytes);
+      const fw::BackendStats s = allocator->backend_stats();
+      result.reserved_series.emplace_back(event.ts, s.reserved_bytes);
+      result.allocated_series.emplace_back(event.ts, s.active_bytes);
     }
   }
 
-  result.stats = allocator.stats();
-  result.peak_reserved = allocator.stats().peak_reserved_bytes;
-  result.peak_device = driver.stats().peak_used_bytes;
-  result.peak_allocated = allocator.stats().peak_allocated_bytes;
+  result.backend_stats = allocator->backend_stats();
+  result.peak_reserved = result.backend_stats.peak_reserved_bytes;
+  // Driverless backends (basic-bfc's unbounded arena) never touch the
+  // device model; their reserved peak doubles as the device-level peak.
+  result.peak_device = driver.stats().num_mallocs > 0
+                           ? driver.stats().peak_used_bytes
+                           : result.peak_reserved;
+  result.peak_allocated = result.backend_stats.peak_active_bytes;
+  if (const auto* caching =
+          dynamic_cast<const alloc::CachingAllocatorSim*>(allocator.get())) {
+    result.stats = caching->stats();
+  }
   return result;
 }
 

@@ -1,31 +1,29 @@
 // xMem Memory Simulator (paper §3.4).
 //
 // Replays an orchestrated memory-event sequence through the same two-level
-// allocator tower the ground truth runs on (CachingAllocatorSim over
-// SimulatedCudaDriver), reproducing round-up, segment sizing, BFC
+// allocator tower the ground truth runs on (by default CachingAllocatorSim
+// over SimulatedCudaDriver), reproducing round-up, segment sizing, BFC
 // split/coalesce, caching, reclaim-then-retry, and the two-level OOM
 // condition. The peak of the reserved-bytes series is the estimate.
+//
+// The framework allocator is selected by registry name (§6.4: the
+// pluggable-architecture point — the BFC core generalizes, the policies
+// around it must not be genericized away). Any backend registered in
+// alloc/backend_registry.h can be replayed against.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "alloc/backend_registry.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/cuda_driver_sim.h"
-#include "alloc/tf_bfc_allocator.h"
 #include "core/orchestrator.h"
 
 namespace xmem::core {
-
-/// Which framework allocator to simulate (§6.4: the pluggable-architecture
-/// point — the BFC core generalizes, the policies around it must not be
-/// genericized away).
-enum class AllocatorBackend : std::uint8_t {
-  kPyTorchCaching,   ///< CUDACachingAllocator port (default)
-  kTensorFlowBfc,    ///< TF-style growing-region BFC
-};
 
 struct SimulationOptions {
   /// Device capacity for the replay. The default (effectively unbounded)
@@ -34,7 +32,8 @@ struct SimulationOptions {
   /// semantics.
   std::int64_t capacity = kUnboundedCapacity;
   bool record_series = false;
-  AllocatorBackend backend = AllocatorBackend::kPyTorchCaching;
+  /// Registry name of the framework allocator to replay against.
+  std::string backend = alloc::kDefaultBackendName;
 
   static constexpr std::int64_t kUnboundedCapacity = std::int64_t{1} << 50;
 };
@@ -46,6 +45,10 @@ struct SimulationResult {
   std::int64_t peak_device = 0;
   std::int64_t peak_allocated = 0;  ///< tensor-level peak
   bool oom = false;  ///< both allocator levels failed (capacity-bound replays)
+  /// Backend-agnostic counters from the replayed allocator.
+  fw::BackendStats backend_stats;
+  /// Full PyTorch-port counters; populated only for the "pytorch" backend
+  /// (zero-initialized otherwise).
   alloc::CachingAllocatorStats stats;
   std::vector<std::pair<util::TimeUs, std::int64_t>> reserved_series;
   std::vector<std::pair<util::TimeUs, std::int64_t>> allocated_series;

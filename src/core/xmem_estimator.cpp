@@ -41,6 +41,7 @@ XMemEstimator::PipelineArtifacts XMemEstimator::run_pipeline(
 
   MemorySimulator simulator;
   SimulationOptions sim_options;
+  sim_options.backend = options_.allocator_backend;
   sim_options.record_series = record_series;
   artifacts.simulation =
       simulator.replay(artifacts.orchestration.sequence, sim_options);

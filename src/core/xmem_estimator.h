@@ -20,6 +20,9 @@ namespace xmem::core {
 
 struct XMemOptions {
   int profile_iterations = 3;
+  /// Registry name of the allocator the simulator replays against
+  /// (alloc/backend_registry.h; §6.4 framework generalization).
+  std::string allocator_backend = alloc::kDefaultBackendName;
   /// Disable to ablate §3.3 (raw CPU lifecycles straight into the
   /// simulator) — the "Orchestrator off" rows of the ablation bench.
   bool orchestrate = true;

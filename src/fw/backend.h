@@ -28,8 +28,83 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/bytes.h"
+
+namespace xmem::fw {
+
+// ---------------------------------------------------------------------------
+// AllocatorBackend — the unified framework-allocator interface.
+//
+// Every allocator model the simulator can replay against (the PyTorch
+// CUDACachingAllocator port, the TF-style growing-region BFC, DNNMem's basic
+// single-level BFC) implements this interface, and the registry in
+// `alloc/backend_registry.h` constructs them by name. The contract every
+// implementation must honour — the parity harness in `alloc/event_stream.h`
+// replays identical randomized streams through all registered backends and
+// asserts it — is documented in docs/ALLOCATORS.md. In short:
+//
+//   * backend_alloc(bytes) with bytes > 0 returns a unique live handle and
+//     the bytes charged to the live-byte counter for it (>= the request,
+//     after rounding and split policy), or reports OOM with no side effects
+//     on the live set.
+//   * backend_free(id) accepts exactly the live handles; freeing an unknown
+//     or already-freed handle throws std::logic_error (double-free guard).
+//   * backend_stats() is a consistent snapshot: active_bytes is the sum of
+//     charged bytes over live blocks, reserved_bytes >= active_bytes, the
+//     peaks are monotone high-water marks of their base counters, and
+//     num_allocs - num_frees == num_live_blocks.
+//   * backend_trim() releases whatever cached memory the policy allows
+//     (may be a no-op); it never touches live blocks.
+// ---------------------------------------------------------------------------
+
+/// Backend-agnostic counter snapshot (the shared subset every allocator
+/// model can report; backend-specific counters stay on the concrete types).
+struct BackendStats {
+  std::int64_t active_bytes = 0;    ///< charged bytes in live blocks
+  std::int64_t peak_active_bytes = 0;
+  std::int64_t reserved_bytes = 0;  ///< bytes held from the device/arena
+  std::int64_t peak_reserved_bytes = 0;
+  std::int64_t num_allocs = 0;
+  std::int64_t num_frees = 0;
+  std::int64_t num_segments = 0;    ///< segments/regions currently held
+  std::int64_t num_live_blocks = 0;
+};
+
+/// Result of one allocation request through the generic interface.
+struct BackendAllocResult {
+  std::int64_t id = -1;            ///< live-block handle; -1 on OOM
+  std::int64_t charged_bytes = 0;  ///< bytes debited to active for the block
+  bool oom = false;
+};
+
+class AllocatorBackend {
+ public:
+  virtual ~AllocatorBackend() = default;
+
+  /// Registry name of this backend ("pytorch", "tf-bfc", "basic-bfc", ...).
+  virtual std::string_view backend_name() const = 0;
+
+  /// Allocate `bytes` (> 0, pre-rounding). OOM is an expected experimental
+  /// outcome and is reported in the result, never thrown.
+  virtual BackendAllocResult backend_alloc(std::int64_t bytes) = 0;
+
+  /// Free a live handle. Throws std::logic_error on unknown/double free.
+  virtual void backend_free(std::int64_t id) = 0;
+
+  /// Consistent snapshot of the shared counters.
+  virtual BackendStats backend_stats() const = 0;
+
+  /// The rounding policy applied to a request before placement.
+  virtual std::int64_t backend_round(std::int64_t bytes) const = 0;
+
+  /// Release cached memory where the policy allows it (empty_cache() for
+  /// the PyTorch model; a no-op for policies that never return memory).
+  virtual void backend_trim() {}
+};
+
+}  // namespace xmem::fw
 
 namespace xmem::fw::backend {
 

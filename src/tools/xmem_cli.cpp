@@ -2,10 +2,12 @@
 // actually invoke from a submission hook:
 //
 //   xmem estimate --model gpt2 --batch 10 --optimizer AdamW
-//                 --device rtx3060 [--pos0] [--json] [--curve]
+//                 --device rtx3060 [--allocator pytorch|tf-bfc|...]
+//                 [--pos0] [--json] [--curve]
 //   xmem verify   ... (same flags; also runs the simulated ground truth)
 //   xmem models
 //   xmem devices
+//   xmem backends
 //
 // Exit code for `estimate`/`verify`: 0 = fits the device, 2 = predicted
 // OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/backend_registry.h"
 #include "core/xmem_estimator.h"
 #include "gpu/ground_truth.h"
 #include "models/workload.h"
@@ -31,11 +34,13 @@ int usage() {
                "usage:\n"
                "  xmem estimate --model NAME --batch N [--optimizer OPT]\n"
                "                [--device rtx3060|rtx4060|a100] [--pos0]\n"
-               "                [--iterations N] [--json] [--curve]\n"
+               "                [--allocator NAME] [--iterations N]\n"
+               "                [--json] [--curve]\n"
                "  xmem verify   (same flags; adds a simulated ground-truth "
                "run)\n"
                "  xmem models\n"
-               "  xmem devices\n");
+               "  xmem devices\n"
+               "  xmem backends (allocator models for --allocator)\n");
   return 1;
 }
 
@@ -53,6 +58,7 @@ struct Cli {
   int batch = 0;
   std::string optimizer = "AdamW";
   std::string device = "rtx3060";
+  std::string allocator = alloc::kDefaultBackendName;
   bool pos0 = false;
   bool json = false;
   bool curve = false;
@@ -87,6 +93,10 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       const char* v = next("--device");
       if (v == nullptr) return false;
       cli.device = v;
+    } else if (arg == "--allocator") {
+      const char* v = next("--allocator");
+      if (v == nullptr) return false;
+      cli.allocator = v;
     } else if (arg == "--iterations") {
       const char* v = next("--iterations");
       if (v == nullptr) return false;
@@ -131,6 +141,14 @@ int list_devices() {
   return 0;
 }
 
+int list_backends() {
+  for (const std::string& name : alloc::backend_names()) {
+    std::printf("%-12s %s\n", name.c_str(),
+                alloc::backend_description(name).c_str());
+  }
+  return 0;
+}
+
 int run_estimate(const Cli& cli, bool verify) {
   if (cli.model.empty() || cli.batch <= 0) {
     std::fprintf(stderr, "estimate requires --model and --batch > 0\n");
@@ -139,6 +157,11 @@ int run_estimate(const Cli& cli, bool verify) {
   if (!models::is_known_model(cli.model)) {
     std::fprintf(stderr, "unknown model '%s' (see `xmem models`)\n",
                  cli.model.c_str());
+    return 1;
+  }
+  if (!alloc::is_known_backend(cli.allocator)) {
+    std::fprintf(stderr, "unknown allocator '%s' (see `xmem backends`)\n",
+                 cli.allocator.c_str());
     return 1;
   }
   const gpu::DeviceModel device = device_by_name(cli.device);
@@ -152,6 +175,7 @@ int run_estimate(const Cli& cli, bool verify) {
 
   core::XMemOptions options;
   options.profile_iterations = cli.iterations;
+  options.allocator_backend = cli.allocator;
   core::XMemEstimator estimator(options);
   const auto artifacts = estimator.run_pipeline(job, cli.curve);
   const core::EstimateResult result = estimator.estimate(job, device);
@@ -175,6 +199,7 @@ int run_estimate(const Cli& cli, bool verify) {
     out["batch"] = util::Json(cli.batch);
     out["optimizer"] = util::Json(cli.optimizer);
     out["placement"] = util::Json(cli.pos0 ? "POS0" : "POS1");
+    out["allocator"] = util::Json(cli.allocator);
     out["device"] = util::Json(device.name);
     out["estimated_peak_bytes"] = util::Json(result.estimated_peak);
     out["device_job_budget_bytes"] = util::Json(device.job_budget());
@@ -235,6 +260,7 @@ int main(int argc, char** argv) {
   try {
     if (cli.command == "models") return list_models();
     if (cli.command == "devices") return list_devices();
+    if (cli.command == "backends") return list_backends();
     if (cli.command == "estimate") return run_estimate(cli, /*verify=*/false);
     if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
   } catch (const std::exception& e) {

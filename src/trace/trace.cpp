@@ -98,6 +98,7 @@ Json Trace::to_json() const {
   JsonObject doc;
   doc["schemaVersion"] = Json(1);
   JsonObject props;
+  props["xmem_schema_version"] = Json(kSchemaVersion);
   props["model"] = Json(model_name);
   props["optimizer"] = Json(optimizer_name);
   props["batch_size"] = Json(batch_size);
@@ -136,8 +137,21 @@ Trace Trace::from_json(const Json& doc) {
     throw std::runtime_error("Trace: document has no traceEvents array");
   }
   Trace t;
+  t.schema_version = 0;  // legacy unless traceMeta says otherwise
   if (doc.contains("traceMeta")) {
     const Json& meta = doc.at("traceMeta");
+    // Compat check: files without the field predate versioning (version 0)
+    // and stay loadable; files from a newer writer are refused here rather
+    // than misread event-by-event downstream.
+    const std::int64_t version =
+        meta.get_int_or("xmem_schema_version", 0);
+    if (version < 0 || version > kSchemaVersion) {
+      throw std::runtime_error(
+          "Trace: unsupported xmem_schema_version " +
+          std::to_string(version) + " (this build reads <= " +
+          std::to_string(kSchemaVersion) + ")");
+    }
+    t.schema_version = static_cast<int>(version);
     t.model_name = meta.get_string_or("model", "");
     t.optimizer_name = meta.get_string_or("optimizer", "");
     t.batch_size = static_cast<int>(meta.get_int_or("batch_size", 0));

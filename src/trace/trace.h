@@ -72,11 +72,21 @@ struct TraceEvent {
 
 /// A complete profiling session: ordered events plus run metadata.
 struct Trace {
+  /// Version of the xMem trace schema this writer emits (stored as
+  /// `traceMeta.xmem_schema_version`; the top-level `schemaVersion` is the
+  /// Chrome-trace field and stays fixed). Bump it whenever the event model
+  /// changes shape, so old estimator builds refuse newer files instead of
+  /// silently misreading them.
+  static constexpr int kSchemaVersion = 1;
+
   std::string model_name;
   std::string optimizer_name;
   int batch_size = 0;
   int iterations = 0;
   std::string backend;  ///< "cpu" or "cuda"
+  /// Schema version read back by from_json(): kSchemaVersion for current
+  /// files, 0 for legacy files written before the field existed.
+  int schema_version = kSchemaVersion;
   std::vector<TraceEvent> events;
 
   void add(TraceEvent event) { events.push_back(std::move(event)); }

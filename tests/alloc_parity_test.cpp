@@ -1,0 +1,259 @@
+// Randomized differential parity harness across allocator backends.
+//
+// One seeded event stream is replayed through every backend registered in
+// alloc/backend_registry.h; the shared fw::AllocatorBackend contract
+// (conservation, reserved >= active, monotone peaks, alloc/free/live-count
+// consistency) must hold event-by-event on each of them, and their peak
+// reserved memory must agree within documented divergence bounds. This is
+// the suite that keeps allocator refactors from silently diverging from the
+// paper's numbers (ROADMAP: allocator backend parity tests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/backend_registry.h"
+#include "alloc/event_stream.h"
+#include "core/simulator.h"
+#include "util/bytes.h"
+
+namespace xmem::alloc {
+namespace {
+
+using util::kMiB;
+
+constexpr std::int64_t kUnbounded = std::int64_t{1} << 50;
+
+/// Replay one stream through one backend built fresh from the registry.
+ReplayReport replay_backend(const std::string& name,
+                            const std::vector<StreamEvent>& events) {
+  SimulatedCudaDriver driver(kUnbounded);
+  const auto backend = make_backend(name, driver);
+  return replay_with_invariants(*backend, events);
+}
+
+// ---------- the event-stream generator itself ----------
+
+TEST(EventStream, FixedSeedIsByteIdentical) {
+  EventStreamConfig config;
+  config.seed = 2024;
+  config.num_events = 4000;
+  const auto a = generate_event_stream(config);
+  const auto b = generate_event_stream(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].block_id, b[i].block_id);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].is_alloc, b[i].is_alloc);
+    EXPECT_EQ(a[i].stream, b[i].stream);
+  }
+  EXPECT_EQ(stream_fingerprint(a), stream_fingerprint(b));
+  config.seed = 2025;
+  EXPECT_NE(stream_fingerprint(generate_event_stream(config)),
+            stream_fingerprint(a));
+}
+
+TEST(EventStream, IsWellFormed) {
+  EventStreamConfig config;
+  config.seed = 7;
+  config.num_events = 3000;
+  config.num_streams = 4;
+  const auto events = generate_event_stream(config);
+  // Every free names a live block of its own stream; the drain empties all.
+  std::unordered_map<std::int64_t, int> live_stream;
+  std::int64_t last_ts = -1;
+  for (const StreamEvent& e : events) {
+    EXPECT_GT(e.ts, last_ts);
+    last_ts = e.ts;
+    EXPECT_GT(e.bytes, 0);
+    if (e.is_alloc) {
+      EXPECT_EQ(live_stream.count(e.block_id), 0u) << "duplicate block id";
+      live_stream[e.block_id] = e.stream;
+    } else {
+      ASSERT_EQ(live_stream.count(e.block_id), 1u) << "free of dead block";
+      EXPECT_EQ(live_stream[e.block_id], e.stream);
+      live_stream.erase(e.block_id);
+    }
+  }
+  EXPECT_TRUE(live_stream.empty()) << "drain_at_end left live blocks";
+}
+
+TEST(EventStream, DumpRendersHeaderAndEvents) {
+  EventStreamConfig config;
+  config.num_events = 10;
+  const auto events = generate_event_stream(config);
+  const std::string dump = dump_stream(events, 4);
+  EXPECT_NE(dump.find("fingerprint"), std::string::npos);
+  EXPECT_NE(dump.find("alloc"), std::string::npos);
+  EXPECT_NE(dump.find("more events"), std::string::npos);
+}
+
+// ---------- differential parity across all registered backends ----------
+
+TEST(AllocatorParity, TenThousandEventStreamHoldsInvariantsEverywhere) {
+  EventStreamConfig config;  // defaults: 10k events, 2 streams
+  config.seed = 42;
+  const auto events = generate_event_stream(config);
+  ASSERT_GE(events.size(), 10000u);
+
+  std::map<std::string, ReplayReport> reports;
+  for (const std::string& name : backend_names()) {
+    const ReplayReport report = replay_backend(name, events);
+    EXPECT_TRUE(report.ok) << name << " violated '" << report.violation
+                           << "' at event " << report.event_index << "\n"
+                           << dump_stream(events, 16);
+    // The stream drains at the end: everything must come back.
+    EXPECT_EQ(report.final_stats.active_bytes, 0) << name;
+    EXPECT_EQ(report.final_stats.num_live_blocks, 0) << name;
+    EXPECT_EQ(report.final_stats.num_allocs, report.final_stats.num_frees)
+        << name;
+    // No policy can reserve less than the exact live bytes at their peak.
+    EXPECT_GE(report.peak_reserved, report.peak_live_bytes) << name;
+    reports[name] = report;
+  }
+
+  // Pairwise divergence bound: the policies differ (20 MiB buckets vs
+  // doubling regions vs bare best-fit) but on a realistic mixed stream
+  // their reserved peaks stay within a small constant factor. A backend
+  // escaping this band is how an accuracy regression first shows up.
+  std::int64_t min_peak = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_peak = 0;
+  for (const auto& [name, report] : reports) {
+    min_peak = std::min(min_peak, report.peak_reserved);
+    max_peak = std::max(max_peak, report.peak_reserved);
+  }
+  ASSERT_GT(min_peak, 0);
+  EXPECT_LE(static_cast<double>(max_peak) / static_cast<double>(min_peak),
+            2.0)
+      << "peak divergence across backends: min " << min_peak << ", max "
+      << max_peak;
+}
+
+TEST(AllocatorParity, HoldsAcrossSeedsAndStreamMixes) {
+  for (const std::uint64_t seed : {1ULL, 99ULL, 123456ULL}) {
+    EventStreamConfig config;
+    config.seed = seed;
+    config.num_events = 2000;
+    config.num_streams = static_cast<int>(1 + seed % 4);
+    config.alloc_bias = 0.5 + 0.01 * static_cast<double>(seed % 10);
+    const auto events = generate_event_stream(config);
+    for (const std::string& name : backend_names()) {
+      const ReplayReport report = replay_backend(name, events);
+      EXPECT_TRUE(report.ok)
+          << name << " seed " << seed << ": " << report.violation
+          << " at event " << report.event_index;
+      EXPECT_EQ(report.final_stats.active_bytes, 0) << name;
+    }
+  }
+}
+
+TEST(AllocatorParity, SimulatorReplayMatchesDirectBackendReplay) {
+  // The same stream through MemorySimulator (selected by registry name)
+  // must report exactly the peaks the direct interface replay saw.
+  EventStreamConfig config;
+  config.seed = 271828;
+  config.num_events = 2000;
+  const auto events = generate_event_stream(config);
+  core::OrchestratedSequence sequence;
+  for (const StreamEvent& e : events) {
+    sequence.events.push_back(
+        core::OrchestratedEvent{e.ts, e.block_id, e.bytes, e.is_alloc});
+  }
+  for (const std::string& name : backend_names()) {
+    const ReplayReport direct = replay_backend(name, events);
+    core::SimulationOptions options;
+    options.backend = name;
+    const core::SimulationResult sim =
+        core::MemorySimulator().replay(sequence, options);
+    EXPECT_FALSE(sim.oom) << name;
+    EXPECT_EQ(sim.peak_reserved, direct.final_stats.peak_reserved_bytes)
+        << name;
+    EXPECT_EQ(sim.peak_allocated, direct.final_stats.peak_active_bytes)
+        << name;
+  }
+}
+
+// ---------- failure debuggability: shrinking to a reproducer ----------
+
+/// A deliberately broken backend: the accounting bug every allocator
+/// refactor is one typo away from — free forgets to return the bytes.
+class LeakyCounterBackend final : public fw::AllocatorBackend {
+ public:
+  std::string_view backend_name() const override { return "leaky"; }
+  fw::BackendAllocResult backend_alloc(std::int64_t bytes) override {
+    const std::int64_t id = next_id_++;
+    live_[id] = bytes;
+    active_ += bytes;
+    peak_active_ = std::max(peak_active_, active_);
+    ++num_allocs_;
+    return fw::BackendAllocResult{id, bytes, false};
+  }
+  void backend_free(std::int64_t id) override {
+    if (live_.erase(id) == 0) throw std::logic_error("leaky: unknown id");
+    ++num_frees_;
+    // BUG: active_ is never decremented.
+  }
+  fw::BackendStats backend_stats() const override {
+    fw::BackendStats s;
+    s.active_bytes = active_;
+    s.peak_active_bytes = peak_active_;
+    s.reserved_bytes = active_;
+    s.peak_reserved_bytes = peak_active_;
+    s.num_allocs = num_allocs_;
+    s.num_frees = num_frees_;
+    s.num_segments = 0;
+    s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+    return s;
+  }
+  std::int64_t backend_round(std::int64_t bytes) const override {
+    return bytes;
+  }
+
+ private:
+  std::int64_t next_id_ = 1;
+  std::int64_t active_ = 0;
+  std::int64_t peak_active_ = 0;
+  std::int64_t num_allocs_ = 0;
+  std::int64_t num_frees_ = 0;
+  std::unordered_map<std::int64_t, std::int64_t> live_;
+};
+
+TEST(AllocatorParity, ShrinksFailingStreamToSmallReproducer) {
+  EventStreamConfig config;
+  config.seed = 31337;
+  config.num_events = 5000;
+  const auto events = generate_event_stream(config);
+
+  const auto still_fails = [](const std::vector<StreamEvent>& candidate) {
+    LeakyCounterBackend backend;  // fresh instance per attempt
+    return !replay_with_invariants(backend, candidate).ok;
+  };
+  ASSERT_TRUE(still_fails(events)) << "leaky backend must trip the harness";
+
+  const auto reproducer = shrink_failing_stream(events, still_fails);
+  ASSERT_FALSE(reproducer.empty());
+  EXPECT_TRUE(still_fails(reproducer));
+  // The conservation bug needs exactly one alloc + its free to surface.
+  EXPECT_LE(reproducer.size(), 2u) << dump_stream(reproducer);
+  // The dump a failing parity test attaches stays readable.
+  EXPECT_NE(dump_stream(reproducer).find("fingerprint"), std::string::npos);
+}
+
+TEST(AllocatorParity, ShrinkReturnsEmptyForPassingStream) {
+  EventStreamConfig config;
+  config.num_events = 200;
+  const auto events = generate_event_stream(config);
+  const auto never_fails = [](const std::vector<StreamEvent>&) {
+    return false;
+  };
+  EXPECT_TRUE(shrink_failing_stream(events, never_fails).empty());
+}
+
+}  // namespace
+}  // namespace xmem::alloc

@@ -1,8 +1,12 @@
 // Fine-grained semantics of the CUDACachingAllocator port — the behaviours
 // that distinguish the real allocator from a naive BFC and that the paper's
-// estimation accuracy rests on (Section 2.2 / 3.4).
+// estimation accuracy rests on (Section 2.2 / 3.4) — plus the generic
+// fw::AllocatorBackend view of it and the other registered backends.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "alloc/backend_registry.h"
 #include "alloc/caching_allocator.h"
 #include "alloc/cuda_driver_sim.h"
 #include "util/bytes.h"
@@ -154,6 +158,76 @@ TEST(AllocatorSemantics, DriverPagesExceedSegmentBytes) {
   // 22 MiB here, keeping reserved == driver-used for huge blocks.
   EXPECT_EQ(driver.stats().used_bytes % SimulatedCudaDriver::kPageSize, 0);
   EXPECT_GE(driver.stats().used_bytes, allocator.stats().reserved_bytes);
+}
+
+// ---------- the generic fw::AllocatorBackend view ----------
+
+TEST(BackendContract, RegistryExposesBuiltinsAndRejectsUnknown) {
+  const auto names = backend_names();
+  EXPECT_EQ(names.size(), 3u);
+  for (const char* expected : {"basic-bfc", "pytorch", "tf-bfc"}) {
+    EXPECT_TRUE(is_known_backend(expected)) << expected;
+    EXPECT_FALSE(backend_description(expected).empty()) << expected;
+  }
+  EXPECT_FALSE(is_known_backend("jax"));
+  SimulatedCudaDriver driver(util::kGiB);
+  EXPECT_THROW(make_backend("jax", driver), std::invalid_argument);
+  EXPECT_THROW(
+      register_backend("pytorch", "duplicate",
+                       [](SimulatedCudaDriver& d) {
+                         return make_backend("pytorch", d);
+                       }),
+      std::invalid_argument);
+}
+
+TEST(BackendContract, FactoryNameMatchesBackendName) {
+  SimulatedCudaDriver driver(util::kGiB);
+  for (const auto& name : backend_names()) {
+    EXPECT_EQ(make_backend(name, driver)->backend_name(), name);
+  }
+}
+
+TEST(BackendContract, GenericStatsMatchConcretePyTorchCounters) {
+  Fixture f;
+  const auto a = f.allocator.backend_alloc(1000);
+  EXPECT_FALSE(a.oom);
+  EXPECT_EQ(a.charged_bytes, 1024);  // 512 B rounding through the interface
+  EXPECT_EQ(f.allocator.backend_round(1000), 1024);
+  const fw::BackendStats s = f.allocator.backend_stats();
+  EXPECT_EQ(s.active_bytes, f.allocator.stats().allocated_bytes);
+  EXPECT_EQ(s.reserved_bytes, f.allocator.stats().reserved_bytes);
+  EXPECT_EQ(s.num_segments, 1);
+  EXPECT_EQ(s.num_live_blocks, 1);
+  f.allocator.backend_free(a.id);
+  f.allocator.backend_trim();  // empty_cache() through the interface
+  EXPECT_EQ(f.allocator.backend_stats().reserved_bytes, 0);
+  EXPECT_EQ(f.allocator.backend_stats().num_segments, 0);
+}
+
+TEST(BackendContract, DoubleFreeThrowsOnEveryBackend) {
+  for (const auto& name : backend_names()) {
+    SimulatedCudaDriver driver(util::kGiB);
+    const auto backend = make_backend(name, driver);
+    const auto outcome = backend->backend_alloc(4096);
+    ASSERT_FALSE(outcome.oom) << name;
+    backend->backend_free(outcome.id);
+    EXPECT_THROW(backend->backend_free(outcome.id), std::logic_error) << name;
+  }
+}
+
+TEST(BackendContract, ReservedCoversActiveOnEveryBackend) {
+  for (const auto& name : backend_names()) {
+    SimulatedCudaDriver driver(util::kGiB);
+    const auto backend = make_backend(name, driver);
+    const auto a = backend->backend_alloc(3 * kMiB);
+    const auto b = backend->backend_alloc(700);
+    const fw::BackendStats s = backend->backend_stats();
+    EXPECT_GE(a.charged_bytes, 3 * kMiB) << name;
+    EXPECT_GE(b.charged_bytes, 700) << name;
+    EXPECT_EQ(s.active_bytes, a.charged_bytes + b.charged_bytes) << name;
+    EXPECT_GE(s.reserved_bytes, s.active_bytes) << name;
+    EXPECT_EQ(s.num_allocs - s.num_frees, s.num_live_blocks) << name;
+  }
 }
 
 }  // namespace

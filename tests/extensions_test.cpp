@@ -103,7 +103,7 @@ TEST(TfBfc, SimulatorBackendProducesDifferentReservedShape) {
 
   core::SimulationOptions torch_options;
   core::SimulationOptions tf_options;
-  tf_options.backend = core::AllocatorBackend::kTensorFlowBfc;
+  tf_options.backend = "tf-bfc";
   const auto torch_result = core::MemorySimulator().replay(seq, torch_options);
   const auto tf_result = core::MemorySimulator().replay(seq, tf_options);
   EXPECT_EQ(torch_result.peak_reserved, 20 * kMiB);
