@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/analyzer.h"
+#include "core/estimation_service.h"
 #include "core/orchestrator.h"
 #include "core/profile_runner.h"
 #include "core/simulator.h"
@@ -90,18 +91,57 @@ void BM_Simulator(benchmark::State& state) {
 }
 BENCHMARK(BM_Simulator);
 
-void BM_EndToEndEstimate(benchmark::State& state) {
-  core::XMemEstimator estimator;
+core::TrainJob test_job() {
   core::TrainJob job;
   job.model_name = "gpt2";
   job.batch_size = 8;
   job.optimizer = fw::OptimizerKind::kAdamW;
+  return job;
+}
+
+void BM_EndToEndEstimate(benchmark::State& state) {
+  // Fresh session every iteration: the full profile->analyze->orchestrate->
+  // simulate pipeline, i.e. the pre-service cost of every what-if question.
+  const core::TrainJob job = test_job();
   const gpu::DeviceModel device = gpu::rtx3060();
   for (auto _ : state) {
+    core::XMemEstimator estimator;
     benchmark::DoNotOptimize(estimator.estimate(job, device));
   }
 }
 BENCHMARK(BM_EndToEndEstimate);
+
+void BM_ServiceEstimateWarm(benchmark::State& state) {
+  // Profile-once/estimate-many: the session holds the profile, the result
+  // cache is disabled so every iteration pays a real simulator replay —
+  // the marginal cost of one more what-if question through the service.
+  core::ServiceOptions options;
+  options.threads = 1;
+  options.result_cache_capacity = 0;
+  core::EstimationService service(options);
+  const core::TrainJob job = test_job();
+  const gpu::DeviceModel device = gpu::rtx3060();
+  service.estimate("xMem", job, device);  // prime the profile session
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.estimate("xMem", job, device));
+  }
+}
+BENCHMARK(BM_ServiceEstimateWarm);
+
+void BM_ServiceSweep(benchmark::State& state) {
+  // A scheduler-shaped question: 3 devices x 3 allocators in one request.
+  // One profile + 9 concurrent replays per iteration (fresh service each
+  // time, so the profile cost is inside the measurement).
+  core::EstimateRequest request;
+  request.job = test_job();
+  request.devices = gpu::all_devices();
+  request.allocators = alloc::backend_names();
+  for (auto _ : state) {
+    core::EstimationService service;
+    benchmark::DoNotOptimize(service.sweep(request));
+  }
+}
+BENCHMARK(BM_ServiceSweep);
 
 }  // namespace
 

@@ -6,14 +6,21 @@
 # Usage: ci/build_and_test.sh [--update-goldens] [build-dir]
 #   (default build-dir: build)
 #
-# The golden step runs the deterministic evaluation benches
-# (bench/table03_mcp, bench/table04_runtime) in --fast scope and diffs their
-# output against bench/goldens/*.txt, so estimator-accuracy regressions fail
-# CI instead of surfacing in a paper comparison later. Wall-clock runtime
-# numbers (table04's payload) are normalized to <runtime> before diffing —
-# the golden pins the table structure and estimator set, not the timings.
+# The golden step runs the deterministic evaluation benches (table03/04 and
+# every fig*/ablation program — all verified deterministic in --fast scope;
+# none had to be skipped) and diffs their output against
+# bench/goldens/*.txt, so estimator-accuracy regressions fail CI instead of
+# surfacing in a paper comparison later. Wall-clock runtime numbers
+# (table04's payload) are normalized to <runtime> before diffing — the
+# goldens pin table/figure structure and estimator output, not timings.
 # After an intentional accuracy change, regenerate with --update-goldens and
 # commit the new goldens alongside the change.
+#
+# The sweep smoke step feeds ci/fixtures/sweep_request.json through
+# `xmem sweep --no-timings` and diffs the JSON report against
+# ci/fixtures/sweep_report.json (schema + payload pinned; wall-clock fields
+# stripped), then asserts the profile-once contract via the report's stage
+# counters.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -44,7 +51,10 @@ normalize() {
 }
 
 GOLDEN_FAILED=0
-for bench in table03_mcp table04_runtime; do
+for bench in table03_mcp table04_runtime \
+             fig01_zero_grad_placement fig03_sequence_impact \
+             fig06_simulator_validation fig07_mre_distributions \
+             fig08_quadrant fig09_large_models ablation_orchestrator; do
   golden="${GOLDEN_DIR}/${bench}.txt"
   actual="$(mktemp)"
   "${BUILD_DIR}/bench/${bench}" --fast | normalize > "${actual}"
@@ -65,4 +75,28 @@ for bench in table03_mcp table04_runtime; do
   fi
   rm -f "${actual}"
 done
+
+# --- xmem sweep smoke ------------------------------------------------------
+
+FIXTURE_DIR="${REPO_ROOT}/ci/fixtures"
+sweep_golden="${FIXTURE_DIR}/sweep_report.json"
+sweep_actual="$(mktemp)"
+"${BUILD_DIR}/src/xmem_cli" sweep "${FIXTURE_DIR}/sweep_request.json" \
+  --no-timings > "${sweep_actual}"
+if ! grep -q '"profiles_run": 1,' "${sweep_actual}"; then
+  echo "SWEEP SMOKE: expected exactly one CPU profile in stage_counters" >&2
+  GOLDEN_FAILED=1
+fi
+if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
+  cp "${sweep_actual}" "${sweep_golden}"
+  echo "updated ${sweep_golden}"
+elif ! diff -u "${sweep_golden}" "${sweep_actual}" > /dev/null; then
+  echo "SWEEP SMOKE MISMATCH: report schema or payload changed" >&2
+  diff -u "${sweep_golden}" "${sweep_actual}" >&2 || true
+  echo "If intentional, regenerate: ci/build_and_test.sh --update-goldens" >&2
+  GOLDEN_FAILED=1
+else
+  echo "sweep smoke ok"
+fi
+rm -f "${sweep_actual}"
 exit "${GOLDEN_FAILED}"

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/xmem_estimator.h"
+#include "core/estimation_service.h"
 #include "gpu/ground_truth.h"
 #include "models/zoo.h"
 #include "util/bytes.h"
@@ -38,11 +38,15 @@ int main(int argc, char** argv) {
               util::format_bytes(device.job_budget()).c_str());
 
   // --- a priori estimate: CPU-only, no GPU touched -----------------------
-  core::XMemEstimator estimator;
-  const core::EstimateResult estimate = estimator.estimate(job, device);
-  std::printf("\nxMem estimate      : %s (%.1f ms CPU time)\n",
+  core::EstimationService service;
+  const core::EstimateEntry estimate = service.estimate("xMem", job, device);
+  std::printf("\nxMem estimate      : %s (%.1f ms CPU time: profile %.1f + "
+              "analyze %.1f + simulate %.1f)\n",
               util::format_bytes(estimate.estimated_peak).c_str(),
-              estimate.runtime_seconds * 1e3);
+              estimate.timings.total_seconds * 1e3,
+              estimate.timings.profile_seconds * 1e3,
+              estimate.timings.analyze_seconds * 1e3,
+              estimate.timings.simulate_seconds * 1e3);
   std::printf("OOM predicted      : %s\n",
               estimate.oom_predicted ? "yes" : "no");
 

@@ -16,8 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/dnnmem.h"
-#include "core/xmem_estimator.h"
+#include "core/estimation_service.h"
 #include "gpu/ground_truth.h"
 #include "models/zoo.h"
 #include "util/bytes.h"
@@ -86,8 +85,9 @@ int main() {
   std::printf("Scheduler packing example: 6 jobs -> {3060, 4060}\n\n");
 
   std::vector<JobArrival> arrivals;
-  core::XMemEstimator xmem;
-  baselines::DnnMemEstimator dnnmem;
+  // One service answers every policy's questions: each job is profiled
+  // once, then both estimators (and any future what-if) reuse the session.
+  core::EstimationService service;
   std::vector<std::int64_t> xmem_pred, dnnmem_pred, whole_gpu_pred;
 
   gpu::GroundTruthRunner runner;
@@ -106,17 +106,22 @@ int main() {
     arrival.true_peak = truth.peak_job_bytes;
     arrival.oom_alone = truth.oom;
 
-    const auto xmem_estimate = xmem.estimate(arrival.job, cluster[0]);
-    const auto dnnmem_estimate = dnnmem.estimate(arrival.job, cluster[0]);
-    xmem_pred.push_back(xmem_estimate.estimated_peak);
-    dnnmem_pred.push_back(dnnmem_estimate.estimated_peak);
+    core::EstimateRequest request;
+    request.job = arrival.job;
+    request.devices = {cluster[0]};
+    request.estimators = {"xMem", "DNNMem"};
+    const core::EstimateReport report = service.sweep(request);
+    const std::int64_t xmem_peak = report.entries[0].estimated_peak;
+    const std::int64_t dnnmem_peak = report.entries[1].estimated_peak;
+    xmem_pred.push_back(xmem_peak);
+    dnnmem_pred.push_back(dnnmem_peak);
     whole_gpu_pred.push_back(cluster[0].job_budget());  // claim whole card
 
     std::printf("  %-14s b%-4d %-9s true peak %-11s xMem %-11s DNNMem %s\n",
                 entry.model, entry.batch, to_string(entry.optimizer),
                 util::format_bytes(arrival.true_peak).c_str(),
-                util::format_bytes(xmem_estimate.estimated_peak).c_str(),
-                util::format_bytes(dnnmem_estimate.estimated_peak).c_str());
+                util::format_bytes(xmem_peak).c_str(),
+                util::format_bytes(dnnmem_peak).c_str());
     arrivals.push_back(arrival);
   }
 

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/xmem_estimator.h"
+#include "core/estimation_service.h"
 #include "gpu/ground_truth.h"
 #include "models/zoo.h"
 #include "util/bytes.h"
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               model_name.c_str(), batch, to_string(optimizer),
               device.name.c_str());
 
-  core::XMemEstimator estimator;
+  core::EstimationService service;
   gpu::GroundTruthRunner runner;
   const fw::ModelDescriptor model = models::build_model(model_name, batch);
 
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     job.optimizer = optimizer;
     job.placement = placements[p];
     job.seed = 99;
-    const core::EstimateResult estimate = estimator.estimate(job, device);
+    const core::EstimateEntry estimate = service.estimate("xMem", job, device);
     estimates[p] = estimate.estimated_peak;
 
     gpu::GroundTruthOptions options;

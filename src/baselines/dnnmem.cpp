@@ -1,6 +1,5 @@
 #include "baselines/dnnmem.h"
 
-#include <chrono>
 #include <vector>
 
 #include "baselines/basic_bfc.h"
@@ -102,18 +101,13 @@ std::int64_t static_walk_peak(const ModelDescriptor& model) {
 
 }  // namespace
 
-core::EstimateResult DnnMemEstimator::estimate(const core::TrainJob& job,
-                                               const gpu::DeviceModel& device) {
-  const auto wall_start = std::chrono::steady_clock::now();
+core::EstimateResult DnnMemEstimator::compute(const core::TrainJob& job,
+                                              const gpu::DeviceModel& device) {
   const ModelDescriptor model =
       models::build_model(job.model_name, job.batch_size);
   core::EstimateResult result;
   result.estimated_peak = static_walk_peak(model);
   result.oom_predicted = result.estimated_peak > device.job_budget();
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
   return result;
 }
 

@@ -21,8 +21,9 @@ class DnnMemEstimator final : public core::Estimator {
  public:
   std::string name() const override { return "DNNMem"; }
 
-  core::EstimateResult estimate(const core::TrainJob& job,
-                                const gpu::DeviceModel& device) override;
+ protected:
+  core::EstimateResult compute(const core::TrainJob& job,
+                               const gpu::DeviceModel& device) override;
 };
 
 }  // namespace xmem::baselines

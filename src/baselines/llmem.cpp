@@ -1,7 +1,6 @@
 #include "baselines/llmem.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "fw/optimizer.h"
 #include "gpu/ground_truth.h"
@@ -15,14 +14,9 @@ bool LLMemEstimator::supports(const core::TrainJob& job) const {
   return probe.family == fw::ModelFamily::kTransformer;
 }
 
-core::EstimateResult LLMemEstimator::estimate(const core::TrainJob& job,
-                                              const gpu::DeviceModel& device) {
-  const auto wall_start = std::chrono::steady_clock::now();
+core::EstimateResult LLMemEstimator::compute(const core::TrainJob& job,
+                                             const gpu::DeviceModel& device) {
   core::EstimateResult result;
-  if (!supports(job)) {
-    result.supported = false;
-    return result;
-  }
 
   // Probe runs at batch 1 and 2 on the target GPU (direct measurement —
   // this is the step that violates the zero-target-GPU-overhead constraint).
@@ -46,10 +40,6 @@ core::EstimateResult LLMemEstimator::estimate(const core::TrainJob& job,
     const std::int64_t params = model_b1.param_bytes();
     result.estimated_peak = params * 4;  // weights + grads + AdamW states
     result.oom_predicted = true;
-    result.runtime_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
     return result;
   }
 
@@ -80,10 +70,6 @@ core::EstimateResult LLMemEstimator::estimate(const core::TrainJob& job,
       (assumed_state - actual_state);
   result.estimated_peak = std::max<std::int64_t>(result.estimated_peak, 1);
   result.oom_predicted = result.estimated_peak > device.job_budget();
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
   return result;
 }
 

@@ -33,8 +33,9 @@ class LLMemEstimator final : public core::Estimator {
 
   bool supports(const core::TrainJob& job) const override;
 
-  core::EstimateResult estimate(const core::TrainJob& job,
-                                const gpu::DeviceModel& device) override;
+ protected:
+  core::EstimateResult compute(const core::TrainJob& job,
+                               const gpu::DeviceModel& device) override;
 
  private:
   LLMemOptions options_;

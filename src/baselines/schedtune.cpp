@@ -1,6 +1,5 @@
 #include "baselines/schedtune.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "fw/optimizer.h"
@@ -95,18 +94,13 @@ void SchedTuneEstimator::train(const SchedTuneOptions& options) {
   gbm_.fit(rows, targets);
 }
 
-core::EstimateResult SchedTuneEstimator::estimate(
+core::EstimateResult SchedTuneEstimator::compute(
     const core::TrainJob& job, const gpu::DeviceModel& device) {
-  const auto wall_start = std::chrono::steady_clock::now();
   const double predicted_gib = gbm_.predict(features(job, device));
   core::EstimateResult result;
   result.estimated_peak = static_cast<std::int64_t>(
       std::max(predicted_gib, 0.01) * static_cast<double>(util::kGiB));
   result.oom_predicted = result.estimated_peak > device.job_budget();
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
   return result;
 }
 

@@ -31,9 +31,6 @@ class SchedTuneEstimator final : public core::Estimator {
 
   std::string name() const override { return "SchedTune"; }
 
-  core::EstimateResult estimate(const core::TrainJob& job,
-                                const gpu::DeviceModel& device) override;
-
   /// Feature extraction is public for tests: (log params, layer count,
   /// batch, family flag, per-param optimizer state words, hidden dim, vocab
   /// size, sequence length, device capacity).
@@ -41,6 +38,10 @@ class SchedTuneEstimator final : public core::Estimator {
                                       const gpu::DeviceModel& device);
 
   std::size_t history_size() const { return history_size_; }
+
+ protected:
+  core::EstimateResult compute(const core::TrainJob& job,
+                               const gpu::DeviceModel& device) override;
 
  private:
   void train(const SchedTuneOptions& options);

@@ -1,0 +1,516 @@
+#include "core/estimation_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <list>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/estimator_registry.h"
+#include "core/simulator.h"
+#include "models/zoo.h"
+#include "util/thread_pool.h"
+
+namespace xmem::core {
+
+namespace {
+
+TrainJob job_from_json(const util::Json& json) {
+  TrainJob job;
+  job.model_name = json.get_string_or("model", "");
+  job.batch_size = static_cast<int>(json.get_int_or("batch", 0));
+  job.optimizer =
+      fw::optimizer_from_string(json.get_string_or("optimizer", "SGD"));
+  job.placement =
+      fw::placement_from_string(json.get_string_or("placement", "POS1"));
+  job.seed = static_cast<std::uint64_t>(json.get_int_or("seed", 1));
+  if (job.model_name.empty()) {
+    throw std::invalid_argument("request job: missing \"model\"");
+  }
+  if (job.batch_size <= 0) {
+    throw std::invalid_argument("request job: \"batch\" must be > 0");
+  }
+  return job;
+}
+
+util::Json job_to_json(const TrainJob& job) {
+  util::Json json = util::Json::object();
+  json["model"] = util::Json(job.model_name);
+  json["batch"] = util::Json(job.batch_size);
+  json["optimizer"] = util::Json(to_string(job.optimizer));
+  json["placement"] = util::Json(to_string(job.placement));
+  json["seed"] = util::Json(static_cast<std::int64_t>(job.seed));
+  return json;
+}
+
+gpu::DeviceModel device_from_json(const util::Json& json) {
+  if (json.is_string()) return gpu::device_by_name(json.as_string());
+  if (!json.is_object()) {
+    throw std::invalid_argument(
+        "request devices: entries must be alias strings or device objects");
+  }
+  const std::string name = json.get_string_or("name", "");
+  if (name.empty()) {
+    throw std::invalid_argument("request device object: missing \"name\"");
+  }
+  // Start from the named reference card when the name resolves (so partial
+  // overrides — e.g. only m_init_bytes — are what-ifs against real
+  // geometry), from a blank device otherwise.
+  gpu::DeviceModel device;
+  try {
+    device = gpu::device_by_name(name);
+  } catch (const std::invalid_argument&) {
+    device.name = name;
+  }
+  device.capacity = json.get_int_or("capacity_bytes", device.capacity);
+  device.m_init = json.get_int_or("m_init_bytes", device.m_init);
+  device.m_fm = json.get_int_or("m_fm_bytes", device.m_fm);
+  if (device.capacity <= 0) {
+    throw std::invalid_argument(
+        "request device object: unknown name '" + name +
+        "' needs an explicit \"capacity_bytes\" > 0");
+  }
+  return device;
+}
+
+util::Json timings_to_json(const StageTimings& timings) {
+  util::Json json = util::Json::object();
+  json["profile_seconds"] = util::Json(timings.profile_seconds);
+  json["analyze_seconds"] = util::Json(timings.analyze_seconds);
+  json["simulate_seconds"] = util::Json(timings.simulate_seconds);
+  json["total_seconds"] = util::Json(timings.total_seconds);
+  json["profile_cache_hit"] = util::Json(timings.profile_cache_hit);
+  json["result_cache_hit"] = util::Json(timings.result_cache_hit);
+  return json;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+EstimateRequest EstimateRequest::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("request: top level must be an object");
+  }
+  EstimateRequest request;
+  request.job = job_from_json(json.at("job"));
+
+  if (!json.contains("devices") || json.at("devices").size() == 0) {
+    throw std::invalid_argument("request: \"devices\" must be a non-empty "
+                                "array");
+  }
+  for (const util::Json& entry : json.at("devices").as_array()) {
+    request.devices.push_back(device_from_json(entry));
+  }
+
+  if (json.contains("allocators")) {
+    request.allocators.clear();
+    for (const util::Json& entry : json.at("allocators").as_array()) {
+      request.allocators.push_back(entry.as_string());
+    }
+  }
+  if (json.contains("estimators")) {
+    request.estimators.clear();
+    for (const util::Json& entry : json.at("estimators").as_array()) {
+      request.estimators.push_back(entry.as_string());
+    }
+  }
+  request.profile_iterations =
+      static_cast<int>(json.get_int_or("profile_iterations", 3));
+  request.record_curve = json.contains("curve") && json.at("curve").as_bool();
+  return request;
+}
+
+util::Json EstimateRequest::to_json() const {
+  util::Json json = util::Json::object();
+  json["job"] = job_to_json(job);
+  util::Json device_array = util::Json::array();
+  for (const gpu::DeviceModel& device : devices) {
+    util::Json entry = util::Json::object();
+    entry["name"] = util::Json(device.name);
+    entry["capacity_bytes"] = util::Json(device.capacity);
+    entry["m_init_bytes"] = util::Json(device.m_init);
+    entry["m_fm_bytes"] = util::Json(device.m_fm);
+    device_array.push_back(std::move(entry));
+  }
+  json["devices"] = std::move(device_array);
+  util::Json allocator_array = util::Json::array();
+  for (const std::string& name : allocators) {
+    allocator_array.push_back(util::Json(name));
+  }
+  json["allocators"] = std::move(allocator_array);
+  util::Json estimator_array = util::Json::array();
+  for (const std::string& name : estimators) {
+    estimator_array.push_back(util::Json(name));
+  }
+  json["estimators"] = std::move(estimator_array);
+  json["profile_iterations"] = util::Json(profile_iterations);
+  json["curve"] = util::Json(record_curve);
+  return json;
+}
+
+EstimateResult EstimateEntry::to_result() const {
+  EstimateResult result;
+  result.supported = supported;
+  result.estimated_peak = estimated_peak;
+  result.oom_predicted = oom_predicted;
+  result.runtime_seconds = timings.total_seconds;
+  return result;
+}
+
+util::Json EstimateEntry::to_json(bool include_timings) const {
+  util::Json json = util::Json::object();
+  json["estimator"] = util::Json(estimator);
+  json["device"] = util::Json(device);
+  if (!allocator.empty()) json["allocator"] = util::Json(allocator);
+  json["supported"] = util::Json(supported);
+  if (supported) {
+    json["estimated_peak_bytes"] = util::Json(estimated_peak);
+    json["oom_predicted"] = util::Json(oom_predicted);
+    json["device_job_budget_bytes"] = util::Json(device_job_budget);
+  }
+  if (has_orchestrator_stats) {
+    util::Json stats = util::Json::object();
+    stats["params_pinned"] =
+        util::Json(static_cast<std::int64_t>(orchestrator_stats.params_pinned));
+    stats["batch_truncated"] = util::Json(
+        static_cast<std::int64_t>(orchestrator_stats.batch_truncated));
+    stats["gradients_retimed"] = util::Json(
+        static_cast<std::int64_t>(orchestrator_stats.gradients_retimed));
+    stats["optimizer_states_pinned"] = util::Json(static_cast<std::int64_t>(
+        orchestrator_stats.optimizer_states_pinned));
+    json["orchestrator_stats"] = std::move(stats);
+  }
+  if (include_timings) json["timings"] = timings_to_json(timings);
+  if (!reserved_curve.empty()) {
+    util::Json curve = util::Json::array();
+    for (const auto& [ts, bytes] : reserved_curve) {
+      util::Json point = util::Json::array();
+      point.push_back(util::Json(ts));
+      point.push_back(util::Json(bytes));
+      curve.push_back(std::move(point));
+    }
+    json["reserved_curve"] = std::move(curve);
+  }
+  return json;
+}
+
+util::Json EstimateReport::to_json(bool include_timings) const {
+  util::Json json = util::Json::object();
+  json["schema_version"] = util::Json(1);
+  json["job"] = job_to_json(job);
+  util::Json entry_array = util::Json::array();
+  for (const EstimateEntry& entry : entries) {
+    entry_array.push_back(entry.to_json(include_timings));
+  }
+  json["entries"] = std::move(entry_array);
+  util::Json counters = util::Json::object();
+  counters["profiles_run"] =
+      util::Json(static_cast<std::int64_t>(profiles_run));
+  counters["profile_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(profile_cache_hits));
+  counters["replays_run"] = util::Json(static_cast<std::int64_t>(replays_run));
+  counters["result_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(result_cache_hits));
+  json["stage_counters"] = std::move(counters);
+  if (include_timings) json["wall_seconds"] = util::Json(wall_seconds);
+  return json;
+}
+
+// ---------------------------------------------------------------------------
+
+struct EstimationService::SweepCounters {
+  std::atomic<std::size_t> profiles_run{0};
+  std::atomic<std::size_t> profile_cache_hits{0};
+  std::atomic<std::size_t> replays_run{0};
+  std::atomic<std::size_t> result_cache_hits{0};
+};
+
+struct EstimationService::Impl {
+  std::mutex estimators_mutex;
+  std::map<std::string, std::unique_ptr<Estimator>> estimators;
+
+  std::mutex results_mutex;
+  std::list<std::string> results_lru;  ///< front = most recently used
+  std::map<std::string,
+           std::pair<EstimateEntry, std::list<std::string>::iterator>>
+      results;
+};
+
+EstimationService::EstimationService(ServiceOptions options)
+    : options_(options),
+      session_(options.session
+                   ? options.session
+                   : std::make_shared<ProfileSession>(
+                         options.profile_cache_capacity)),
+      impl_(std::make_unique<Impl>()) {
+  const std::size_t threads = options_.threads == 0
+                                  ? util::ThreadPool::default_threads()
+                                  : options_.threads;
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+EstimationService::~EstimationService() = default;
+
+ProfileKey EstimationService::profile_key_for(const TrainJob& job,
+                                              bool orchestrate,
+                                              int profile_iterations) const {
+  ProfileKey key;
+  key.model_name = job.model_name;
+  key.batch_size = job.batch_size;
+  key.optimizer = job.optimizer;
+  key.placement = job.placement;
+  key.seed = job.seed;
+  key.profile_iterations = profile_iterations;
+  key.json_round_trip = options_.json_round_trip;
+  if (orchestrate) {
+    key.orchestrator_config = options_.orchestrator_config;
+  } else {
+    key.orchestrator_config.rule_params = false;
+    key.orchestrator_config.rule_batch = false;
+    key.orchestrator_config.rule_gradients = false;
+    key.orchestrator_config.rule_optimizer_state = false;
+  }
+  return key;
+}
+
+Estimator& EstimationService::estimator_instance(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->estimators_mutex);
+  auto it = impl_->estimators.find(name);
+  if (it == impl_->estimators.end()) {
+    // Construction happens under the lock on purpose: SchedTune trains its
+    // GBM at construction and must do so exactly once per service.
+    it = impl_->estimators.emplace(name, make_estimator(name)).first;
+  }
+  return *it->second;
+}
+
+bool EstimationService::result_cache_get(const std::string& key,
+                                         EstimateEntry& out) {
+  std::lock_guard<std::mutex> lock(impl_->results_mutex);
+  auto it = impl_->results.find(key);
+  if (it == impl_->results.end()) return false;
+  impl_->results_lru.splice(impl_->results_lru.begin(), impl_->results_lru,
+                            it->second.second);
+  out = it->second.first;
+  return true;
+}
+
+void EstimationService::result_cache_put(const std::string& key,
+                                         const EstimateEntry& entry) {
+  std::lock_guard<std::mutex> lock(impl_->results_mutex);
+  if (impl_->results.count(key) > 0) return;  // concurrent duplicate
+  impl_->results_lru.push_front(key);
+  impl_->results.emplace(key, std::make_pair(entry, impl_->results_lru.begin()));
+  while (impl_->results.size() > options_.result_cache_capacity &&
+         !impl_->results_lru.empty()) {
+    impl_->results.erase(impl_->results_lru.back());
+    impl_->results_lru.pop_back();
+  }
+}
+
+EstimateEntry EstimationService::run_entry(const EstimateRequest& request,
+                                           const EntrySpec& spec,
+                                           SweepCounters& counters) {
+  const gpu::DeviceModel& device = request.devices[spec.device_index];
+  std::string result_key = spec.estimator;
+  result_key += '|';
+  result_key += request.job.label();
+  result_key += "|s";
+  result_key += std::to_string(request.job.seed);
+  result_key += "|it";
+  result_key += std::to_string(request.profile_iterations);
+  result_key += '|';
+  result_key += device.name;
+  // A name alone does not identify a device: custom what-if entries may
+  // reuse a name with different geometry, and the verdict depends on it.
+  result_key += '#';
+  result_key += std::to_string(device.capacity);
+  result_key += '/';
+  result_key += std::to_string(device.m_init);
+  result_key += '/';
+  result_key += std::to_string(device.m_fm);
+  result_key += '|';
+  result_key += spec.allocator;
+  result_key += request.record_curve ? "|curve" : "";
+
+  EstimateEntry cached;
+  if (result_cache_get(result_key, cached)) {
+    counters.result_cache_hits.fetch_add(1);
+    cached.timings.result_cache_hit = true;
+    return cached;
+  }
+
+  const auto entry_start = std::chrono::steady_clock::now();
+  EstimateEntry entry;
+  entry.estimator = spec.estimator;
+  entry.device = device.name;
+  entry.allocator = spec.allocator;
+  entry.device_job_budget = device.job_budget();
+
+  if (spec.session_backed) {
+    const ProfileSession::Lookup lookup = session_->get(
+        profile_key_for(request.job, estimator_orchestrates(spec.estimator),
+                        request.profile_iterations));
+    if (lookup.cache_hit) {
+      counters.profile_cache_hits.fetch_add(1);
+    } else {
+      counters.profiles_run.fetch_add(1);
+    }
+
+    const auto replay_start = std::chrono::steady_clock::now();
+    MemorySimulator simulator;
+    SimulationOptions sim_options;
+    sim_options.backend = spec.allocator;
+    sim_options.record_series = request.record_curve;
+    const SimulationResult simulation = simulator.replay(
+        lookup.artifacts->orchestration.sequence, sim_options);
+    counters.replays_run.fetch_add(1);
+
+    entry.estimated_peak = simulation.peak_device;
+    entry.oom_predicted = entry.estimated_peak > device.job_budget();
+    entry.has_orchestrator_stats = true;
+    entry.orchestrator_stats = lookup.artifacts->orchestration.stats;
+    if (request.record_curve) entry.reserved_curve = simulation.reserved_series;
+
+    entry.timings.profile_cache_hit = lookup.cache_hit;
+    if (!lookup.cache_hit) {
+      entry.timings.profile_seconds = lookup.artifacts->profile_seconds;
+      entry.timings.analyze_seconds = lookup.artifacts->analyze_seconds;
+    }
+    entry.timings.simulate_seconds = seconds_since(replay_start);
+    entry.timings.total_seconds = seconds_since(entry_start);
+  } else {
+    Estimator& estimator = estimator_instance(spec.estimator);
+    const EstimateResult result = estimator.estimate(request.job, device);
+    entry.supported = result.supported;
+    entry.estimated_peak = result.supported ? result.estimated_peak : 0;
+    entry.oom_predicted = result.supported && result.oom_predicted;
+    // The uniform wrapper clock (estimator_api.h), so lazy estimator
+    // construction (SchedTune's one-time GBM training) is not charged to
+    // the entry that happened to trigger it.
+    entry.timings.total_seconds = result.runtime_seconds;
+  }
+
+  result_cache_put(result_key, entry);
+  return entry;
+}
+
+EstimateReport EstimationService::sweep(const EstimateRequest& request) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  if (request.devices.empty()) {
+    throw std::invalid_argument("sweep: request has no devices");
+  }
+  if (!models::is_known_model(request.job.model_name)) {
+    throw std::invalid_argument("sweep: unknown model '" +
+                                request.job.model_name + "'");
+  }
+  const std::vector<std::string> allocators =
+      request.allocators.empty()
+          ? std::vector<std::string>{alloc::kDefaultBackendName}
+          : request.allocators;
+  for (const std::string& allocator : allocators) {
+    if (!alloc::is_known_backend(allocator)) {
+      throw std::invalid_argument("sweep: unknown allocator '" + allocator +
+                                  "'");
+    }
+  }
+  const std::vector<std::string> estimators =
+      request.estimators.empty() ? std::vector<std::string>{"xMem"}
+                                 : request.estimators;
+
+  // Fix the (deterministic) entry order up front; workers fill slots.
+  std::vector<EntrySpec> specs;
+  for (const std::string& estimator : estimators) {
+    if (!is_known_estimator(estimator)) {
+      throw std::invalid_argument("sweep: unknown estimator '" + estimator +
+                                  "'");
+    }
+    const bool session_backed = estimator_uses_session(estimator);
+    for (std::size_t d = 0; d < request.devices.size(); ++d) {
+      if (session_backed) {
+        for (const std::string& allocator : allocators) {
+          specs.push_back(EntrySpec{estimator, d, allocator, true});
+        }
+      } else {
+        specs.push_back(EntrySpec{estimator, d, std::string(), false});
+      }
+    }
+  }
+
+  EstimateRequest normalized = request;
+  normalized.allocators = allocators;
+  normalized.estimators = estimators;
+
+  EstimateReport report;
+  report.job = request.job;
+  report.entries.resize(specs.size());
+  SweepCounters counters;
+
+  if (pool_) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      futures.push_back(pool_->submit([this, &normalized, &specs, &report,
+                                       &counters, i] {
+        report.entries[i] = run_entry(normalized, specs[i], counters);
+      }));
+    }
+    // Wait for every task before propagating: a worker still running must
+    // not observe `report`/`specs` mid-unwind.
+    std::exception_ptr first_error;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      report.entries[i] = run_entry(normalized, specs[i], counters);
+    }
+  }
+
+  report.profiles_run = counters.profiles_run.load();
+  report.profile_cache_hits = counters.profile_cache_hits.load();
+  report.replays_run = counters.replays_run.load();
+  report.result_cache_hits = counters.result_cache_hits.load();
+  report.wall_seconds = seconds_since(sweep_start);
+  return report;
+}
+
+EstimateEntry EstimationService::estimate(const std::string& estimator_name,
+                                          const TrainJob& job,
+                                          const gpu::DeviceModel& device,
+                                          const std::string& allocator,
+                                          int profile_iterations,
+                                          bool record_curve) {
+  EstimateRequest request;
+  request.job = job;
+  request.devices = {device};
+  request.allocators = {allocator};
+  request.estimators = {estimator_name};
+  request.profile_iterations = profile_iterations;
+  request.record_curve = record_curve;
+
+  if (!is_known_estimator(estimator_name)) {
+    throw std::invalid_argument("estimate: unknown estimator '" +
+                                estimator_name + "'");
+  }
+  const bool session_backed = estimator_uses_session(estimator_name);
+  EntrySpec spec{estimator_name, 0, session_backed ? allocator : std::string(),
+                 session_backed};
+  SweepCounters counters;
+  return run_entry(request, spec, counters);
+}
+
+}  // namespace xmem::core

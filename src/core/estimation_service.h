@@ -1,0 +1,177 @@
+// Service-layer estimation API: profile once, estimate many.
+//
+// The paper's headline claim (§3, Fig. 4) is that one cheap CPU profile can
+// answer GPU-memory questions ahead of scheduling. Schedulers ask many
+// what-if questions per job — "does it fit each card in the fleet, under
+// each allocator policy?" — so the service accepts a structured
+// EstimateRequest (job + candidate devices + allocator backends + report
+// options) and answers all combinations in one sweep: the profile prefix is
+// captured once in a ProfileSession and the cheap simulator replays fan out
+// concurrently on a util::ThreadPool. A bounded LRU of finished entries
+// (the old EvalHarness estimate cache, collapsed into the service) makes
+// repeated questions free.
+//
+// Every estimator goes through the same supports() gate and the same
+// steady-clock wrapper (core/estimator_api.h), so per-entry timings are
+// comparable across backends (RQ4) and an unsupported job yields a
+// supported=false entry, never a bogus peak.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc/backend_registry.h"
+#include "core/estimator_api.h"
+#include "core/orchestrator.h"
+#include "core/profile_session.h"
+#include "gpu/device_model.h"
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace xmem::util {
+class ThreadPool;
+}
+
+namespace xmem::core {
+
+/// One structured what-if question: a job crossed with candidate devices,
+/// allocator backends, and estimators. JSON round-trips through
+/// from_json/to_json — the schema `xmem sweep` consumes (docs/API.md).
+struct EstimateRequest {
+  TrainJob job;
+  std::vector<gpu::DeviceModel> devices;
+  /// Allocator registry names the simulator replays against. Applies to
+  /// session-backed estimators (xMem variants); baselines that do not
+  /// replay an allocator get one entry per device. Empty = {default}.
+  std::vector<std::string> allocators = {alloc::kDefaultBackendName};
+  /// Estimator registry names. Empty = {"xMem"}.
+  std::vector<std::string> estimators = {"xMem"};
+  int profile_iterations = 3;
+  /// Record the reserved-bytes curve per entry (Fig. 6-style).
+  bool record_curve = false;
+
+  /// Parse a request document; device entries may be alias strings
+  /// ("rtx3060") or full custom objects with capacity/m_init/m_fm bytes.
+  /// Throws std::invalid_argument / util::JsonParseError on bad input.
+  static EstimateRequest from_json(const util::Json& json);
+  util::Json to_json() const;
+};
+
+/// Stage-level timing split for one entry (RQ4 / §6.1). On a profile cache
+/// hit the profile/analyze stages cost nothing — that asymmetry is the
+/// profile-once/estimate-many win, and the counters below prove it.
+struct StageTimings {
+  double profile_seconds = 0.0;   ///< CPU profile + JSON round trip (0 on hit)
+  double analyze_seconds = 0.0;   ///< Analyzer + Orchestrator (0 on hit)
+  double simulate_seconds = 0.0;  ///< simulator replay for this entry
+  double total_seconds = 0.0;     ///< end-to-end wall time for this entry
+  bool profile_cache_hit = false;
+  bool result_cache_hit = false;
+};
+
+/// One (estimator, device, allocator) answer inside a report.
+struct EstimateEntry {
+  std::string estimator;
+  std::string device;
+  std::string allocator;  ///< empty for estimators that ignore the allocator
+  bool supported = true;
+  std::int64_t estimated_peak = 0;
+  bool oom_predicted = false;
+  std::int64_t device_job_budget = 0;
+  StageTimings timings;
+  /// Per-Orchestrator-rule stats; meaningful when has_orchestrator_stats.
+  bool has_orchestrator_stats = false;
+  OrchestratorStats orchestrator_stats;
+  std::vector<std::pair<util::TimeUs, std::int64_t>> reserved_curve;
+
+  /// Adapter back to the uniform eval-protocol result type (§4.1.1).
+  EstimateResult to_result() const;
+  /// `include_timings=false` omits every wall-clock field, leaving only the
+  /// deterministic payload (golden diffs, determinism tests).
+  util::Json to_json(bool include_timings = true) const;
+};
+
+/// The answer to an EstimateRequest. `profiles_run == 1` for any
+/// single-job sweep that missed the cache once is the acceptance proof
+/// that the expensive stage ran exactly once.
+struct EstimateReport {
+  TrainJob job;
+  std::vector<EstimateEntry> entries;
+  std::size_t profiles_run = 0;        ///< CPU profiles executed by this sweep
+  std::size_t profile_cache_hits = 0;  ///< entries served from the session
+  std::size_t replays_run = 0;         ///< simulator replays executed
+  std::size_t result_cache_hits = 0;   ///< entries served fully from cache
+  double wall_seconds = 0.0;
+
+  util::Json to_json(bool include_timings = true) const;
+};
+
+struct ServiceOptions {
+  /// Worker threads for the sweep fan-out. 0 = hardware default (capped at
+  /// 8); 1 = fully serial on the caller's thread (no pool) — byte-identical
+  /// reports either way, which the service test asserts.
+  std::size_t threads = 0;
+  std::size_t profile_cache_capacity = ProfileSession::kDefaultCapacity;
+  std::size_t result_cache_capacity = 256;
+  /// Orchestrator configuration for the "xMem" engine ("xMem-noOrch"
+  /// always runs with every rule off).
+  OrchestratorConfig orchestrator_config;
+  bool json_round_trip = true;
+  /// Share a ProfileSession across services/estimators; null = own one.
+  std::shared_ptr<ProfileSession> session;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceOptions options = {});
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Answer every (estimator, device, allocator) combination of the
+  /// request. Entry order is deterministic (request order) regardless of
+  /// the thread count.
+  EstimateReport sweep(const EstimateRequest& request);
+
+  /// Single-question convenience: one estimator, one device, one allocator.
+  /// Same caching, gating, and uniform timing as a sweep entry.
+  EstimateEntry estimate(const std::string& estimator_name,
+                         const TrainJob& job, const gpu::DeviceModel& device,
+                         const std::string& allocator =
+                             alloc::kDefaultBackendName,
+                         int profile_iterations = 3,
+                         bool record_curve = false);
+
+  ProfileSession& session() { return *session_; }
+
+ private:
+  struct EntrySpec {
+    std::string estimator;
+    std::size_t device_index = 0;
+    std::string allocator;
+    bool session_backed = false;
+  };
+  struct SweepCounters;
+
+  EstimateEntry run_entry(const EstimateRequest& request,
+                          const EntrySpec& spec, SweepCounters& counters);
+  ProfileKey profile_key_for(const TrainJob& job, bool orchestrate,
+                             int profile_iterations) const;
+  Estimator& estimator_instance(const std::string& name);
+
+  bool result_cache_get(const std::string& key, EstimateEntry& out);
+  void result_cache_put(const std::string& key, const EstimateEntry& entry);
+
+  ServiceOptions options_;
+  std::shared_ptr<ProfileSession> session_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
+
+  struct Impl;  ///< estimator instances + result LRU (mutex-guarded)
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xmem::core

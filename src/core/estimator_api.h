@@ -1,7 +1,16 @@
 // Common interface implemented by xMem and the three baselines, so the
 // evaluation harness treats all estimators uniformly (§4.1.1).
+//
+// `estimate()` is a non-virtual template method: it gates on `supports()`
+// and measures `runtime_seconds` with one steady-clock wrapper, so RQ4
+// timings are comparable across backends and an unsupported job can never
+// produce a bogus peak. Implementations override `compute()` and must not
+// time themselves or re-check support. `compute()` must be re-entrant: the
+// EstimationService (core/estimation_service.h) calls one instance from
+// several threads during a sweep.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -31,7 +40,8 @@ struct EstimateResult {
   std::int64_t estimated_peak = 0;
   /// Eq. 1: whether the job is predicted not to fit the target device.
   bool oom_predicted = false;
-  /// Wall-clock cost of producing this estimate (RQ4).
+  /// Wall-clock cost of producing this estimate (RQ4). Filled by the
+  /// `estimate()` wrapper, never by `compute()` implementations.
   double runtime_seconds = 0.0;
 };
 
@@ -44,8 +54,28 @@ class Estimator {
     (void)job;
     return true;
   }
-  virtual EstimateResult estimate(const TrainJob& job,
-                                  const gpu::DeviceModel& device) = 0;
+
+  /// Produce an estimate. Non-virtual on purpose: every estimator goes
+  /// through the same supports() gate and the same clock.
+  EstimateResult estimate(const TrainJob& job, const gpu::DeviceModel& device) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    EstimateResult result;
+    if (supports(job)) {
+      result = compute(job, device);
+    } else {
+      result.supported = false;
+    }
+    result.runtime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return result;
+  }
+
+ protected:
+  /// The estimator-specific work. Only called for supported jobs.
+  virtual EstimateResult compute(const TrainJob& job,
+                                 const gpu::DeviceModel& device) = 0;
 };
 
 }  // namespace xmem::core

@@ -1,0 +1,115 @@
+#include "core/estimator_registry.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "baselines/dnnmem.h"
+#include "baselines/llmem.h"
+#include "baselines/schedtune.h"
+#include "core/xmem_estimator.h"
+
+namespace xmem::core {
+
+namespace {
+
+struct Entry {
+  std::string description;
+  EstimatorFactory factory;
+  bool session_backed = false;
+  bool orchestrate = true;
+};
+
+std::map<std::string, Entry>& registry() {
+  static std::map<std::string, Entry> entries = {
+      {"xMem",
+       {"full dynamic-analysis pipeline: CPU profile -> Analyzer -> "
+        "Orchestrator -> two-level simulator replay (Figure 4)",
+        [] { return std::make_unique<XMemEstimator>(); },
+        /*session_backed=*/true, /*orchestrate=*/true}},
+      {"xMem-noOrch",
+       {"ablation: raw CPU lifecycles straight into the simulator "
+        "(Orchestrator rules off, §3.3)",
+        [] {
+          XMemOptions options;
+          options.orchestrate = false;
+          return std::make_unique<XMemEstimator>(options);
+        },
+        /*session_backed=*/true, /*orchestrate=*/false}},
+      {"DNNMem",
+       {"static-analysis baseline: computation-graph walk through a basic "
+        "BFC allocator (§5.1 reimplementation)",
+        [] { return std::make_unique<baselines::DnnMemEstimator>(); }}},
+      {"SchedTune",
+       {"data-driven baseline: boosted trees over model/hardware features, "
+        "trained on pre-2021 history (§5.2 reimplementation)",
+        [] { return std::make_unique<baselines::SchedTuneEstimator>(); }}},
+      {"LLMem",
+       {"direct-GPU-measurement baseline: probe runs + linear "
+        "extrapolation; CausalLM only (§5.3 reimplementation)",
+        [] { return std::make_unique<baselines::LLMemEstimator>(); }}},
+  };
+  return entries;
+}
+
+}  // namespace
+
+void register_estimator(const std::string& name,
+                        const std::string& description,
+                        EstimatorFactory factory, bool session_backed,
+                        bool orchestrate) {
+  if (name.empty()) {
+    throw std::invalid_argument("register_estimator: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("register_estimator: null factory for " +
+                                name);
+  }
+  const auto [it, inserted] = registry().emplace(
+      name, Entry{description, std::move(factory), session_backed,
+                  orchestrate});
+  if (!inserted) {
+    throw std::invalid_argument("register_estimator: duplicate name " + name);
+  }
+}
+
+bool is_known_estimator(const std::string& name) {
+  return registry().count(name) > 0;
+}
+
+bool estimator_uses_session(const std::string& name) {
+  const auto it = registry().find(name);
+  return it != registry().end() && it->second.session_backed;
+}
+
+bool estimator_orchestrates(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() || it->second.orchestrate;
+}
+
+std::vector<std::string> estimator_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+std::string estimator_description(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? std::string() : it->second.description;
+}
+
+std::unique_ptr<Estimator> make_estimator(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& n : estimator_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("make_estimator: unknown estimator '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second.factory();
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,48 @@
+// Name -> factory registry for estimators, mirroring
+// alloc/backend_registry.h. The EstimationService and xmem_cli resolve
+// estimator names ("xMem", "DNNMem", ...) through it; extensions register
+// their own with register_estimator() and immediately work in sweeps, the
+// eval harness, and the CLI.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator_api.h"
+
+namespace xmem::core {
+
+using EstimatorFactory = std::function<std::unique_ptr<Estimator>()>;
+
+/// Register a new estimator. Throws std::invalid_argument on duplicate or
+/// empty names and null factories. `session_backed` marks profile-once
+/// engines the EstimationService runs through the shared ProfileSession +
+/// simulator-replay path (allocator fan-out, stage splits); `orchestrate`
+/// selects the Orchestrator rule set for such engines.
+void register_estimator(const std::string& name,
+                        const std::string& description,
+                        EstimatorFactory factory,
+                        bool session_backed = false,
+                        bool orchestrate = true);
+
+bool is_known_estimator(const std::string& name);
+
+/// Whether the service should dispatch this estimator through the
+/// ProfileSession path (false for unknown names).
+bool estimator_uses_session(const std::string& name);
+
+/// Orchestrator rules on/off for session-backed engines (true otherwise).
+bool estimator_orchestrates(const std::string& name);
+
+/// Registered names, sorted.
+std::vector<std::string> estimator_names();
+
+std::string estimator_description(const std::string& name);
+
+/// Construct an estimator by name; throws std::invalid_argument listing the
+/// registered names when unknown.
+std::unique_ptr<Estimator> make_estimator(const std::string& name);
+
+}  // namespace xmem::core

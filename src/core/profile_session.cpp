@@ -1,0 +1,129 @@
+#include "core/profile_session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/profile_runner.h"
+#include "models/zoo.h"
+
+namespace xmem::core {
+
+std::string ProfileKey::cache_string() const {
+  std::string key = model_name;
+  key += '/';
+  key += to_string(optimizer);
+  key += "/b";
+  key += std::to_string(batch_size);
+  key += '/';
+  key += to_string(placement);
+  key += "/s";
+  key += std::to_string(seed);
+  key += "/it";
+  key += std::to_string(profile_iterations);
+  key += "/rules";
+  key += orchestrator_config.rule_params ? '1' : '0';
+  key += orchestrator_config.rule_batch ? '1' : '0';
+  key += orchestrator_config.rule_gradients ? '1' : '0';
+  key += orchestrator_config.rule_optimizer_state ? '1' : '0';
+  key += "/rt";
+  key += json_round_trip ? '1' : '0';
+  return key;
+}
+
+ProfileArtifacts run_profile_pipeline(const ProfileKey& key) {
+  ProfileArtifacts artifacts;
+
+  const auto profile_start = std::chrono::steady_clock::now();
+  const fw::ModelDescriptor model =
+      models::build_model(key.model_name, key.batch_size);
+
+  ProfileOptions profile_options;
+  profile_options.iterations = key.profile_iterations;
+  profile_options.placement = key.placement;
+  profile_options.seed = key.seed;
+  artifacts.trace = profile_on_cpu(model, key.optimizer, profile_options);
+
+  if (key.json_round_trip) {
+    const std::string json = artifacts.trace.to_json_string();
+    artifacts.trace = trace::Trace::from_json_string(json);
+  }
+  const auto analyze_start = std::chrono::steady_clock::now();
+
+  Analyzer analyzer;
+  artifacts.analysis = analyzer.analyze(artifacts.trace);
+
+  Orchestrator orchestrator;
+  artifacts.orchestration = orchestrator.orchestrate(
+      artifacts.analysis.timeline, key.orchestrator_config);
+
+  const auto end = std::chrono::steady_clock::now();
+  artifacts.profile_seconds =
+      std::chrono::duration<double>(analyze_start - profile_start).count();
+  artifacts.analyze_seconds =
+      std::chrono::duration<double>(end - analyze_start).count();
+  return artifacts;
+}
+
+ProfileSession::ProfileSession(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t ProfileSession::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+ProfileSession::Lookup ProfileSession::get(const ProfileKey& key) {
+  const std::string cache_key = key.cache_string();
+  std::shared_future<ArtifactsPtr> future;
+  std::promise<ArtifactsPtr> promise;
+  bool miss = false;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(cache_key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      future = it->second.future;
+    } else {
+      miss = true;
+      future = promise.get_future().share();
+      lru_.push_front(cache_key);
+      entries_.emplace(cache_key, Entry{future, lru_.begin()});
+      // Evict least-recently-used entries beyond capacity. Waiters holding
+      // their shared_future copies are unaffected by eviction.
+      while (entries_.size() > capacity_) {
+        const std::string& victim = lru_.back();
+        entries_.erase(victim);
+        lru_.pop_back();
+      }
+    }
+  }
+
+  if (!miss) {
+    hits_.fetch_add(1);
+    return Lookup{future.get(), /*cache_hit=*/true};
+  }
+
+  misses_.fetch_add(1);
+  try {
+    auto artifacts = std::make_shared<const ProfileArtifacts>(
+        run_profile_pipeline(key));
+    promise.set_value(artifacts);
+    return Lookup{std::move(artifacts), /*cache_hit=*/false};
+  } catch (...) {
+    // Do not cache failures: unblock waiters with the exception, then drop
+    // the entry so a later request can retry.
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(cache_key);
+      if (it != entries_.end()) {
+        lru_.erase(it->second.lru_it);
+        entries_.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
+}  // namespace xmem::core

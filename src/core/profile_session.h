@@ -1,0 +1,100 @@
+// ProfileSession: the profile-once half of the estimation service.
+//
+// The expensive prefix of the xMem pipeline (Figure 4) — CPU profile, JSON
+// round trip, Analyzer, Orchestrator — depends only on the job
+// configuration, never on the target device or the allocator backend the
+// simulator replays against. A ProfileSession caches that prefix per
+// ProfileKey behind a bounded LRU (keyed like the old EvalHarness cache),
+// so a what-if sweep over N devices x M allocators costs one profile plus
+// N*M cheap simulator replays.
+//
+// Thread-safe with in-flight deduplication: concurrent requests for the
+// same key block on one shared profiling run instead of each profiling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/orchestrator.h"
+#include "fw/types.h"
+#include "trace/trace.h"
+
+namespace xmem::core {
+
+/// Everything that changes the orchestrated sequence. Two jobs with equal
+/// keys share one cached profile.
+struct ProfileKey {
+  std::string model_name;
+  int batch_size = 0;
+  fw::OptimizerKind optimizer = fw::OptimizerKind::kSgd;
+  fw::ZeroGradPlacement placement = fw::ZeroGradPlacement::kPos1IterStart;
+  std::uint64_t seed = 1;
+  int profile_iterations = 3;
+  /// Orchestrator rule set actually applied (all-false = the §3.3 ablation).
+  OrchestratorConfig orchestrator_config;
+  /// Serialize + reparse the profiler output (the authentic file-based path).
+  bool json_round_trip = true;
+
+  /// Canonical cache-key string, e.g.
+  /// "gpt2/AdamW/b8/POS1/s1/it3/rules1111/rt1".
+  std::string cache_string() const;
+};
+
+/// The cached pipeline prefix plus how long each stage took to build it.
+struct ProfileArtifacts {
+  trace::Trace trace;
+  Analyzer::Output analysis;
+  Orchestrator::Output orchestration;
+  double profile_seconds = 0.0;  ///< CPU execution + JSON round trip
+  double analyze_seconds = 0.0;  ///< Analyzer + Orchestrator
+};
+
+class ProfileSession {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16;
+
+  explicit ProfileSession(std::size_t capacity = kDefaultCapacity);
+
+  struct Lookup {
+    std::shared_ptr<const ProfileArtifacts> artifacts;
+    /// True when this call reused a cached (or in-flight) profile rather
+    /// than running one itself.
+    bool cache_hit = false;
+  };
+
+  /// Return the artifacts for `key`, profiling on a miss. Throws (and does
+  /// not cache) if the profile fails, e.g. unknown model name.
+  Lookup get(const ProfileKey& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  using ArtifactsPtr = std::shared_ptr<const ProfileArtifacts>;
+
+  struct Entry {
+    std::shared_future<ArtifactsPtr> future;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::map<std::string, Entry> entries_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Run the pipeline prefix once, uncached (what a session miss executes).
+ProfileArtifacts run_profile_pipeline(const ProfileKey& key);
+
+}  // namespace xmem::core

@@ -1,43 +1,34 @@
 #include "core/xmem_estimator.h"
 
-#include <chrono>
-
-#include "core/profile_runner.h"
-#include "models/zoo.h"
-
 namespace xmem::core {
+
+ProfileKey XMemEstimator::profile_key(const TrainJob& job) const {
+  ProfileKey key;
+  key.model_name = job.model_name;
+  key.batch_size = job.batch_size;
+  key.optimizer = job.optimizer;
+  key.placement = job.placement;
+  key.seed = job.seed;
+  key.profile_iterations = options_.profile_iterations;
+  key.json_round_trip = options_.json_round_trip;
+  key.orchestrator_config = options_.orchestrator_config;
+  if (!options_.orchestrate) {
+    key.orchestrator_config.rule_params = false;
+    key.orchestrator_config.rule_batch = false;
+    key.orchestrator_config.rule_gradients = false;
+    key.orchestrator_config.rule_optimizer_state = false;
+  }
+  return key;
+}
 
 XMemEstimator::PipelineArtifacts XMemEstimator::run_pipeline(
     const TrainJob& job, bool record_series) const {
+  const ProfileSession::Lookup lookup = session_->get(profile_key(job));
+
   PipelineArtifacts artifacts;
-
-  const fw::ModelDescriptor model =
-      models::build_model(job.model_name, job.batch_size);
-
-  ProfileOptions profile_options;
-  profile_options.iterations = options_.profile_iterations;
-  profile_options.placement = job.placement;
-  profile_options.seed = job.seed;
-  artifacts.trace = profile_on_cpu(model, job.optimizer, profile_options);
-
-  if (options_.json_round_trip) {
-    const std::string json = artifacts.trace.to_json_string();
-    artifacts.trace = trace::Trace::from_json_string(json);
-  }
-
-  Analyzer analyzer;
-  artifacts.analysis = analyzer.analyze(artifacts.trace);
-
-  Orchestrator orchestrator;
-  OrchestratorConfig config = options_.orchestrator_config;
-  if (!options_.orchestrate) {
-    config.rule_params = false;
-    config.rule_batch = false;
-    config.rule_gradients = false;
-    config.rule_optimizer_state = false;
-  }
-  artifacts.orchestration =
-      orchestrator.orchestrate(artifacts.analysis.timeline, config);
+  artifacts.trace = lookup.artifacts->trace;
+  artifacts.analysis = lookup.artifacts->analysis;
+  artifacts.orchestration = lookup.artifacts->orchestration;
 
   MemorySimulator simulator;
   SimulationOptions sim_options;
@@ -48,19 +39,20 @@ XMemEstimator::PipelineArtifacts XMemEstimator::run_pipeline(
   return artifacts;
 }
 
-EstimateResult XMemEstimator::estimate(const TrainJob& job,
-                                       const gpu::DeviceModel& device) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  const PipelineArtifacts artifacts =
-      run_pipeline(job, /*record_series=*/false);
-  const auto wall_end = std::chrono::steady_clock::now();
+EstimateResult XMemEstimator::compute(const TrainJob& job,
+                                      const gpu::DeviceModel& device) {
+  const ProfileSession::Lookup lookup = session_->get(profile_key(job));
+
+  MemorySimulator simulator;
+  SimulationOptions sim_options;
+  sim_options.backend = options_.allocator_backend;
+  const SimulationResult simulation =
+      simulator.replay(lookup.artifacts->orchestration.sequence, sim_options);
 
   EstimateResult result;
   // Predict what NVML will see: driver pages, not raw segment bytes.
-  result.estimated_peak = artifacts.simulation.peak_device;
+  result.estimated_peak = simulation.peak_device;
   result.oom_predicted = result.estimated_peak > device.job_budget();
-  result.runtime_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
   return result;
 }
 

@@ -6,13 +6,21 @@
 //
 // The trace genuinely round-trips through JSON (serialize + parse) so the
 // pipeline consumes exactly what a profiler file would contain.
+//
+// Since the service-layer redesign this class is a thin adapter: the
+// expensive prefix (profile -> analyze -> orchestrate) lives in a
+// ProfileSession, shared with the EstimationService, and compute() is just
+// a session lookup plus one simulator replay. Pass a shared session to let
+// several estimators (or a service) reuse each other's profiles.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/analyzer.h"
 #include "core/estimator_api.h"
 #include "core/orchestrator.h"
+#include "core/profile_session.h"
 #include "core/simulator.h"
 #include "trace/trace.h"
 
@@ -34,15 +42,24 @@ struct XMemOptions {
 
 class XMemEstimator final : public Estimator {
  public:
-  explicit XMemEstimator(XMemOptions options = {}) : options_(options) {}
+  explicit XMemEstimator(XMemOptions options = {},
+                         std::shared_ptr<ProfileSession> session = nullptr)
+      : options_(options),
+        session_(session ? std::move(session)
+                         : std::make_shared<ProfileSession>()) {}
 
-  std::string name() const override { return "xMem"; }
+  std::string name() const override {
+    return options_.orchestrate ? "xMem" : "xMem-noOrch";
+  }
 
-  EstimateResult estimate(const TrainJob& job,
-                          const gpu::DeviceModel& device) override;
+  /// The session cache key for this estimator's view of `job`.
+  ProfileKey profile_key(const TrainJob& job) const;
+
+  ProfileSession& session() const { return *session_; }
 
   /// Full pipeline with intermediate artifacts exposed (tests, Fig. 6
-  /// curves, the allocator-explorer example).
+  /// curves, the allocator-explorer example). Served from the session
+  /// cache when the profile prefix is already resident.
   struct PipelineArtifacts {
     trace::Trace trace;
     Analyzer::Output analysis;
@@ -51,8 +68,13 @@ class XMemEstimator final : public Estimator {
   };
   PipelineArtifacts run_pipeline(const TrainJob& job, bool record_series) const;
 
+ protected:
+  EstimateResult compute(const TrainJob& job,
+                         const gpu::DeviceModel& device) override;
+
  private:
   XMemOptions options_;
+  std::shared_ptr<ProfileSession> session_;
 };
 
 }  // namespace xmem::core

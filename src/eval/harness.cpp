@@ -1,9 +1,5 @@
 #include "eval/harness.h"
 
-#include "baselines/dnnmem.h"
-#include "baselines/llmem.h"
-#include "baselines/schedtune.h"
-#include "core/xmem_estimator.h"
 #include "gpu/ground_truth.h"
 #include "models/zoo.h"
 #include "util/rng.h"
@@ -29,47 +25,24 @@ std::uint64_t config_hash(const models::TrainConfig& config,
 }  // namespace
 
 EvalHarness::EvalHarness(HarnessOptions options) : options_(options) {
-  if (options_.use_xmem) {
-    estimators_.push_back(std::make_unique<core::XMemEstimator>());
-  }
-  if (options_.ablate_orchestrator) {
-    core::XMemOptions ablated;
-    ablated.orchestrate = false;
-    auto est = std::make_unique<core::XMemEstimator>(ablated);
-    estimators_.push_back(std::move(est));
-    // Rename through a wrapper-free trick: record the name separately below.
-  }
-  if (options_.use_dnnmem) {
-    estimators_.push_back(std::make_unique<baselines::DnnMemEstimator>());
-  }
-  if (options_.use_schedtune) {
-    estimators_.push_back(std::make_unique<baselines::SchedTuneEstimator>());
-  }
-  if (options_.use_llmem) {
-    estimators_.push_back(std::make_unique<baselines::LLMemEstimator>());
-  }
-  bool first_xmem = true;
-  for (const auto& estimator : estimators_) {
-    std::string name = estimator->name();
-    if (name == "xMem" && !first_xmem) name = "xMem-noOrch";
-    if (name == "xMem") first_xmem = false;
-    names_.push_back(std::move(name));
-  }
+  core::ServiceOptions service_options;
+  // The harness drives the protocol one record at a time; a pool would buy
+  // nothing and the serial path keeps the estimate order deterministic.
+  service_options.threads = 1;
+  service_ = std::make_unique<core::EstimationService>(service_options);
+
+  if (options_.use_xmem) names_.push_back("xMem");
+  if (options_.ablate_orchestrator) names_.push_back("xMem-noOrch");
+  if (options_.use_dnnmem) names_.push_back("DNNMem");
+  if (options_.use_schedtune) names_.push_back("SchedTune");
+  if (options_.use_llmem) names_.push_back("LLMem");
 }
 
 EvalHarness::~EvalHarness() = default;
 
 core::EstimateResult EvalHarness::cached_estimate(
-    core::Estimator& estimator, const models::TrainConfig& config,
+    const std::string& estimator_name, const models::TrainConfig& config,
     const gpu::DeviceModel& device) {
-  // Note: two estimators can share the name "xMem" (ablation); the cache
-  // key uses the instance address suffix to keep them distinct.
-  CacheKey key{estimator.name() + "@" +
-                   std::to_string(reinterpret_cast<std::uintptr_t>(&estimator)),
-               config.label(), device.name};
-  auto it = estimate_cache_.find(key);
-  if (it != estimate_cache_.end()) return it->second;
-
   core::TrainJob job;
   job.model_name = config.model;
   job.batch_size = config.batch_size;
@@ -77,14 +50,7 @@ core::EstimateResult EvalHarness::cached_estimate(
   job.placement = config.placement;
   job.seed = config_hash(config, device.name);
 
-  core::EstimateResult result;
-  if (!estimator.supports(job)) {
-    result.supported = false;
-  } else {
-    result = estimator.estimate(job, device);
-  }
-  estimate_cache_.emplace(key, result);
-  return result;
+  return service_->estimate(estimator_name, job, device).to_result();
 }
 
 void EvalHarness::run_one(const models::TrainConfig& config,
@@ -107,18 +73,17 @@ void EvalHarness::run_one(const models::TrainConfig& config,
   const gpu::GroundTruthResult round1 =
       runner.run(model, config.optimizer, device, gt1);
 
-  for (std::size_t e = 0; e < estimators_.size(); ++e) {
-    core::Estimator& estimator = *estimators_[e];
+  for (const std::string& estimator_name : names_) {
     RunRecord record;
     record.config = config;
     record.device_name = device.name;
-    record.estimator = names_[e];
+    record.estimator = estimator_name;
     record.is_cnn = is_cnn;
     record.repeat = repeat;
     record.device_capacity = device.capacity;
 
     const core::EstimateResult estimate =
-        cached_estimate(estimator, config, device);
+        cached_estimate(estimator_name, config, device);
     record.supported = estimate.supported;
     if (!record.supported) {
       out.push_back(std::move(record));

@@ -7,16 +7,17 @@
 // directly as a safe limit" test behind PEF and MCP.
 //
 // Estimates are deterministic per (estimator, configuration, device), so
-// they are computed once and cached across repeats; the ground-truth runs
-// are repeated with fresh seeds (cuDNN algorithm jitter), which is where
-// the run-to-run variance the boxplots show comes from.
+// they are served from the EstimationService's result cache across repeats
+// (the harness's old private estimate cache collapsed into the service);
+// the ground-truth runs are repeated with fresh seeds (cuDNN algorithm
+// jitter), which is where the run-to-run variance the boxplots show comes
+// from.
 #pragma once
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/estimation_service.h"
 #include "core/estimator_api.h"
 #include "eval/metrics.h"
 #include "gpu/device_model.h"
@@ -57,30 +58,16 @@ class EvalHarness {
   const std::vector<std::string>& estimator_names() const { return names_; }
 
  private:
-  struct CacheKey {
-    std::string estimator;
-    std::string config_label;
-    std::string device;
-    bool operator<(const CacheKey& other) const {
-      if (estimator != other.estimator) return estimator < other.estimator;
-      if (config_label != other.config_label) {
-        return config_label < other.config_label;
-      }
-      return device < other.device;
-    }
-  };
-
   void run_one(const models::TrainConfig& config,
                const gpu::DeviceModel& device, int repeat,
                std::vector<RunRecord>& out);
-  core::EstimateResult cached_estimate(core::Estimator& estimator,
+  core::EstimateResult cached_estimate(const std::string& estimator_name,
                                        const models::TrainConfig& config,
                                        const gpu::DeviceModel& device);
 
   HarnessOptions options_;
-  std::vector<std::unique_ptr<core::Estimator>> estimators_;
+  std::unique_ptr<core::EstimationService> service_;
   std::vector<std::string> names_;
-  std::map<CacheKey, core::EstimateResult> estimate_cache_;
 };
 
 }  // namespace xmem::eval

@@ -62,4 +62,14 @@ const char* to_string(ZeroGradPlacement placement) {
   return "?";
 }
 
+ZeroGradPlacement placement_from_string(const std::string& name) {
+  if (name == "POS0" || name == "pos0") {
+    return ZeroGradPlacement::kPos0BeforeBackward;
+  }
+  if (name == "POS1" || name == "pos1") {
+    return ZeroGradPlacement::kPos1IterStart;
+  }
+  throw std::invalid_argument("unknown zero_grad placement: " + name);
+}
+
 }  // namespace xmem::fw

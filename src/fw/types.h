@@ -80,5 +80,7 @@ OptimizerKind optimizer_from_string(const std::string& name);
 /// kPos1 — at the start of the iteration: gradients die before forward.
 enum class ZeroGradPlacement : std::uint8_t { kPos0BeforeBackward, kPos1IterStart };
 const char* to_string(ZeroGradPlacement placement);
+/// Parse "POS0"/"POS1" (also "pos0"/"pos1"); throws std::invalid_argument.
+ZeroGradPlacement placement_from_string(const std::string& name);
 
 }  // namespace xmem::fw

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/bytes.h"
 
@@ -40,6 +42,25 @@ inline DeviceModel a100_40gb() {
   return DeviceModel{"NVIDIA A100 40GB", 40 * util::kGiB,
                      static_cast<std::int64_t>(420 * util::kMiB),
                      static_cast<std::int64_t>(660 * util::kMiB)};
+}
+
+/// The paper's three evaluation cards.
+inline std::vector<DeviceModel> all_devices() {
+  return {rtx3060(), rtx4060(), a100_40gb()};
+}
+
+/// Resolve a device by CLI/request-file alias or full NVML name. Shared by
+/// xmem_cli and EstimateRequest::from_json so the two front ends accept the
+/// same spellings. Throws std::invalid_argument on unknown names.
+inline DeviceModel device_by_name(const std::string& name) {
+  if (name == "rtx3060" || name == "3060") return rtx3060();
+  if (name == "rtx4060" || name == "4060") return rtx4060();
+  if (name == "a100" || name == "a100-40gb") return a100_40gb();
+  for (const DeviceModel& device : all_devices()) {
+    if (device.name == name) return device;
+  }
+  throw std::invalid_argument("unknown device: " + name +
+                              " (rtx3060 | rtx4060 | a100)");
 }
 
 }  // namespace xmem::gpu

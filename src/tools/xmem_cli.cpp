@@ -3,22 +3,31 @@
 //
 //   xmem estimate --model gpt2 --batch 10 --optimizer AdamW
 //                 --device rtx3060 [--allocator pytorch|tf-bfc|...]
-//                 [--pos0] [--json] [--curve]
+//                 [--estimator xMem|DNNMem|...] [--pos0] [--json] [--curve]
 //   xmem verify   ... (same flags; also runs the simulated ground truth)
+//   xmem sweep    REQUEST.json [--out FILE] [--no-timings] [--serial]
+//                 (profile-once/estimate-many: one job x devices x
+//                  allocators x estimators, JSON report on stdout)
 //   xmem models
 //   xmem devices
 //   xmem backends
+//   xmem estimators
 //
 // Exit code for `estimate`/`verify`: 0 = fits the device, 2 = predicted
 // OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
+// `sweep`: 0 on success (per-device verdicts live in the report), 1 on
+// usage/config error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "alloc/backend_registry.h"
-#include "core/xmem_estimator.h"
+#include "core/estimation_service.h"
+#include "core/estimator_registry.h"
 #include "gpu/ground_truth.h"
 #include "models/workload.h"
 #include "models/zoo.h"
@@ -34,22 +43,17 @@ int usage() {
                "usage:\n"
                "  xmem estimate --model NAME --batch N [--optimizer OPT]\n"
                "                [--device rtx3060|rtx4060|a100] [--pos0]\n"
-               "                [--allocator NAME] [--iterations N]\n"
-               "                [--json] [--curve]\n"
+               "                [--allocator NAME] [--estimator NAME]\n"
+               "                [--iterations N] [--json] [--curve]\n"
                "  xmem verify   (same flags; adds a simulated ground-truth "
                "run)\n"
+               "  xmem sweep    REQUEST.json [--out FILE] [--no-timings] "
+               "[--serial]\n"
                "  xmem models\n"
                "  xmem devices\n"
-               "  xmem backends (allocator models for --allocator)\n");
+               "  xmem backends   (allocator models for --allocator)\n"
+               "  xmem estimators (estimation engines for --estimator)\n");
   return 1;
-}
-
-gpu::DeviceModel device_by_name(const std::string& name) {
-  if (name == "rtx3060" || name == "3060") return gpu::rtx3060();
-  if (name == "rtx4060" || name == "4060") return gpu::rtx4060();
-  if (name == "a100" || name == "a100-40gb") return gpu::a100_40gb();
-  throw std::invalid_argument("unknown device: " + name +
-                              " (rtx3060 | rtx4060 | a100)");
 }
 
 struct Cli {
@@ -59,9 +63,14 @@ struct Cli {
   std::string optimizer = "AdamW";
   std::string device = "rtx3060";
   std::string allocator = alloc::kDefaultBackendName;
+  std::string estimator = "xMem";
+  std::string request_file;
+  std::string out_file;
   bool pos0 = false;
   bool json = false;
   bool curve = false;
+  bool no_timings = false;
+  bool serial = false;
   int iterations = 3;
 };
 
@@ -97,18 +106,35 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       const char* v = next("--allocator");
       if (v == nullptr) return false;
       cli.allocator = v;
+    } else if (arg == "--estimator") {
+      const char* v = next("--estimator");
+      if (v == nullptr) return false;
+      cli.estimator = v;
     } else if (arg == "--iterations") {
       const char* v = next("--iterations");
       if (v == nullptr) return false;
       cli.iterations = std::atoi(v);
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      cli.out_file = v;
     } else if (arg == "--pos0") {
       cli.pos0 = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--curve") {
       cli.curve = true;
-    } else {
+    } else if (arg == "--no-timings") {
+      cli.no_timings = true;
+    } else if (arg == "--serial") {
+      cli.serial = true;
+    } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else if (cli.command == "sweep" && cli.request_file.empty()) {
+      cli.request_file = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       return false;
     }
   }
@@ -130,8 +156,7 @@ int list_models() {
 }
 
 int list_devices() {
-  for (const gpu::DeviceModel& device :
-       {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()}) {
+  for (const gpu::DeviceModel& device : gpu::all_devices()) {
     std::printf("%-20s capacity %-10s M_init %-10s M_fm %-10s job budget %s\n",
                 device.name.c_str(), util::format_bytes(device.capacity).c_str(),
                 util::format_bytes(device.m_init).c_str(),
@@ -145,6 +170,14 @@ int list_backends() {
   for (const std::string& name : alloc::backend_names()) {
     std::printf("%-12s %s\n", name.c_str(),
                 alloc::backend_description(name).c_str());
+  }
+  return 0;
+}
+
+int list_estimators() {
+  for (const std::string& name : core::estimator_names()) {
+    std::printf("%-12s %s\n", name.c_str(),
+                core::estimator_description(name).c_str());
   }
   return 0;
 }
@@ -164,7 +197,12 @@ int run_estimate(const Cli& cli, bool verify) {
                  cli.allocator.c_str());
     return 1;
   }
-  const gpu::DeviceModel device = device_by_name(cli.device);
+  if (!core::is_known_estimator(cli.estimator)) {
+    std::fprintf(stderr, "unknown estimator '%s' (see `xmem estimators`)\n",
+                 cli.estimator.c_str());
+    return 1;
+  }
+  const gpu::DeviceModel device = gpu::device_by_name(cli.device);
 
   core::TrainJob job;
   job.model_name = cli.model;
@@ -173,12 +211,17 @@ int run_estimate(const Cli& cli, bool verify) {
   job.placement = cli.pos0 ? fw::ZeroGradPlacement::kPos0BeforeBackward
                            : fw::ZeroGradPlacement::kPos1IterStart;
 
-  core::XMemOptions options;
-  options.profile_iterations = cli.iterations;
-  options.allocator_backend = cli.allocator;
-  core::XMemEstimator estimator(options);
-  const auto artifacts = estimator.run_pipeline(job, cli.curve);
-  const core::EstimateResult result = estimator.estimate(job, device);
+  core::ServiceOptions service_options;
+  service_options.threads = 1;  // one question, no fan-out
+  core::EstimationService service(service_options);
+  const core::EstimateEntry entry = service.estimate(
+      cli.estimator, job, device, cli.allocator, cli.iterations, cli.curve);
+
+  if (!entry.supported) {
+    std::fprintf(stderr, "estimator %s does not support this job class\n",
+                 cli.estimator.c_str());
+    return 1;
+  }
 
   std::int64_t truth_peak = -1;
   bool truth_oom = false;
@@ -194,62 +237,90 @@ int run_estimate(const Cli& cli, bool verify) {
   }
 
   if (cli.json) {
-    util::Json out = util::Json::object();
+    // One serialization for both JSON surfaces: the entry schema of
+    // `xmem sweep` (estimation_service.cpp), plus the CLI's job context.
+    util::Json out = entry.to_json(/*include_timings=*/!cli.no_timings);
     out["model"] = util::Json(cli.model);
     out["batch"] = util::Json(cli.batch);
     out["optimizer"] = util::Json(cli.optimizer);
     out["placement"] = util::Json(cli.pos0 ? "POS0" : "POS1");
-    out["allocator"] = util::Json(cli.allocator);
-    out["device"] = util::Json(device.name);
-    out["estimated_peak_bytes"] = util::Json(result.estimated_peak);
-    out["device_job_budget_bytes"] = util::Json(device.job_budget());
-    out["oom_predicted"] = util::Json(result.oom_predicted);
-    out["estimator_runtime_seconds"] = util::Json(result.runtime_seconds);
-    out["trace_events"] =
-        util::Json(static_cast<std::int64_t>(artifacts.trace.events.size()));
+    if (!cli.no_timings) {
+      out["estimator_runtime_seconds"] =
+          util::Json(entry.timings.total_seconds);
+    }
     if (verify) {
       out["ground_truth_oom"] = util::Json(truth_oom);
       if (!truth_oom) out["ground_truth_peak_bytes"] = util::Json(truth_peak);
     }
-    if (cli.curve) {
-      util::Json series = util::Json::array();
-      for (const auto& [ts, bytes] : artifacts.simulation.reserved_series) {
-        util::Json point = util::Json::array();
-        point.push_back(util::Json(ts));
-        point.push_back(util::Json(bytes));
-        series.push_back(std::move(point));
-      }
-      out["reserved_curve"] = std::move(series);
-    }
     std::printf("%s\n", out.dump(2).c_str());
   } else {
     std::printf("job            : %s\n", job.label().c_str());
+    std::printf("estimator      : %s\n", cli.estimator.c_str());
     std::printf("device         : %s (job budget %s)\n", device.name.c_str(),
                 util::format_bytes(device.job_budget()).c_str());
     std::printf("estimated peak : %s\n",
-                util::format_bytes(result.estimated_peak).c_str());
+                util::format_bytes(entry.estimated_peak).c_str());
     std::printf("verdict        : %s\n",
-                result.oom_predicted ? "DOES NOT FIT (OOM predicted)"
-                                     : "fits");
+                entry.oom_predicted ? "DOES NOT FIT (OOM predicted)"
+                                    : "fits");
     if (verify) {
       if (truth_oom) {
         std::printf("ground truth   : OOM (prediction %s)\n",
-                    result.oom_predicted ? "correct" : "WRONG");
+                    entry.oom_predicted ? "correct" : "WRONG");
       } else {
         std::printf("ground truth   : %s (error %.2f%%)\n",
                     util::format_bytes(truth_peak).c_str(),
                     100.0 *
-                        std::abs(static_cast<double>(result.estimated_peak -
+                        std::abs(static_cast<double>(entry.estimated_peak -
                                                      truth_peak)) /
                         static_cast<double>(truth_peak));
       }
     }
-    std::printf("analysis       : %zu trace events, %zu blocks, %.1f ms\n",
-                artifacts.trace.events.size(),
-                artifacts.analysis.timeline.blocks.size(),
-                result.runtime_seconds * 1e3);
+    std::printf("stages         : profile %.1f ms, analyze %.1f ms, "
+                "simulate %.1f ms (total %.1f ms)\n",
+                entry.timings.profile_seconds * 1e3,
+                entry.timings.analyze_seconds * 1e3,
+                entry.timings.simulate_seconds * 1e3,
+                entry.timings.total_seconds * 1e3);
   }
-  return result.oom_predicted ? 2 : 0;
+  return entry.oom_predicted ? 2 : 0;
+}
+
+int run_sweep(const Cli& cli) {
+  if (cli.request_file.empty()) {
+    std::fprintf(stderr, "sweep requires a REQUEST.json file argument\n");
+    return 1;
+  }
+  std::ifstream in(cli.request_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open request file: %s\n",
+                 cli.request_file.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(util::Json::parse(buffer.str()));
+
+  core::ServiceOptions service_options;
+  if (cli.serial) service_options.threads = 1;
+  core::EstimationService service(service_options);
+  const core::EstimateReport report = service.sweep(request);
+
+  const std::string rendered =
+      report.to_json(/*include_timings=*/!cli.no_timings).dump(2);
+  if (cli.out_file.empty()) {
+    std::printf("%s\n", rendered.c_str());
+  } else {
+    std::ofstream out(cli.out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write: %s\n", cli.out_file.c_str());
+      return 1;
+    }
+    out << rendered << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -261,8 +332,10 @@ int main(int argc, char** argv) {
     if (cli.command == "models") return list_models();
     if (cli.command == "devices") return list_devices();
     if (cli.command == "backends") return list_backends();
+    if (cli.command == "estimators") return list_estimators();
     if (cli.command == "estimate") return run_estimate(cli, /*verify=*/false);
     if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
+    if (cli.command == "sweep") return run_sweep(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,412 @@
+// EstimationService tests: the profile-once/estimate-many contract.
+//
+//   * request/report JSON schema round-trips (the `xmem sweep` interface);
+//   * a sweep over N devices x M allocators runs exactly ONE CPU profile
+//     (stage counters prove it) and the concurrent path returns
+//     byte-identical reports to the serial path;
+//   * supports() gates execution in the service path: an unsupported job
+//     yields a supported=false entry and compute() is never invoked;
+//   * the ProfileSession LRU is bounded and deduplicates in-flight work;
+//   * the result cache (the old EvalHarness estimate cache) serves repeats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "alloc/backend_registry.h"
+#include "core/estimation_service.h"
+#include "core/estimator_registry.h"
+#include "core/profile_session.h"
+#include "core/xmem_estimator.h"
+#include "util/json.h"
+
+namespace xmem {
+namespace {
+
+core::TrainJob small_job() {
+  core::TrainJob job;
+  job.model_name = "distilgpt2";
+  job.batch_size = 5;
+  job.optimizer = fw::OptimizerKind::kAdamW;
+  job.seed = 7;
+  return job;
+}
+
+core::EstimateRequest sweep_request() {
+  core::EstimateRequest request;
+  request.job = small_job();
+  request.devices = {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()};
+  request.allocators = {"pytorch", "tf-bfc"};
+  request.estimators = {"xMem"};
+  return request;
+}
+
+// ---------- request / report JSON schema ----------
+
+TEST(EstimateRequestJson, RoundTripsThroughJson) {
+  core::EstimateRequest request = sweep_request();
+  const util::Json json = request.to_json();
+  const core::EstimateRequest parsed = core::EstimateRequest::from_json(json);
+  EXPECT_EQ(parsed.job.model_name, request.job.model_name);
+  EXPECT_EQ(parsed.job.batch_size, request.job.batch_size);
+  EXPECT_EQ(parsed.job.optimizer, request.job.optimizer);
+  EXPECT_EQ(parsed.job.placement, request.job.placement);
+  EXPECT_EQ(parsed.job.seed, request.job.seed);
+  ASSERT_EQ(parsed.devices.size(), 3u);
+  EXPECT_EQ(parsed.devices[2].name, "NVIDIA A100 40GB");
+  EXPECT_EQ(parsed.allocators, request.allocators);
+  EXPECT_EQ(parsed.estimators, request.estimators);
+}
+
+TEST(EstimateRequestJson, AcceptsAliasesAndCustomDevices) {
+  const char* text = R"({
+    "job": {"model": "distilgpt2", "batch": 5, "optimizer": "AdamW"},
+    "devices": ["rtx3060",
+                {"name": "H100-96GB", "capacity_bytes": 103079215104,
+                 "m_init_bytes": 440401920, "m_fm_bytes": 692060160}],
+    "allocators": ["pytorch"]
+  })";
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(util::Json::parse(text));
+  ASSERT_EQ(request.devices.size(), 2u);
+  EXPECT_EQ(request.devices[0].name, "GeForce RTX 3060");
+  EXPECT_EQ(request.devices[1].name, "H100-96GB");
+  EXPECT_EQ(request.devices[1].capacity, std::int64_t{103079215104});
+  // Defaults apply where the document is silent.
+  EXPECT_EQ(request.estimators, std::vector<std::string>{"xMem"});
+  EXPECT_EQ(request.job.placement, fw::ZeroGradPlacement::kPos1IterStart);
+}
+
+TEST(EstimateRequestJson, PartialDeviceOverridesKeepReferenceGeometry) {
+  // A what-if override of one field (extra framework headroom) must start
+  // from the named card's real geometry, not silently discard the rest.
+  const char* text = R"({
+    "job": {"model": "distilgpt2", "batch": 5},
+    "devices": [{"name": "rtx3060", "m_init_bytes": 1073741824}]
+  })";
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(util::Json::parse(text));
+  ASSERT_EQ(request.devices.size(), 1u);
+  EXPECT_EQ(request.devices[0].capacity, gpu::rtx3060().capacity);
+  EXPECT_EQ(request.devices[0].m_init, std::int64_t{1} << 30);
+  EXPECT_EQ(request.devices[0].m_fm, gpu::rtx3060().m_fm);
+
+  // Unknown names need explicit capacity.
+  EXPECT_THROW(core::EstimateRequest::from_json(util::Json::parse(R"({
+    "job": {"model": "distilgpt2", "batch": 5},
+    "devices": [{"name": "mystery-card", "m_init_bytes": 1}]
+  })")),
+               std::invalid_argument);
+}
+
+TEST(EstimateRequestJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(core::EstimateRequest::from_json(
+                   util::Json::parse(R"({"devices": ["rtx3060"]})")),
+               std::exception);  // missing job
+  EXPECT_THROW(
+      core::EstimateRequest::from_json(util::Json::parse(
+          R"({"job": {"model": "distilgpt2", "batch": 5}})")),
+      std::invalid_argument);  // missing devices
+  EXPECT_THROW(
+      core::EstimateRequest::from_json(util::Json::parse(
+          R"({"job": {"model": "distilgpt2"}, "devices": ["rtx3060"]})")),
+      std::invalid_argument);  // batch <= 0
+  EXPECT_THROW(
+      core::EstimateRequest::from_json(util::Json::parse(
+          R"({"job": {"model": "m", "batch": 1}, "devices": ["warp9"]})")),
+      std::invalid_argument);  // unknown device alias
+}
+
+TEST(EstimationServiceSweep, RejectsUnknownNames) {
+  core::EstimationService service;
+  core::EstimateRequest request = sweep_request();
+  request.job.model_name = "not-a-model";
+  EXPECT_THROW(service.sweep(request), std::invalid_argument);
+
+  request = sweep_request();
+  request.allocators = {"not-an-allocator"};
+  EXPECT_THROW(service.sweep(request), std::invalid_argument);
+
+  request = sweep_request();
+  request.estimators = {"not-an-estimator"};
+  EXPECT_THROW(service.sweep(request), std::invalid_argument);
+}
+
+// ---------- profile-once / estimate-many ----------
+
+TEST(EstimationServiceSweep, OneProfileManyReplays) {
+  // The acceptance sweep: 1 job x 4 devices x 3 allocators. Exactly one
+  // CPU profile; every other entry is a cheap replay against the session.
+  core::EstimateRequest request = sweep_request();
+  request.devices.push_back(gpu::DeviceModel{"Custom-24GB",
+                                             std::int64_t{24} << 30,
+                                             std::int64_t{300} << 20,
+                                             std::int64_t{600} << 20});
+  request.allocators = alloc::backend_names();
+  ASSERT_GE(request.allocators.size(), 3u);
+
+  core::EstimationService service;
+  const core::EstimateReport report = service.sweep(request);
+
+  const std::size_t n = request.devices.size() * request.allocators.size();
+  ASSERT_EQ(report.entries.size(), n);
+  EXPECT_EQ(report.profiles_run, 1u);
+  EXPECT_EQ(report.profile_cache_hits, n - 1);
+  EXPECT_EQ(report.replays_run, n);
+  EXPECT_EQ(report.result_cache_hits, 0u);
+
+  // Stage timings prove no re-profile: exactly one entry paid the profile.
+  std::size_t cold_entries = 0;
+  for (const core::EstimateEntry& entry : report.entries) {
+    EXPECT_TRUE(entry.supported);
+    EXPECT_GT(entry.estimated_peak, 0) << entry.device << "/" << entry.allocator;
+    EXPECT_TRUE(entry.has_orchestrator_stats);
+    if (!entry.timings.profile_cache_hit) {
+      ++cold_entries;
+      EXPECT_GT(entry.timings.profile_seconds, 0.0);
+    } else {
+      EXPECT_EQ(entry.timings.profile_seconds, 0.0);
+      EXPECT_EQ(entry.timings.analyze_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(cold_entries, 1u);
+
+  // Same-device entries across allocators share the profile, so the OOM
+  // verdict per device is consistent with each entry's budget.
+  for (const core::EstimateEntry& entry : report.entries) {
+    EXPECT_EQ(entry.oom_predicted,
+              entry.estimated_peak > entry.device_job_budget);
+  }
+}
+
+TEST(EstimationServiceSweep, ConcurrentSweepMatchesSerialByteForByte) {
+  const core::EstimateRequest request = sweep_request();  // 3 devices x 2 alloc
+
+  core::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  core::EstimationService serial(serial_options);
+
+  core::ServiceOptions concurrent_options;
+  concurrent_options.threads = 4;
+  core::EstimationService concurrent(concurrent_options);
+
+  const core::EstimateReport serial_report = serial.sweep(request);
+  const core::EstimateReport concurrent_report = concurrent.sweep(request);
+
+  // Byte-identical deterministic payload (timings excluded: wall clocks
+  // legitimately differ between runs).
+  EXPECT_EQ(serial_report.to_json(/*include_timings=*/false).dump(2),
+            concurrent_report.to_json(/*include_timings=*/false).dump(2));
+
+  // Both paths hit the profile cache for all but one entry.
+  EXPECT_EQ(serial_report.profiles_run, 1u);
+  EXPECT_EQ(concurrent_report.profiles_run, 1u);
+  EXPECT_EQ(concurrent_report.profile_cache_hits,
+            serial_report.profile_cache_hits);
+}
+
+TEST(EstimationServiceSweep, ResultCacheServesRepeats) {
+  core::EstimationService service;
+  const core::TrainJob job = small_job();
+  const core::EstimateEntry first =
+      service.estimate("xMem", job, gpu::rtx3060());
+  const core::EstimateEntry second =
+      service.estimate("xMem", job, gpu::rtx3060());
+  EXPECT_FALSE(first.timings.result_cache_hit);
+  EXPECT_TRUE(second.timings.result_cache_hit);
+  EXPECT_EQ(first.estimated_peak, second.estimated_peak);
+  // Cached repeats keep the original runtime (the harness contract: the
+  // estimate is computed once per configuration).
+  EXPECT_EQ(first.timings.total_seconds, second.timings.total_seconds);
+}
+
+TEST(EstimationServiceSweep, ResultCacheDistinguishesDeviceGeometry) {
+  // Two custom devices can share a name with different geometry; the
+  // cached verdict of one must never be served for the other.
+  core::EstimationService service;
+  const core::TrainJob job = small_job();
+  gpu::DeviceModel roomy = gpu::rtx3060();
+  roomy.name = "what-if";
+  roomy.capacity = std::int64_t{40} << 30;
+  gpu::DeviceModel tight = roomy;
+  tight.capacity = std::int64_t{4} << 30;
+
+  const core::EstimateEntry first = service.estimate("xMem", job, roomy);
+  const core::EstimateEntry second = service.estimate("xMem", job, tight);
+  EXPECT_FALSE(first.oom_predicted);
+  EXPECT_FALSE(second.timings.result_cache_hit);
+  EXPECT_TRUE(second.oom_predicted);
+  EXPECT_NE(first.device_job_budget, second.device_job_budget);
+}
+
+TEST(EstimationServiceSweep, AdapterAndServiceAgree) {
+  // core::Estimator survives as a thin adapter: the same job through the
+  // old interface and the service must give identical peaks.
+  const core::TrainJob job = small_job();
+  core::XMemEstimator estimator;
+  const core::EstimateResult direct = estimator.estimate(job, gpu::rtx3060());
+
+  core::EstimationService service;
+  const core::EstimateEntry entry =
+      service.estimate("xMem", job, gpu::rtx3060());
+  EXPECT_EQ(direct.estimated_peak, entry.estimated_peak);
+  EXPECT_EQ(direct.oom_predicted, entry.oom_predicted);
+  EXPECT_GT(direct.runtime_seconds, 0.0);  // uniform wrapper fills it
+}
+
+// ---------- supports() gating ----------
+
+std::atomic<int> g_mock_compute_calls{0};
+
+class UnsupportedEverythingEstimator final : public core::Estimator {
+ public:
+  std::string name() const override { return "MockUnsupported"; }
+  bool supports(const core::TrainJob&) const override { return false; }
+
+ protected:
+  core::EstimateResult compute(const core::TrainJob&,
+                               const gpu::DeviceModel&) override {
+    g_mock_compute_calls.fetch_add(1);
+    core::EstimateResult bogus;
+    bogus.estimated_peak = 1;  // would be a bogus peak if it ever leaked
+    return bogus;
+  }
+};
+
+TEST(SupportsGating, ComputeNeverRunsForUnsupportedJobs) {
+  static bool registered = false;
+  if (!registered) {
+    core::register_estimator("MockUnsupported", "test-only", [] {
+      return std::make_unique<UnsupportedEverythingEstimator>();
+    });
+    registered = true;
+  }
+
+  core::EstimationService service;
+  core::EstimateRequest request = sweep_request();
+  request.estimators = {"MockUnsupported"};
+  const core::EstimateReport report = service.sweep(request);
+
+  ASSERT_EQ(report.entries.size(), request.devices.size());
+  for (const core::EstimateEntry& entry : report.entries) {
+    EXPECT_FALSE(entry.supported);
+    EXPECT_EQ(entry.estimated_peak, 0);
+    EXPECT_FALSE(entry.oom_predicted);
+  }
+  EXPECT_EQ(g_mock_compute_calls.load(), 0);
+}
+
+TEST(SupportsGating, LLMemOnCnnYieldsUnsupportedReport) {
+  // The regression the redesign guards: LLMem is CausalLM-only; a CNN job
+  // must come back supported=false from the service, never a bogus peak.
+  core::EstimationService service;
+  core::TrainJob cnn_job;
+  cnn_job.model_name = "MnasNet";
+  cnn_job.batch_size = 200;
+  cnn_job.optimizer = fw::OptimizerKind::kSgd;
+
+  const core::EstimateEntry entry =
+      service.estimate("LLMem", cnn_job, gpu::rtx3060());
+  EXPECT_FALSE(entry.supported);
+  EXPECT_EQ(entry.estimated_peak, 0);
+  EXPECT_FALSE(entry.oom_predicted);
+
+  const util::Json json = entry.to_json();
+  EXPECT_FALSE(json.contains("estimated_peak_bytes"));
+  EXPECT_FALSE(json.at("supported").as_bool());
+}
+
+TEST(SupportsGating, BaselinesWithoutAllocatorGetOneEntryPerDevice) {
+  core::EstimationService service;
+  core::EstimateRequest request = sweep_request();
+  request.estimators = {"xMem", "DNNMem"};
+  const core::EstimateReport report = service.sweep(request);
+  // xMem: devices x allocators; DNNMem ignores the allocator dimension.
+  ASSERT_EQ(report.entries.size(),
+            request.devices.size() * request.allocators.size() +
+                request.devices.size());
+  for (std::size_t i = request.devices.size() * request.allocators.size();
+       i < report.entries.size(); ++i) {
+    EXPECT_EQ(report.entries[i].estimator, "DNNMem");
+    EXPECT_TRUE(report.entries[i].allocator.empty());
+    EXPECT_FALSE(report.entries[i].has_orchestrator_stats);
+  }
+}
+
+// ---------- ProfileSession ----------
+
+TEST(ProfileSessionCache, BoundedLruEvictsOldestKey) {
+  core::ProfileSession session(/*capacity=*/2);
+
+  auto key_for = [&](int batch) {
+    core::TrainJob job = small_job();
+    job.batch_size = batch;
+    core::XMemEstimator key_builder;
+    return key_builder.profile_key(job);
+  };
+
+  session.get(key_for(1));
+  session.get(key_for(2));
+  session.get(key_for(3));  // evicts batch=1
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_EQ(session.misses(), 3u);
+
+  session.get(key_for(3));  // resident
+  EXPECT_EQ(session.hits(), 1u);
+  session.get(key_for(1));  // was evicted: must re-profile
+  EXPECT_EQ(session.misses(), 4u);
+}
+
+TEST(ProfileSessionCache, SharedSessionAcrossEstimators) {
+  auto session = std::make_shared<core::ProfileSession>();
+  core::XMemEstimator first({}, session);
+  core::XMemEstimator second({}, session);
+  const core::TrainJob job = small_job();
+  first.estimate(job, gpu::rtx3060());
+  second.estimate(job, gpu::rtx4060());
+  EXPECT_EQ(session->misses(), 1u);
+  EXPECT_EQ(session->hits(), 1u);
+}
+
+TEST(ProfileSessionCache, FailuresAreNotCached) {
+  core::ProfileSession session;
+  core::ProfileKey key;
+  key.model_name = "no-such-model";
+  key.batch_size = 1;
+  EXPECT_THROW(session.get(key), std::invalid_argument);
+  EXPECT_EQ(session.size(), 0u);
+  EXPECT_THROW(session.get(key), std::invalid_argument);  // retried, not stuck
+}
+
+// ---------- report JSON ----------
+
+TEST(EstimateReportJson, SchemaFieldsPresent) {
+  core::EstimationService service;
+  core::EstimateRequest request = sweep_request();
+  request.record_curve = true;
+  const core::EstimateReport report = service.sweep(request);
+
+  const util::Json json = report.to_json();
+  EXPECT_EQ(json.at("schema_version").as_int(), 1);
+  EXPECT_EQ(json.at("job").at("model").as_string(), "distilgpt2");
+  EXPECT_EQ(json.at("entries").size(), report.entries.size());
+  const util::Json& entry = json.at("entries")[0];
+  EXPECT_TRUE(entry.contains("estimator"));
+  EXPECT_TRUE(entry.contains("device"));
+  EXPECT_TRUE(entry.contains("allocator"));
+  EXPECT_TRUE(entry.contains("estimated_peak_bytes"));
+  EXPECT_TRUE(entry.contains("oom_predicted"));
+  EXPECT_TRUE(entry.contains("orchestrator_stats"));
+  EXPECT_TRUE(entry.contains("timings"));
+  EXPECT_TRUE(entry.contains("reserved_curve"));
+  EXPECT_GT(entry.at("reserved_curve").size(), 0u);
+  const util::Json& counters = json.at("stage_counters");
+  EXPECT_EQ(counters.at("profiles_run").as_int(), 1);
+
+  // Timing-free rendering (golden diffs) drops every wall-clock field.
+  const util::Json stable = report.to_json(/*include_timings=*/false);
+  EXPECT_FALSE(stable.contains("wall_seconds"));
+  EXPECT_FALSE(stable.at("entries")[0].contains("timings"));
+}
+
+}  // namespace
+}  // namespace xmem
