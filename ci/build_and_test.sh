@@ -16,11 +16,12 @@
 # After an intentional accuracy change, regenerate with --update-goldens and
 # commit the new goldens alongside the change.
 #
-# The sweep smoke step feeds ci/fixtures/sweep_request.json through
-# `xmem sweep --no-timings` and diffs the JSON report against
-# ci/fixtures/sweep_report.json (schema + payload pinned; wall-clock fields
-# stripped), then asserts the profile-once contract via the report's stage
-# counters.
+# The sweep/plan smoke steps feed ci/fixtures/{sweep,plan}_request.json
+# through `xmem sweep`/`xmem plan` with --no-timings and diff the JSON
+# reports against ci/fixtures/{sweep,plan}_report.json (schema + payload
+# pinned; wall-clock fields stripped), then assert the profile-once
+# contract via each report's stage counters. The negative smoke feeds every
+# ci/fixtures/bad_*.json through `xmem sweep` and requires a nonzero exit.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -54,7 +55,8 @@ GOLDEN_FAILED=0
 for bench in table03_mcp table04_runtime \
              fig01_zero_grad_placement fig03_sequence_impact \
              fig06_simulator_validation fig07_mre_distributions \
-             fig08_quadrant fig09_large_models ablation_orchestrator; do
+             fig08_quadrant fig09_large_models fig_distributed_planner \
+             ablation_orchestrator; do
   golden="${GOLDEN_DIR}/${bench}.txt"
   actual="$(mktemp)"
   "${BUILD_DIR}/bench/${bench}" --fast | normalize > "${actual}"
@@ -99,4 +101,39 @@ else
   echo "sweep smoke ok"
 fi
 rm -f "${sweep_actual}"
+
+# --- xmem plan smoke -------------------------------------------------------
+
+plan_golden="${FIXTURE_DIR}/plan_report.json"
+plan_actual="$(mktemp)"
+"${BUILD_DIR}/src/xmem_cli" plan "${FIXTURE_DIR}/plan_request.json" \
+  --no-timings > "${plan_actual}"
+if ! grep -q '"profiles_run": 1,' "${plan_actual}"; then
+  echo "PLAN SMOKE: the whole plan search must run exactly one CPU profile" >&2
+  GOLDEN_FAILED=1
+fi
+if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
+  cp "${plan_actual}" "${plan_golden}"
+  echo "updated ${plan_golden}"
+elif ! diff -u "${plan_golden}" "${plan_actual}" > /dev/null; then
+  echo "PLAN SMOKE MISMATCH: plan report schema or payload changed" >&2
+  diff -u "${plan_golden}" "${plan_actual}" >&2 || true
+  echo "If intentional, regenerate: ci/build_and_test.sh --update-goldens" >&2
+  GOLDEN_FAILED=1
+else
+  echo "plan smoke ok"
+fi
+rm -f "${plan_actual}"
+
+# --- negative smoke: malformed requests must exit nonzero ------------------
+
+for bad in "${FIXTURE_DIR}"/bad_*.json; do
+  if "${BUILD_DIR}/src/xmem_cli" sweep "${bad}" > /dev/null 2>&1; then
+    echo "NEGATIVE SMOKE: xmem sweep accepted $(basename "${bad}")" >&2
+    GOLDEN_FAILED=1
+  else
+    echo "negative smoke ok: $(basename "${bad}")"
+  fi
+done
+
 exit "${GOLDEN_FAILED}"

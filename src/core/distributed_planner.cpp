@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 namespace xmem::core {
 
@@ -14,7 +15,44 @@ bool is_transient(const MemoryBlock& block, util::TimeUs iteration_span) {
   return (block.free_ts - block.alloc_ts) < iteration_span / 20;
 }
 
+std::int64_t ceil_div(std::int64_t value, std::int64_t divisor) {
+  return (value + divisor - 1) / divisor;
+}
+
 }  // namespace
+
+const char* to_string(ZeroStage stage) {
+  switch (stage) {
+    case ZeroStage::kNone: return "none";
+    case ZeroStage::kOptimizer: return "zero1";
+    case ZeroStage::kOptimizerGradient: return "zero2";
+    case ZeroStage::kFull: return "zero3";
+  }
+  return "none";
+}
+
+ZeroStage zero_stage_from_int(int stage) {
+  if (stage < 0 || stage > 3) {
+    throw std::invalid_argument("zero_stage must be 0..3, got " +
+                                std::to_string(stage));
+  }
+  return static_cast<ZeroStage>(stage);
+}
+
+const char* to_string(PipelineSchedule schedule) {
+  switch (schedule) {
+    case PipelineSchedule::kOneFOneB: return "1f1b";
+    case PipelineSchedule::kInterleaved: return "interleaved";
+  }
+  return "1f1b";
+}
+
+PipelineSchedule pipeline_schedule_from_string(const std::string& name) {
+  if (name == "1f1b" || name == "1F1B") return PipelineSchedule::kOneFOneB;
+  if (name == "interleaved") return PipelineSchedule::kInterleaved;
+  throw std::invalid_argument("unknown pipeline schedule '" + name +
+                              "' (1f1b | interleaved)");
+}
 
 std::vector<ComponentProfile> per_component_profile(
     const MemoryTimeline& timeline) {
@@ -78,24 +116,42 @@ std::vector<ComponentProfile> per_component_profile(
 
 namespace {
 
-std::int64_t stage_peak(const std::vector<ComponentProfile>& profiles,
-                        std::size_t first, std::size_t last,
-                        std::size_t stage_index, std::size_t num_stages,
-                        const DistributedOptions& options) {
+/// Per-component byte weights the stage solver packs: everything resident
+/// per stage (params + gradients + optimizer after any sharding), the
+/// per-replica activation bytes, and the largest op workspace.
+struct StageWeight {
+  std::int64_t persistent = 0;
+  std::int64_t activation = 0;
+  std::int64_t transient = 0;
+};
+
+/// Gradients mirror parameters on each stage; no sharding applied.
+std::vector<StageWeight> weights_from_profiles(
+    const std::vector<ComponentProfile>& profiles) {
+  std::vector<StageWeight> weights(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    weights[i].persistent =
+        profiles[i].persistent_bytes() + profiles[i].param_bytes;
+    weights[i].activation = profiles[i].activation_bytes;
+    weights[i].transient = profiles[i].transient_peak;
+  }
+  return weights;
+}
+
+std::int64_t span_peak(const std::vector<StageWeight>& weights,
+                       std::size_t first, std::size_t last, std::size_t index,
+                       std::size_t num_stages, int micro_batches) {
   std::int64_t persistent = 0;
   std::int64_t activations = 0;
   std::int64_t transient = 0;
   for (std::size_t i = first; i <= last; ++i) {
-    persistent += profiles[i].persistent_bytes();
-    // Gradients mirror parameters on each stage.
-    persistent += profiles[i].param_bytes;
-    activations += profiles[i].activation_bytes;
-    transient = std::max(transient, profiles[i].transient_peak);
+    persistent += weights[i].persistent;
+    activations += weights[i].activation;
+    transient = std::max(transient, weights[i].transient);
   }
-  const int in_flight = std::min<int>(
-      static_cast<int>(num_stages - stage_index), options.micro_batches);
-  const std::int64_t per_micro =
-      activations / std::max(1, options.micro_batches);
+  const int in_flight =
+      std::min<int>(static_cast<int>(num_stages - index), micro_batches);
+  const std::int64_t per_micro = activations / std::max(1, micro_batches);
   return persistent + per_micro * in_flight + transient;
 }
 
@@ -104,27 +160,28 @@ std::int64_t stage_peak(const std::vector<ComponentProfile>& profiles,
 /// current stage while it stays under budget. Because later stages hold
 /// fewer in-flight micro-batches, we conservatively evaluate each stage with
 /// its actual index.
-bool try_pack(const std::vector<ComponentProfile>& profiles,
-              std::int64_t budget, const DistributedOptions& options,
+bool try_pack(const std::vector<StageWeight>& weights, std::int64_t budget,
+              std::size_t num_stages, int micro_batches,
               std::vector<PipelineStage>* out) {
-  const auto num_stages = static_cast<std::size_t>(options.pipeline_stages);
   std::vector<PipelineStage> stages;
   std::size_t begin = 0;
-  for (std::size_t s = 0; s < num_stages && begin < profiles.size(); ++s) {
+  for (std::size_t s = 0; s < num_stages && begin < weights.size(); ++s) {
     std::size_t end = begin;
     // The last stage must absorb everything left.
     if (s + 1 == num_stages) {
-      end = profiles.size() - 1;
-      if (stage_peak(profiles, begin, end, s, num_stages, options) > budget) {
+      end = weights.size() - 1;
+      if (span_peak(weights, begin, end, s, num_stages, micro_batches) >
+          budget) {
         return false;
       }
     } else {
-      while (end + 1 < profiles.size() &&
-             stage_peak(profiles, begin, end + 1, s, num_stages, options) <=
-                 budget) {
+      while (end + 1 < weights.size() &&
+             span_peak(weights, begin, end + 1, s, num_stages,
+                       micro_batches) <= budget) {
         ++end;
       }
-      if (stage_peak(profiles, begin, end, s, num_stages, options) > budget) {
+      if (span_peak(weights, begin, end, s, num_stages, micro_batches) >
+          budget) {
         return false;  // a single component exceeds the budget
       }
     }
@@ -132,52 +189,254 @@ bool try_pack(const std::vector<ComponentProfile>& profiles,
     stage.first_component = begin;
     stage.last_component = end;
     stage.estimated_peak =
-        stage_peak(profiles, begin, end, s, num_stages, options);
+        span_peak(weights, begin, end, s, num_stages, micro_batches);
     for (std::size_t i = begin; i <= end; ++i) {
-      stage.persistent_bytes +=
-          profiles[i].persistent_bytes() + profiles[i].param_bytes;
-      stage.activation_bytes += profiles[i].activation_bytes;
+      stage.persistent_bytes += weights[i].persistent;
+      stage.activation_bytes += weights[i].activation;
+      stage.transient_peak = std::max(stage.transient_peak,
+                                      weights[i].transient);
     }
     stages.push_back(stage);
     begin = end + 1;
   }
-  if (begin < profiles.size()) return false;
+  if (begin < weights.size()) return false;
   if (out != nullptr) *out = std::move(stages);
   return true;
+}
+
+/// Minimize the maximum per-stage peak over contiguous partitions: binary
+/// search the budget, then pack at the minimal feasible one.
+std::vector<PipelineStage> pack_min_max(const std::vector<StageWeight>& weights,
+                                        std::size_t num_stages,
+                                        int micro_batches) {
+  // Everything in stage 0 with the deepest in-flight count bounds any
+  // partition's worst stage from above — and is itself feasible.
+  std::int64_t low = 1;
+  std::int64_t high = span_peak(weights, 0, weights.size() - 1, 0, num_stages,
+                                micro_batches);
+  while (low < high) {
+    const std::int64_t mid = low + (high - low) / 2;
+    if (try_pack(weights, mid, num_stages, micro_batches, nullptr)) {
+      high = mid;
+    } else {
+      low = mid + 1;
+    }
+  }
+  std::vector<PipelineStage> stages;
+  try_pack(weights, low, num_stages, micro_batches, &stages);
+  return stages;
+}
+
+/// Per-rank peaks of a packed (virtual-)stage sequence: rank r owns chunks
+/// r, r + p, r + 2p, … — summing their resident bytes, sharing the largest
+/// workspace (ops of co-located chunks never overlap in time).
+std::vector<std::int64_t> rank_peaks_of(const std::vector<PipelineStage>& chunks,
+                                        std::size_t pipeline_stages) {
+  const std::size_t ranks =
+      std::min(pipeline_stages, std::max<std::size_t>(chunks.size(), 1));
+  std::vector<std::int64_t> resident(ranks, 0);
+  std::vector<std::int64_t> transient(ranks, 0);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const std::size_t rank = c % ranks;
+    resident[rank] +=
+        chunks[c].estimated_peak - chunks[c].transient_peak;
+    transient[rank] = std::max(transient[rank], chunks[c].transient_peak);
+  }
+  std::vector<std::int64_t> peaks(ranks, 0);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    peaks[r] = resident[r] + transient[r];
+  }
+  return peaks;
 }
 
 }  // namespace
 
 PipelinePlan DistributedPlanner::plan_pipeline(
     const MemoryTimeline& timeline, const DistributedOptions& options) const {
+  return plan_pipeline(per_component_profile(timeline), options);
+}
+
+PipelinePlan DistributedPlanner::plan_pipeline(
+    const std::vector<ComponentProfile>& profiles,
+    const DistributedOptions& options) const {
   PipelinePlan plan;
-  const std::vector<ComponentProfile> profiles =
-      per_component_profile(timeline);
-  if (profiles.empty() || options.pipeline_stages < 1) return plan;
-
-  // Single-device reference: everything in one stage, no micro-batching.
-  DistributedOptions single = options;
-  single.pipeline_stages = 1;
-  single.micro_batches = 1;
-  plan.single_device_peak =
-      stage_peak(profiles, 0, profiles.size() - 1, 0, 1, single);
-
-  // Binary search the minimal feasible max-stage budget.
-  std::int64_t low = 1;
-  std::int64_t high = plan.single_device_peak * 2 + 1;
-  while (low < high) {
-    const std::int64_t mid = low + (high - low) / 2;
-    if (try_pack(profiles, mid, options, nullptr)) {
-      high = mid;
-    } else {
-      low = mid + 1;
-    }
+  if (profiles.empty() || options.pipeline_stages < 1 ||
+      options.micro_batches < 1 || options.virtual_stages < 1) {
+    return plan;
   }
-  try_pack(profiles, low, options, &plan.stages);
-  for (const PipelineStage& stage : plan.stages) {
-    plan.max_stage_peak = std::max(plan.max_stage_peak, stage.estimated_peak);
+  const std::vector<StageWeight> weights = weights_from_profiles(profiles);
+  plan.single_device_peak = span_peak(weights, 0, weights.size() - 1, 0, 1, 1);
+
+  const auto ranks = static_cast<std::size_t>(options.pipeline_stages);
+  const std::size_t chunks_per_rank =
+      options.schedule == PipelineSchedule::kInterleaved
+          ? static_cast<std::size_t>(options.virtual_stages)
+          : 1;
+  plan.stages = pack_min_max(weights, ranks * chunks_per_rank,
+                             options.micro_batches);
+  plan.rank_peaks = rank_peaks_of(plan.stages, ranks);
+  for (const std::int64_t peak : plan.rank_peaks) {
+    plan.max_stage_peak = std::max(plan.max_stage_peak, peak);
   }
   return plan;
+}
+
+DataParallelPlan DistributedPlanner::plan_data_parallel(
+    const std::vector<ComponentProfile>& profiles,
+    const DataParallelOptions& options) const {
+  DataParallelPlan plan;
+  plan.ranks = std::max(1, options.ranks);
+  plan.zero = options.zero;
+  const std::int64_t d = plan.ranks;
+  for (const ComponentProfile& c : profiles) {
+    plan.param_bytes +=
+        options.zero >= ZeroStage::kFull ? ceil_div(c.param_bytes, d)
+                                         : c.param_bytes;
+    plan.gradient_bytes +=
+        options.zero >= ZeroStage::kOptimizerGradient
+            ? ceil_div(c.param_bytes, d)
+            : c.param_bytes;
+    plan.optimizer_bytes +=
+        options.zero >= ZeroStage::kOptimizer
+            ? ceil_div(c.optimizer_bytes, d)
+            : c.optimizer_bytes;
+    plan.activation_bytes += ceil_div(c.activation_bytes, d);
+    plan.transient_peak = std::max(plan.transient_peak, c.transient_peak);
+  }
+  plan.bucket_overhead_bytes = d > 1 ? 2 * options.ddp_bucket_bytes : 0;
+  plan.per_rank_peak = plan.param_bytes + plan.gradient_bytes +
+                       plan.optimizer_bytes + plan.activation_bytes +
+                       plan.transient_peak + plan.bucket_overhead_bytes;
+  plan.single_device_peak = single_device_peak(profiles);
+  return plan;
+}
+
+ComponentProfile DistributedPlanner::shard_tensor_parallel(
+    const ComponentProfile& component,
+    const TensorParallelOptions& options) const {
+  const std::int64_t t = std::max(1, options.ways);
+  if (t == 1) return component;
+  for (const std::string& marker : options.replicated_substrings) {
+    if (component.component.find(marker) != std::string::npos) {
+      return component;  // norms/embeddings stay whole on every rank
+    }
+  }
+  ComponentProfile sharded = component;
+  sharded.param_bytes = ceil_div(component.param_bytes, t);
+  sharded.optimizer_bytes = ceil_div(component.optimizer_bytes, t);
+  const std::int64_t replicated =
+      component.activation_bytes *
+      std::clamp(options.activation_replication_pct, 0, 100) / 100;
+  sharded.activation_bytes =
+      replicated + ceil_div(component.activation_bytes - replicated, t);
+  sharded.transient_peak = ceil_div(component.transient_peak, t);
+  return sharded;
+}
+
+TensorParallelPlan DistributedPlanner::plan_tensor_parallel(
+    const std::vector<ComponentProfile>& profiles,
+    const TensorParallelOptions& options) const {
+  TensorParallelPlan plan;
+  plan.ways = std::max(1, options.ways);
+  TensorParallelOptions ways_options = options;
+  ways_options.ways = plan.ways;
+  for (const ComponentProfile& c : profiles) {
+    const ComponentProfile sharded = shard_tensor_parallel(c, ways_options);
+    if (plan.ways > 1 && sharded.param_bytes == c.param_bytes) {
+      plan.replicated_param_bytes += c.param_bytes;
+    }
+    plan.param_bytes += sharded.param_bytes;
+    plan.gradient_bytes += sharded.param_bytes;
+    plan.optimizer_bytes += sharded.optimizer_bytes;
+    plan.activation_bytes += sharded.activation_bytes;
+    plan.transient_peak = std::max(plan.transient_peak, sharded.transient_peak);
+  }
+  plan.per_rank_peak = plan.param_bytes + plan.gradient_bytes +
+                       plan.optimizer_bytes + plan.activation_bytes +
+                       plan.transient_peak;
+  plan.single_device_peak = single_device_peak(profiles);
+  return plan;
+}
+
+HybridPlan DistributedPlanner::plan_hybrid(
+    const std::vector<ComponentProfile>& profiles,
+    const HybridOptions& options) const {
+  HybridPlan plan;
+  plan.data_parallel = std::max(1, options.data_parallel);
+  plan.tensor_parallel = std::max(1, options.tensor_parallel);
+  plan.pipeline_stages = std::max(1, options.pipeline_stages);
+  plan.gpus = plan.data_parallel * plan.tensor_parallel * plan.pipeline_stages;
+  if (profiles.empty() || options.micro_batches < 1 ||
+      options.virtual_stages < 1) {
+    return plan;
+  }
+  plan.single_device_peak = single_device_peak(profiles);
+
+  // 1) TP shards every component; 2) DP shards the batch (activations) and,
+  // under ZeRO, the persistent state; 3) PP packs the resulting weights.
+  TensorParallelOptions tensor = options.tensor;
+  tensor.ways = plan.tensor_parallel;
+  const std::int64_t d = plan.data_parallel;
+  std::vector<StageWeight> weights(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const ComponentProfile sharded =
+        shard_tensor_parallel(profiles[i], tensor);
+    const std::int64_t params =
+        options.zero >= ZeroStage::kFull ? ceil_div(sharded.param_bytes, d)
+                                         : sharded.param_bytes;
+    const std::int64_t gradients =
+        options.zero >= ZeroStage::kOptimizerGradient
+            ? ceil_div(sharded.param_bytes, d)
+            : sharded.param_bytes;
+    const std::int64_t optimizer =
+        options.zero >= ZeroStage::kOptimizer
+            ? ceil_div(sharded.optimizer_bytes, d)
+            : sharded.optimizer_bytes;
+    weights[i].persistent = params + gradients + optimizer;
+    weights[i].activation = ceil_div(sharded.activation_bytes, d);
+    weights[i].transient = sharded.transient_peak;
+  }
+
+  const auto ranks = static_cast<std::size_t>(plan.pipeline_stages);
+  const std::size_t chunks_per_rank =
+      options.schedule == PipelineSchedule::kInterleaved
+          ? static_cast<std::size_t>(options.virtual_stages)
+          : 1;
+  plan.stages =
+      pack_min_max(weights, ranks * chunks_per_rank, options.micro_batches);
+  plan.rank_peaks = rank_peaks_of(plan.stages, ranks);
+  const std::int64_t bucket_overhead =
+      d > 1 ? 2 * options.ddp_bucket_bytes : 0;
+  for (std::int64_t& peak : plan.rank_peaks) {
+    peak += bucket_overhead;
+    plan.per_rank_peak = std::max(plan.per_rank_peak, peak);
+  }
+  return plan;
+}
+
+std::int64_t DistributedPlanner::single_device_peak(
+    const std::vector<ComponentProfile>& profiles) const {
+  if (profiles.empty()) return 0;
+  const std::vector<StageWeight> weights = weights_from_profiles(profiles);
+  return span_peak(weights, 0, weights.size() - 1, 0, 1, 1);
+}
+
+std::vector<Decomposition> DistributedPlanner::enumerate_decompositions(
+    int max_gpus, int max_pipeline_stages) {
+  std::vector<Decomposition> decompositions;
+  for (int n = 1; n <= max_gpus; ++n) {
+    for (int d = 1; d <= n; ++d) {
+      if (n % d != 0) continue;
+      const int td = n / d;
+      for (int t = 1; t <= td; ++t) {
+        if (td % t != 0) continue;
+        const int p = td / t;
+        if (p > std::max(1, max_pipeline_stages)) continue;
+        decompositions.push_back(Decomposition{d, t, p});
+      }
+    }
+  }
+  return decompositions;
 }
 
 }  // namespace xmem::core

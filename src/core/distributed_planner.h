@@ -7,9 +7,22 @@
 //
 //   * pipeline parallelism — split the layer sequence into contiguous
 //     stages so the worst stage's peak memory is minimized, modelling the
-//     1F1B schedule's in-flight micro-batch activations;
-//   * data parallelism — the extra resident bytes DDP's gradient-bucket
-//     staging adds per rank.
+//     1F1B schedule's in-flight micro-batch activations (plus an
+//     interleaved-schedule variant with several virtual stages per rank);
+//   * data parallelism — batch-sharded activations, replicated (or
+//     ZeRO-1/2/3-sharded) persistent state, and the extra resident bytes
+//     DDP's gradient-bucket staging adds per rank;
+//   * tensor parallelism — per-component divisible/replicated byte split
+//     with an activation-replication model (norms/embeddings stay whole on
+//     every rank, matmul shards divide);
+//   * hybrid DP×TP×PP — evaluate any (d, t, p) decomposition of a GPU
+//     budget; the EstimationService's plan search enumerates and ranks
+//     them against candidate devices from ONE cached CPU profile.
+//
+// Everything here is integer arithmetic over a component profile — cheap,
+// deterministic, and thread-safe (the planner holds no state), which is
+// what lets the hybrid search fan out on a thread pool and still produce
+// byte-identical reports.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +54,30 @@ struct ComponentProfile {
 std::vector<ComponentProfile> per_component_profile(
     const MemoryTimeline& timeline);
 
+/// ZeRO-style sharding of the persistent bytes across data-parallel ranks.
+/// Each stage shards one more class of per-parameter state by 1/d:
+/// kOptimizer = ZeRO-1 (optimizer states), kOptimizerGradient = ZeRO-2
+/// (+ gradients), kFull = ZeRO-3 (+ the parameters themselves).
+enum class ZeroStage : std::uint8_t {
+  kNone = 0,
+  kOptimizer = 1,
+  kOptimizerGradient = 2,
+  kFull = 3,
+};
+const char* to_string(ZeroStage stage);
+/// Map the conventional 0..3 stage number; throws std::invalid_argument.
+ZeroStage zero_stage_from_int(int stage);
+
+/// Pipeline schedule. kOneFOneB: stage s of S holds min(S - s, m) in-flight
+/// micro-batch activation copies. kInterleaved: each rank holds
+/// `virtual_stages` interleaved model chunks; chunk k of rank r behaves
+/// like virtual stage r + k*S of an (S * virtual_stages)-deep 1F1B
+/// pipeline, and the rank's peak sums its chunks.
+enum class PipelineSchedule : std::uint8_t { kOneFOneB, kInterleaved };
+const char* to_string(PipelineSchedule schedule);
+/// Parse "1f1b" / "interleaved"; throws std::invalid_argument.
+PipelineSchedule pipeline_schedule_from_string(const std::string& name);
+
 struct DistributedOptions {
   int pipeline_stages = 2;
   /// In-flight micro-batches of the 1F1B schedule. Stage s (0-based, of S)
@@ -49,6 +86,9 @@ struct DistributedOptions {
   int micro_batches = 4;
   /// DDP gradient bucket size (PyTorch default 25 MiB).
   std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  PipelineSchedule schedule = PipelineSchedule::kOneFOneB;
+  /// Model chunks per rank under kInterleaved (ignored for kOneFOneB).
+  int virtual_stages = 1;
 };
 
 struct PipelineStage {
@@ -56,15 +96,106 @@ struct PipelineStage {
   std::size_t last_component = 0;   ///< inclusive
   std::int64_t persistent_bytes = 0;
   std::int64_t activation_bytes = 0;  ///< per full batch
+  std::int64_t transient_peak = 0;    ///< largest op workspace in the stage
   std::int64_t estimated_peak = 0;
 };
 
 struct PipelinePlan {
+  /// Contiguous chunks in forward order: one per rank under kOneFOneB,
+  /// `virtual_stages` per rank (round-robin: chunk c lives on rank
+  /// c % pipeline_stages) under kInterleaved.
   std::vector<PipelineStage> stages;
-  std::int64_t max_stage_peak = 0;
+  /// Peak per pipeline rank (size = pipeline_stages actually populated).
+  std::vector<std::int64_t> rank_peaks;
+  std::int64_t max_stage_peak = 0;  ///< max over rank_peaks
   /// Peak of the same job on one device (for the "does splitting help"
   /// comparison).
   std::int64_t single_device_peak = 0;
+};
+
+struct DataParallelOptions {
+  int ranks = 2;
+  ZeroStage zero = ZeroStage::kNone;
+  /// DDP gradient bucket size (PyTorch default 25 MiB).
+  std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+};
+
+/// Per-rank byte budget of a pure data-parallel deployment. All fields are
+/// per rank, after ZeRO sharding; gradients mirror parameters.
+struct DataParallelPlan {
+  int ranks = 1;
+  ZeroStage zero = ZeroStage::kNone;
+  std::int64_t param_bytes = 0;
+  std::int64_t gradient_bytes = 0;
+  std::int64_t optimizer_bytes = 0;
+  std::int64_t activation_bytes = 0;  ///< batch shard: ceil(total / ranks)
+  std::int64_t transient_peak = 0;
+  std::int64_t bucket_overhead_bytes = 0;  ///< 2 in-flight buckets, 0 if d==1
+  std::int64_t per_rank_peak = 0;
+  std::int64_t single_device_peak = 0;
+};
+
+struct TensorParallelOptions {
+  int ways = 2;
+  /// Percent of a sharded component's activation bytes replicated on every
+  /// rank (residual stream, dropout masks) instead of divided.
+  int activation_replication_pct = 25;
+  /// Components whose name contains any of these substrings are fully
+  /// replicated (Megatron keeps norms and embeddings whole per rank).
+  std::vector<std::string> replicated_substrings = {"Norm", "Embedding"};
+};
+
+/// Per-rank byte budget of a pure tensor-parallel deployment.
+struct TensorParallelPlan {
+  int ways = 1;
+  std::int64_t param_bytes = 0;  ///< per rank, incl. replicated components
+  std::int64_t gradient_bytes = 0;
+  std::int64_t optimizer_bytes = 0;
+  std::int64_t activation_bytes = 0;
+  std::int64_t transient_peak = 0;
+  /// Parameter bytes that every rank keeps whole (norms, embeddings).
+  std::int64_t replicated_param_bytes = 0;
+  std::int64_t per_rank_peak = 0;
+  std::int64_t single_device_peak = 0;
+};
+
+/// One point of the hybrid search space: d × t × p GPUs.
+struct HybridOptions {
+  int data_parallel = 1;
+  int tensor_parallel = 1;
+  int pipeline_stages = 1;
+  int micro_batches = 4;
+  PipelineSchedule schedule = PipelineSchedule::kOneFOneB;
+  int virtual_stages = 1;
+  ZeroStage zero = ZeroStage::kNone;
+  std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  /// TP shard model; `ways` is ignored (taken from tensor_parallel).
+  TensorParallelOptions tensor;
+};
+
+/// Per-rank memory of one (d, t, p) decomposition. The model composes the
+/// three parallelism dimensions: TP shards each component, DP shards the
+/// batch (activations) and optionally the persistent state (ZeRO), PP
+/// partitions the sharded sequence into stages with in-flight micro-batch
+/// accounting. `per_rank_peak` is the worst rank including DDP bucket
+/// staging — the number a candidate device must fit.
+struct HybridPlan {
+  int data_parallel = 1;
+  int tensor_parallel = 1;
+  int pipeline_stages = 1;
+  int gpus = 1;
+  std::vector<PipelineStage> stages;  ///< contiguous (virtual) stage chunks
+  std::vector<std::int64_t> rank_peaks;
+  std::int64_t per_rank_peak = 0;
+  std::int64_t single_device_peak = 0;
+};
+
+/// One (d, t, p) decomposition of a GPU budget.
+struct Decomposition {
+  int data_parallel = 1;
+  int tensor_parallel = 1;
+  int pipeline_stages = 1;
+  int gpus() const { return data_parallel * tensor_parallel * pipeline_stages; }
 };
 
 class DistributedPlanner {
@@ -74,6 +205,43 @@ class DistributedPlanner {
   /// optimal for contiguous partitioning of a nonnegative sequence).
   PipelinePlan plan_pipeline(const MemoryTimeline& timeline,
                              const DistributedOptions& options) const;
+  PipelinePlan plan_pipeline(const std::vector<ComponentProfile>& profiles,
+                             const DistributedOptions& options) const;
+
+  /// Pure data parallelism: batch-sharded activations, ZeRO-sharded or
+  /// replicated persistent state, two in-flight gradient buckets.
+  DataParallelPlan plan_data_parallel(
+      const std::vector<ComponentProfile>& profiles,
+      const DataParallelOptions& options) const;
+
+  /// Shard one component across `options.ways` tensor-parallel ranks.
+  /// Replicated components (name matches `replicated_substrings`) are
+  /// returned unchanged; divisible ones split params/optimizer/transients
+  /// by ceil(x / ways) and activations by the replication model.
+  ComponentProfile shard_tensor_parallel(
+      const ComponentProfile& component,
+      const TensorParallelOptions& options) const;
+
+  /// Pure tensor parallelism over the whole component sequence.
+  TensorParallelPlan plan_tensor_parallel(
+      const std::vector<ComponentProfile>& profiles,
+      const TensorParallelOptions& options) const;
+
+  /// Evaluate one (d, t, p) decomposition. Deterministic integer
+  /// arithmetic: safe to call concurrently from a sweep fan-out.
+  HybridPlan plan_hybrid(const std::vector<ComponentProfile>& profiles,
+                         const HybridOptions& options) const;
+
+  /// Single-device reference peak of the component model (one stage, no
+  /// micro-batching): params + gradients + optimizer + activations + the
+  /// largest transient.
+  std::int64_t single_device_peak(
+      const std::vector<ComponentProfile>& profiles) const;
+
+  /// All (d, t, p) with d*t*p <= max_gpus and p <= max_pipeline_stages, in
+  /// deterministic order (total GPUs, then d, then t).
+  static std::vector<Decomposition> enumerate_decompositions(
+      int max_gpus, int max_pipeline_stages);
 
   /// Extra resident bytes per data-parallel rank: two in-flight gradient
   /// buckets (reduce + staging).

@@ -1,5 +1,6 @@
 #include "core/estimation_service.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -92,6 +93,19 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+util::Json devices_to_json(const std::vector<gpu::DeviceModel>& devices) {
+  util::Json device_array = util::Json::array();
+  for (const gpu::DeviceModel& device : devices) {
+    util::Json entry = util::Json::object();
+    entry["name"] = util::Json(device.name);
+    entry["capacity_bytes"] = util::Json(device.capacity);
+    entry["m_init_bytes"] = util::Json(device.m_init);
+    entry["m_fm_bytes"] = util::Json(device.m_fm);
+    device_array.push_back(std::move(entry));
+  }
+  return device_array;
+}
+
 }  // namespace
 
 EstimateRequest EstimateRequest::from_json(const util::Json& json) {
@@ -130,16 +144,7 @@ EstimateRequest EstimateRequest::from_json(const util::Json& json) {
 util::Json EstimateRequest::to_json() const {
   util::Json json = util::Json::object();
   json["job"] = job_to_json(job);
-  util::Json device_array = util::Json::array();
-  for (const gpu::DeviceModel& device : devices) {
-    util::Json entry = util::Json::object();
-    entry["name"] = util::Json(device.name);
-    entry["capacity_bytes"] = util::Json(device.capacity);
-    entry["m_init_bytes"] = util::Json(device.m_init);
-    entry["m_fm_bytes"] = util::Json(device.m_fm);
-    device_array.push_back(std::move(entry));
-  }
-  json["devices"] = std::move(device_array);
+  json["devices"] = devices_to_json(devices);
   util::Json allocator_array = util::Json::array();
   for (const std::string& name : allocators) {
     allocator_array.push_back(util::Json(name));
@@ -210,6 +215,155 @@ util::Json EstimateReport::to_json(bool include_timings) const {
     entry_array.push_back(entry.to_json(include_timings));
   }
   json["entries"] = std::move(entry_array);
+  util::Json counters = util::Json::object();
+  counters["profiles_run"] =
+      util::Json(static_cast<std::int64_t>(profiles_run));
+  counters["profile_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(profile_cache_hits));
+  counters["replays_run"] = util::Json(static_cast<std::int64_t>(replays_run));
+  counters["result_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(result_cache_hits));
+  json["stage_counters"] = std::move(counters);
+  if (include_timings) json["wall_seconds"] = util::Json(wall_seconds);
+  return json;
+}
+
+PlanRequest PlanRequest::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("plan request: top level must be an object");
+  }
+  PlanRequest request;
+  request.job = job_from_json(json.at("job"));
+  if (!json.contains("devices") || json.at("devices").size() == 0) {
+    throw std::invalid_argument(
+        "plan request: \"devices\" must be a non-empty array");
+  }
+  for (const util::Json& entry : json.at("devices").as_array()) {
+    request.devices.push_back(device_from_json(entry));
+  }
+  request.max_gpus = static_cast<int>(json.get_int_or("max_gpus", 8));
+  if (request.max_gpus < 1) {
+    throw std::invalid_argument("plan request: \"max_gpus\" must be >= 1");
+  }
+  request.micro_batches =
+      static_cast<int>(json.get_int_or("micro_batches", 4));
+  if (request.micro_batches < 1) {
+    throw std::invalid_argument(
+        "plan request: \"micro_batches\" must be >= 1");
+  }
+  request.schedule =
+      pipeline_schedule_from_string(json.get_string_or("schedule", "1f1b"));
+  request.virtual_stages =
+      static_cast<int>(json.get_int_or("virtual_stages", 1));
+  if (request.virtual_stages < 1) {
+    throw std::invalid_argument(
+        "plan request: \"virtual_stages\" must be >= 1");
+  }
+  request.zero = zero_stage_from_int(
+      static_cast<int>(json.get_int_or("zero_stage", 0)));
+  request.ddp_bucket_bytes =
+      json.get_int_or("ddp_bucket_bytes", request.ddp_bucket_bytes);
+  if (request.ddp_bucket_bytes < 0) {
+    throw std::invalid_argument(
+        "plan request: \"ddp_bucket_bytes\" must be >= 0");
+  }
+  request.activation_replication_pct = static_cast<int>(
+      json.get_int_or("activation_replication_pct", 25));
+  if (request.activation_replication_pct < 0 ||
+      request.activation_replication_pct > 100) {
+    throw std::invalid_argument(
+        "plan request: \"activation_replication_pct\" must be 0..100");
+  }
+  request.allocator = json.get_string_or("allocator", request.allocator);
+  request.profile_iterations =
+      static_cast<int>(json.get_int_or("profile_iterations", 3));
+  if (request.profile_iterations < 1) {
+    throw std::invalid_argument(
+        "plan request: \"profile_iterations\" must be >= 1");
+  }
+  const std::int64_t max_candidates = json.get_int_or("max_candidates", 0);
+  if (max_candidates < 0) {
+    throw std::invalid_argument(
+        "plan request: \"max_candidates\" must be >= 0");
+  }
+  request.max_candidates = static_cast<std::size_t>(max_candidates);
+  return request;
+}
+
+util::Json PlanRequest::to_json() const {
+  util::Json json = util::Json::object();
+  json["job"] = job_to_json(job);
+  json["devices"] = devices_to_json(devices);
+  json["max_gpus"] = util::Json(max_gpus);
+  json["micro_batches"] = util::Json(micro_batches);
+  json["schedule"] = util::Json(to_string(schedule));
+  json["virtual_stages"] = util::Json(virtual_stages);
+  json["zero_stage"] = util::Json(static_cast<int>(zero));
+  json["ddp_bucket_bytes"] = util::Json(ddp_bucket_bytes);
+  json["activation_replication_pct"] = util::Json(activation_replication_pct);
+  json["allocator"] = util::Json(allocator);
+  json["profile_iterations"] = util::Json(profile_iterations);
+  json["max_candidates"] =
+      util::Json(static_cast<std::int64_t>(max_candidates));
+  return json;
+}
+
+util::Json PlanCandidate::to_json(
+    const std::vector<gpu::DeviceModel>& devices) const {
+  util::Json json = util::Json::object();
+  json["data_parallel"] = util::Json(plan.data_parallel);
+  json["tensor_parallel"] = util::Json(plan.tensor_parallel);
+  json["pipeline_stages"] = util::Json(plan.pipeline_stages);
+  json["gpus"] = util::Json(plan.gpus);
+  json["per_rank_peak_bytes"] = util::Json(plan.per_rank_peak);
+  json["savings_pct"] = util::Json(savings_pct);
+  json["splitting_helps"] = util::Json(splitting_helps);
+  util::Json ranks = util::Json::array();
+  for (const std::int64_t peak : plan.rank_peaks) {
+    ranks.push_back(util::Json(peak));
+  }
+  json["rank_peaks_bytes"] = std::move(ranks);
+  util::Json stages = util::Json::array();
+  for (const PipelineStage& stage : plan.stages) {
+    util::Json entry = util::Json::object();
+    entry["first_component"] =
+        util::Json(static_cast<std::int64_t>(stage.first_component));
+    entry["last_component"] =
+        util::Json(static_cast<std::int64_t>(stage.last_component));
+    entry["peak_bytes"] = util::Json(stage.estimated_peak);
+    stages.push_back(std::move(entry));
+  }
+  json["stages"] = std::move(stages);
+  util::Json verdicts = util::Json::array();
+  for (std::size_t i = 0; i < devices.size() && i < device_fits.size(); ++i) {
+    util::Json verdict = util::Json::object();
+    verdict["device"] = util::Json(devices[i].name);
+    verdict["fits"] = util::Json(static_cast<bool>(device_fits[i]));
+    verdicts.push_back(std::move(verdict));
+  }
+  json["fits"] = std::move(verdicts);
+  return json;
+}
+
+util::Json PlanReport::to_json(bool include_timings) const {
+  util::Json json = util::Json::object();
+  json["schema_version"] = util::Json(1);
+  json["job"] = job_to_json(job);
+  util::Json single = util::Json::object();
+  single["analytic_peak_bytes"] = util::Json(single_device_peak);
+  util::Json entry_array = util::Json::array();
+  for (const EstimateEntry& entry : single_device_entries) {
+    entry_array.push_back(entry.to_json(include_timings));
+  }
+  single["entries"] = std::move(entry_array);
+  json["single_device"] = std::move(single);
+  util::Json candidate_array = util::Json::array();
+  for (const PlanCandidate& candidate : candidates) {
+    candidate_array.push_back(candidate.to_json(devices));
+  }
+  json["candidates"] = std::move(candidate_array);
+  json["candidates_evaluated"] =
+      util::Json(static_cast<std::int64_t>(candidates_evaluated));
   util::Json counters = util::Json::object();
   counters["profiles_run"] =
       util::Json(static_cast<std::int64_t>(profiles_run));
@@ -313,6 +467,28 @@ void EstimationService::result_cache_put(const std::string& key,
     impl_->results.erase(impl_->results_lru.back());
     impl_->results_lru.pop_back();
   }
+}
+
+void EstimationService::run_fanned(
+    const std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (!pool_) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool_->submit([&task, i] { task(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 EstimateEntry EstimationService::run_entry(const EstimateRequest& request,
@@ -454,37 +630,137 @@ EstimateReport EstimationService::sweep(const EstimateRequest& request) {
   report.entries.resize(specs.size());
   SweepCounters counters;
 
-  if (pool_) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      futures.push_back(pool_->submit([this, &normalized, &specs, &report,
-                                       &counters, i] {
-        report.entries[i] = run_entry(normalized, specs[i], counters);
-      }));
-    }
-    // Wait for every task before propagating: a worker still running must
-    // not observe `report`/`specs` mid-unwind.
-    std::exception_ptr first_error;
-    for (std::future<void>& future : futures) {
-      try {
-        future.get();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-    if (first_error) std::rethrow_exception(first_error);
-  } else {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      report.entries[i] = run_entry(normalized, specs[i], counters);
-    }
-  }
+  run_fanned(specs.size(), [this, &normalized, &specs, &report,
+                            &counters](std::size_t i) {
+    report.entries[i] = run_entry(normalized, specs[i], counters);
+  });
 
   report.profiles_run = counters.profiles_run.load();
   report.profile_cache_hits = counters.profile_cache_hits.load();
   report.replays_run = counters.replays_run.load();
   report.result_cache_hits = counters.result_cache_hits.load();
   report.wall_seconds = seconds_since(sweep_start);
+  return report;
+}
+
+PlanReport EstimationService::plan(const PlanRequest& request) {
+  const auto plan_start = std::chrono::steady_clock::now();
+
+  if (request.devices.empty()) {
+    throw std::invalid_argument("plan: request has no devices");
+  }
+  if (!models::is_known_model(request.job.model_name)) {
+    throw std::invalid_argument("plan: unknown model '" +
+                                request.job.model_name + "'");
+  }
+  if (!alloc::is_known_backend(request.allocator)) {
+    throw std::invalid_argument("plan: unknown allocator '" +
+                                request.allocator + "'");
+  }
+
+  PlanReport report;
+  report.job = request.job;
+  report.devices = request.devices;
+  SweepCounters counters;
+
+  // Single-device baseline: one simulator replay per candidate device, all
+  // sharing the session's profile (the first one to arrive pays for it;
+  // in-flight dedup keeps concurrent entries from profiling twice).
+  EstimateRequest baseline;
+  baseline.job = request.job;
+  baseline.devices = request.devices;
+  baseline.allocators = {request.allocator};
+  baseline.estimators = {"xMem"};
+  baseline.profile_iterations = request.profile_iterations;
+  std::vector<EntrySpec> specs;
+  for (std::size_t d = 0; d < request.devices.size(); ++d) {
+    specs.push_back(EntrySpec{"xMem", d, request.allocator, true});
+  }
+  report.single_device_entries.resize(specs.size());
+
+  run_fanned(specs.size(), [&](std::size_t i) {
+    report.single_device_entries[i] = run_entry(baseline, specs[i], counters);
+  });
+
+  // The per-layer attribution the whole candidate grid shares: by now the
+  // profile is resident (or in the degenerate all-results-cached case this
+  // lookup is the one that runs it), so the search costs ONE profile total.
+  const ProfileSession::Lookup lookup = session_->get(profile_key_for(
+      request.job, estimator_orchestrates("xMem"),
+      request.profile_iterations));
+  if (lookup.cache_hit) {
+    counters.profile_cache_hits.fetch_add(1);
+  } else {
+    counters.profiles_run.fetch_add(1);
+  }
+  const std::vector<ComponentProfile> profiles =
+      per_component_profile(lookup.artifacts->analysis.timeline);
+
+  DistributedPlanner planner;
+  report.single_device_peak = planner.single_device_peak(profiles);
+
+  const std::vector<Decomposition> decompositions =
+      DistributedPlanner::enumerate_decompositions(
+          request.max_gpus, static_cast<int>(profiles.size()));
+  report.candidates_evaluated = decompositions.size();
+  report.candidates.resize(decompositions.size());
+
+  run_fanned(decompositions.size(), [&](std::size_t i) {
+    HybridOptions options;
+    options.data_parallel = decompositions[i].data_parallel;
+    options.tensor_parallel = decompositions[i].tensor_parallel;
+    options.pipeline_stages = decompositions[i].pipeline_stages;
+    options.micro_batches = request.micro_batches;
+    options.schedule = request.schedule;
+    options.virtual_stages = request.virtual_stages;
+    options.zero = request.zero;
+    options.ddp_bucket_bytes = request.ddp_bucket_bytes;
+    options.tensor.activation_replication_pct =
+        request.activation_replication_pct;
+    PlanCandidate candidate;
+    candidate.plan = planner.plan_hybrid(profiles, options);
+    if (report.single_device_peak > 0) {
+      candidate.savings_pct = static_cast<int>(
+          100 * (report.single_device_peak - candidate.plan.per_rank_peak) /
+          report.single_device_peak);
+    }
+    candidate.splitting_helps =
+        candidate.plan.per_rank_peak < report.single_device_peak;
+    candidate.device_fits.reserve(request.devices.size());
+    for (const gpu::DeviceModel& device : request.devices) {
+      const bool fits = candidate.plan.per_rank_peak <= device.job_budget();
+      candidate.device_fits.push_back(fits);
+      if (fits) ++candidate.fits_count;
+    }
+    report.candidates[i] = std::move(candidate);
+  });
+
+  // Rank best-first: fit the most candidate devices with the fewest GPUs
+  // and the lowest per-rank peak; (d, t, p) breaks remaining ties so the
+  // order is total and thread-count independent.
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const PlanCandidate& a, const PlanCandidate& b) {
+              if (a.fits_count != b.fits_count)
+                return a.fits_count > b.fits_count;
+              if (a.plan.gpus != b.plan.gpus) return a.plan.gpus < b.plan.gpus;
+              if (a.plan.per_rank_peak != b.plan.per_rank_peak)
+                return a.plan.per_rank_peak < b.plan.per_rank_peak;
+              if (a.plan.data_parallel != b.plan.data_parallel)
+                return a.plan.data_parallel < b.plan.data_parallel;
+              if (a.plan.tensor_parallel != b.plan.tensor_parallel)
+                return a.plan.tensor_parallel < b.plan.tensor_parallel;
+              return a.plan.pipeline_stages < b.plan.pipeline_stages;
+            });
+  if (request.max_candidates > 0 &&
+      report.candidates.size() > request.max_candidates) {
+    report.candidates.resize(request.max_candidates);
+  }
+
+  report.profiles_run = counters.profiles_run.load();
+  report.profile_cache_hits = counters.profile_cache_hits.load();
+  report.replays_run = counters.replays_run.load();
+  report.result_cache_hits = counters.result_cache_hits.load();
+  report.wall_seconds = seconds_since(plan_start);
   return report;
 }
 

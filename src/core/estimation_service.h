@@ -18,12 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "alloc/backend_registry.h"
+#include "core/distributed_planner.h"
 #include "core/estimator_api.h"
 #include "core/orchestrator.h"
 #include "core/profile_session.h"
@@ -109,6 +111,70 @@ struct EstimateReport {
   util::Json to_json(bool include_timings = true) const;
 };
 
+/// A multi-GPU placement question: which (d, t, p) split of a GPU budget
+/// makes this job fit the candidate devices? JSON round-trips through
+/// from_json/to_json — the schema `xmem plan` consumes (docs/PLANNER.md).
+struct PlanRequest {
+  TrainJob job;
+  /// Candidate cards every plan is judged against (OOM verdict per device).
+  std::vector<gpu::DeviceModel> devices;
+  /// GPU budget: every (d, t, p) with d*t*p <= max_gpus is evaluated.
+  int max_gpus = 8;
+  int micro_batches = 4;
+  PipelineSchedule schedule = PipelineSchedule::kOneFOneB;
+  int virtual_stages = 1;
+  ZeroStage zero = ZeroStage::kNone;
+  std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  int activation_replication_pct = 25;
+  /// Allocator the single-device replay entries simulate against.
+  std::string allocator = alloc::kDefaultBackendName;
+  int profile_iterations = 3;
+  /// Keep only the best N candidates in the report (0 = all).
+  std::size_t max_candidates = 0;
+
+  /// Parse a plan document; throws std::invalid_argument /
+  /// util::JsonParseError on bad input.
+  static PlanRequest from_json(const util::Json& json);
+  util::Json to_json() const;
+};
+
+/// One ranked (d, t, p) answer inside a PlanReport.
+struct PlanCandidate {
+  HybridPlan plan;
+  /// 100 * (single_device_peak - per_rank_peak) / single_device_peak,
+  /// integer-truncated (negative when the split's overheads dominate).
+  int savings_pct = 0;
+  bool splitting_helps = false;
+  /// Parallel to PlanRequest::devices: per-device "fits" verdict.
+  std::vector<bool> device_fits;
+  std::size_t fits_count = 0;
+
+  util::Json to_json(const std::vector<gpu::DeviceModel>& devices) const;
+};
+
+/// The answer to a PlanRequest: single-device baseline (analytic + one
+/// simulator replay per candidate device) and the ranked decompositions.
+/// The whole search runs exactly one CPU profile — `profiles_run == 1` on
+/// a cold session, proven by the same stage counters as a sweep.
+struct PlanReport {
+  TrainJob job;
+  std::vector<gpu::DeviceModel> devices;
+  /// Component-model peak on one device (the "does splitting help" base).
+  std::int64_t single_device_peak = 0;
+  /// Replay-based single-device entries, one per candidate device.
+  std::vector<EstimateEntry> single_device_entries;
+  /// Ranked best-first: most devices fit, then fewest GPUs, lowest peak.
+  std::vector<PlanCandidate> candidates;
+  std::size_t candidates_evaluated = 0;  ///< before any max_candidates cap
+  std::size_t profiles_run = 0;
+  std::size_t profile_cache_hits = 0;
+  std::size_t replays_run = 0;
+  std::size_t result_cache_hits = 0;
+  double wall_seconds = 0.0;
+
+  util::Json to_json(bool include_timings = true) const;
+};
+
 struct ServiceOptions {
   /// Worker threads for the sweep fan-out. 0 = hardware default (capped at
   /// 8); 1 = fully serial on the caller's thread (no pool) — byte-identical
@@ -137,6 +203,14 @@ class EstimationService {
   /// the thread count.
   EstimateReport sweep(const EstimateRequest& request);
 
+  /// Answer a multi-GPU placement question: evaluate every (d, t, p)
+  /// decomposition of the request's GPU budget against its candidate
+  /// devices. The per-device single-device entries and every candidate
+  /// share ONE profile through the session (profiles_run == 1 cold); the
+  /// candidate grid fans out on the pool. Deterministic: serial and
+  /// threaded searches produce byte-identical reports.
+  PlanReport plan(const PlanRequest& request);
+
   /// Single-question convenience: one estimator, one device, one allocator.
   /// Same caching, gating, and uniform timing as a sweep entry.
   EstimateEntry estimate(const std::string& estimator_name,
@@ -159,6 +233,11 @@ class EstimationService {
 
   EstimateEntry run_entry(const EstimateRequest& request,
                           const EntrySpec& spec, SweepCounters& counters);
+  /// Run task(0..count-1) on the pool (or inline when serial), waiting for
+  /// every task before rethrowing the first failure — a worker still
+  /// running must never observe shared state mid-unwind.
+  void run_fanned(std::size_t count,
+                  const std::function<void(std::size_t)>& task);
   ProfileKey profile_key_for(const TrainJob& job, bool orchestrate,
                              int profile_iterations) const;
   Estimator& estimator_instance(const std::string& name);

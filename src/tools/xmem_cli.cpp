@@ -8,6 +8,9 @@
 //   xmem sweep    REQUEST.json [--out FILE] [--no-timings] [--serial]
 //                 (profile-once/estimate-many: one job x devices x
 //                  allocators x estimators, JSON report on stdout)
+//   xmem plan     REQUEST.json [--out FILE] [--no-timings] [--serial]
+//                 (multi-GPU planner: ranked DPxTPxPP decompositions of a
+//                  GPU budget, one CPU profile for the whole search)
 //   xmem models
 //   xmem devices
 //   xmem backends
@@ -15,8 +18,8 @@
 //
 // Exit code for `estimate`/`verify`: 0 = fits the device, 2 = predicted
 // OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
-// `sweep`: 0 on success (per-device verdicts live in the report), 1 on
-// usage/config error.
+// `sweep`/`plan`: 0 on success (per-device verdicts live in the report),
+// 1 on usage/config error (including malformed request JSON).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +51,8 @@ int usage() {
                "  xmem verify   (same flags; adds a simulated ground-truth "
                "run)\n"
                "  xmem sweep    REQUEST.json [--out FILE] [--no-timings] "
+               "[--serial]\n"
+               "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
                "  xmem models\n"
                "  xmem devices\n"
@@ -131,7 +136,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
-    } else if (cli.command == "sweep" && cli.request_file.empty()) {
+    } else if ((cli.command == "sweep" || cli.command == "plan") &&
+               cli.request_file.empty()) {
       cli.request_file = arg;
     } else {
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
@@ -286,9 +292,13 @@ int run_estimate(const Cli& cli, bool verify) {
   return entry.oom_predicted ? 2 : 0;
 }
 
-int run_sweep(const Cli& cli) {
+/// Shared request-file plumbing for the JSON subcommands (`sweep`/`plan`):
+/// read + parse the document, hand it to `respond`, emit the report.
+int run_request_command(const Cli& cli,
+                        util::Json (*respond)(const Cli&, const util::Json&)) {
   if (cli.request_file.empty()) {
-    std::fprintf(stderr, "sweep requires a REQUEST.json file argument\n");
+    std::fprintf(stderr, "%s requires a REQUEST.json file argument\n",
+                 cli.command.c_str());
     return 1;
   }
   std::ifstream in(cli.request_file);
@@ -300,16 +310,8 @@ int run_sweep(const Cli& cli) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
-  const core::EstimateRequest request =
-      core::EstimateRequest::from_json(util::Json::parse(buffer.str()));
-
-  core::ServiceOptions service_options;
-  if (cli.serial) service_options.threads = 1;
-  core::EstimationService service(service_options);
-  const core::EstimateReport report = service.sweep(request);
-
   const std::string rendered =
-      report.to_json(/*include_timings=*/!cli.no_timings).dump(2);
+      respond(cli, util::Json::parse(buffer.str())).dump(2);
   if (cli.out_file.empty()) {
     std::printf("%s\n", rendered.c_str());
   } else {
@@ -321,6 +323,23 @@ int run_sweep(const Cli& cli) {
     out << rendered << "\n";
   }
   return 0;
+}
+
+util::Json respond_sweep(const Cli& cli, const util::Json& document) {
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(document);
+  core::ServiceOptions service_options;
+  if (cli.serial) service_options.threads = 1;
+  core::EstimationService service(service_options);
+  return service.sweep(request).to_json(/*include_timings=*/!cli.no_timings);
+}
+
+util::Json respond_plan(const Cli& cli, const util::Json& document) {
+  const core::PlanRequest request = core::PlanRequest::from_json(document);
+  core::ServiceOptions service_options;
+  if (cli.serial) service_options.threads = 1;
+  core::EstimationService service(service_options);
+  return service.plan(request).to_json(/*include_timings=*/!cli.no_timings);
 }
 
 }  // namespace
@@ -335,7 +354,8 @@ int main(int argc, char** argv) {
     if (cli.command == "estimators") return list_estimators();
     if (cli.command == "estimate") return run_estimate(cli, /*verify=*/false);
     if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
-    if (cli.command == "sweep") return run_sweep(cli);
+    if (cli.command == "sweep") return run_request_command(cli, respond_sweep);
+    if (cli.command == "plan") return run_request_command(cli, respond_plan);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

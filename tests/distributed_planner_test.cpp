@@ -1,0 +1,561 @@
+// DistributedPlanner tests: the §6.2 multi-GPU planner suite.
+//
+//   * contiguous-partition optimality on hand-computable component
+//     sequences (brute force over every partition agrees with the solver);
+//   * monotonicity — more stages never raises the max-stage peak on
+//     divisible (uniform) inputs;
+//   * DP/TP shard arithmetic (ZeRO stages, replicated components,
+//     activation replication) checked against hand-computed bytes;
+//   * hybrid composition is consistent with the pure DP/TP planners;
+//   * the EstimationService plan search over a >= 8 GPU budget runs
+//     exactly ONE CPU profile and is byte-identical serial vs threaded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/distributed_planner.h"
+#include "core/estimation_service.h"
+#include "util/json.h"
+
+namespace xmem {
+namespace {
+
+using core::ComponentProfile;
+using core::Decomposition;
+using core::DistributedOptions;
+using core::DistributedPlanner;
+using core::HybridOptions;
+using core::PipelineSchedule;
+using core::ZeroStage;
+
+/// A component with the stage-model convention baked in: persistent bytes a
+/// stage holds = params + gradients (mirror) + optimizer state.
+ComponentProfile component(const std::string& name, std::int64_t params,
+                           std::int64_t optimizer, std::int64_t activations,
+                           std::int64_t transient) {
+  return ComponentProfile{name, params, optimizer, activations, transient};
+}
+
+/// The planner's per-stage peak model, restated independently for the
+/// brute-force checks: persistent + in-flight micro-batch activations +
+/// the largest workspace.
+std::int64_t model_peak(const std::vector<ComponentProfile>& profiles,
+                        std::size_t first, std::size_t last, std::size_t index,
+                        std::size_t num_stages, int micro_batches) {
+  std::int64_t persistent = 0, activations = 0, transient = 0;
+  for (std::size_t i = first; i <= last; ++i) {
+    persistent += 2 * profiles[i].param_bytes + profiles[i].optimizer_bytes;
+    activations += profiles[i].activation_bytes;
+    transient = std::max(transient, profiles[i].transient_peak);
+  }
+  const int in_flight = std::min<int>(
+      static_cast<int>(num_stages - index), micro_batches);
+  return persistent + (activations / micro_batches) * in_flight + transient;
+}
+
+/// Minimum max-stage peak over every contiguous partition into at most
+/// `num_stages` stages (exponential; test inputs are tiny).
+std::int64_t brute_force_min_max(const std::vector<ComponentProfile>& profiles,
+                                 std::size_t num_stages, int micro_batches) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // A bitmask over the n-1 possible stage boundaries.
+  const std::size_t n = profiles.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << (n - 1)); ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) + 1 > num_stages) {
+      continue;
+    }
+    std::int64_t worst = 0;
+    std::size_t begin = 0, stage = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool boundary = i + 1 == n || ((mask >> i) & 1) != 0;
+      if (!boundary) continue;
+      worst = std::max(worst, model_peak(profiles, begin, i, stage, num_stages,
+                                         micro_batches));
+      begin = i + 1;
+      ++stage;
+    }
+    best = std::min(best, worst);
+  }
+  return best;
+}
+
+std::vector<ComponentProfile> uneven_sequence() {
+  return {
+      component("Embedding.0", 400, 800, 600, 40),
+      component("SelfAttention.1", 900, 1800, 1200, 80),
+      component("MLP.2", 1600, 3200, 2000, 120),
+      component("InputNorm.3", 8, 16, 300, 4),
+      component("SelfAttention.4", 900, 1800, 1200, 80),
+      component("MLP.5", 1600, 3200, 2000, 120),
+      component("LMHead.6", 400, 800, 2400, 200),
+  };
+}
+
+std::vector<ComponentProfile> uniform_sequence(std::size_t n) {
+  std::vector<ComponentProfile> profiles;
+  for (std::size_t i = 0; i < n; ++i) {
+    profiles.push_back(
+        component("Layer." + std::to_string(i), 1000, 2000, 1200, 64));
+  }
+  return profiles;
+}
+
+// ---------- pipeline partitioning ----------
+
+TEST(PipelinePartition, MatchesBruteForceOptimumOnHandSequences) {
+  DistributedPlanner planner;
+  for (const int stages : {2, 3, 4}) {
+    for (const int micro_batches : {1, 2, 4}) {
+      DistributedOptions options;
+      options.pipeline_stages = stages;
+      options.micro_batches = micro_batches;
+      const auto plan = planner.plan_pipeline(uneven_sequence(), options);
+      EXPECT_EQ(plan.max_stage_peak,
+                brute_force_min_max(uneven_sequence(),
+                                    static_cast<std::size_t>(stages),
+                                    micro_batches))
+          << "stages=" << stages << " mb=" << micro_batches;
+    }
+  }
+}
+
+TEST(PipelinePartition, MoreStagesNeverRaiseMaxPeakOnDivisibleInputs) {
+  DistributedPlanner planner;
+  const auto profiles = uniform_sequence(12);
+  std::int64_t previous = std::numeric_limits<std::int64_t>::max();
+  for (int stages = 1; stages <= 6; ++stages) {
+    DistributedOptions options;
+    options.pipeline_stages = stages;
+    options.micro_batches = 4;
+    const auto plan = planner.plan_pipeline(profiles, options);
+    EXPECT_LE(plan.max_stage_peak, previous) << "stages=" << stages;
+    previous = plan.max_stage_peak;
+  }
+}
+
+TEST(PipelinePartition, StagesAreContiguousCompleteAndBounded) {
+  DistributedPlanner planner;
+  DistributedOptions options;
+  options.pipeline_stages = 3;
+  const auto profiles = uneven_sequence();
+  const auto plan = planner.plan_pipeline(profiles, options);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  ASSERT_EQ(plan.rank_peaks.size(), 3u);
+  EXPECT_EQ(plan.stages.front().first_component, 0u);
+  EXPECT_EQ(plan.stages.back().last_component, profiles.size() - 1);
+  for (std::size_t s = 1; s < plan.stages.size(); ++s) {
+    EXPECT_EQ(plan.stages[s].first_component,
+              plan.stages[s - 1].last_component + 1);
+  }
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    // 1F1B: one chunk per rank, so rank peaks are the stage peaks.
+    EXPECT_EQ(plan.rank_peaks[s], plan.stages[s].estimated_peak);
+    EXPECT_LE(plan.stages[s].estimated_peak, plan.max_stage_peak);
+  }
+}
+
+TEST(PipelinePartition, SingleStageWithoutMicroBatchingIsTheSingleDevicePeak) {
+  DistributedPlanner planner;
+  DistributedOptions options;
+  options.pipeline_stages = 1;
+  options.micro_batches = 1;
+  const auto plan = planner.plan_pipeline(uneven_sequence(), options);
+  EXPECT_EQ(plan.max_stage_peak, plan.single_device_peak);
+  EXPECT_EQ(plan.single_device_peak,
+            planner.single_device_peak(uneven_sequence()));
+}
+
+TEST(PipelinePartition, InterleavedWithOneChunkPerRankMatchesOneFOneB) {
+  DistributedPlanner planner;
+  DistributedOptions flat;
+  flat.pipeline_stages = 3;
+  DistributedOptions interleaved = flat;
+  interleaved.schedule = PipelineSchedule::kInterleaved;
+  interleaved.virtual_stages = 1;
+  const auto a = planner.plan_pipeline(uneven_sequence(), flat);
+  const auto b = planner.plan_pipeline(uneven_sequence(), interleaved);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  EXPECT_EQ(a.max_stage_peak, b.max_stage_peak);
+  EXPECT_EQ(a.rank_peaks, b.rank_peaks);
+}
+
+TEST(PipelinePartition, InterleavedSplitsIntoVirtualStagesPerRank) {
+  DistributedPlanner planner;
+  DistributedOptions options;
+  options.pipeline_stages = 2;
+  options.schedule = PipelineSchedule::kInterleaved;
+  options.virtual_stages = 3;
+  const auto profiles = uniform_sequence(12);
+  const auto plan = planner.plan_pipeline(profiles, options);
+  ASSERT_EQ(plan.stages.size(), 6u);  // 2 ranks x 3 chunks
+  ASSERT_EQ(plan.rank_peaks.size(), 2u);
+  EXPECT_EQ(plan.stages.front().first_component, 0u);
+  EXPECT_EQ(plan.stages.back().last_component, profiles.size() - 1);
+  // Every rank holds v chunks whose resident bytes add up; the max rank
+  // peak bounds every single chunk's peak from above.
+  for (const auto& stage : plan.stages) {
+    EXPECT_LE(stage.estimated_peak, plan.max_stage_peak);
+  }
+  const std::int64_t max_rank =
+      *std::max_element(plan.rank_peaks.begin(), plan.rank_peaks.end());
+  EXPECT_EQ(plan.max_stage_peak, max_rank);
+}
+
+// ---------- data-parallel arithmetic ----------
+
+TEST(DataParallelPlan, ShardArithmeticPerZeroStage) {
+  DistributedPlanner planner;
+  const std::vector<ComponentProfile> profiles = {
+      component("MLP.0", 100, 200, 400, 50),
+      component("MLP.1", 300, 600, 800, 70),
+  };
+  core::DataParallelOptions options;
+  options.ranks = 4;
+  options.ddp_bucket_bytes = 1000;
+
+  options.zero = ZeroStage::kNone;
+  auto plan = planner.plan_data_parallel(profiles, options);
+  EXPECT_EQ(plan.param_bytes, 400);
+  EXPECT_EQ(plan.gradient_bytes, 400);
+  EXPECT_EQ(plan.optimizer_bytes, 800);
+  EXPECT_EQ(plan.activation_bytes, 100 + 200);  // per-component ceil(x/4)
+  EXPECT_EQ(plan.transient_peak, 70);
+  EXPECT_EQ(plan.bucket_overhead_bytes, 2000);
+  EXPECT_EQ(plan.per_rank_peak, 400 + 400 + 800 + 300 + 70 + 2000);
+
+  options.zero = ZeroStage::kOptimizer;  // ZeRO-1
+  plan = planner.plan_data_parallel(profiles, options);
+  EXPECT_EQ(plan.optimizer_bytes, 50 + 150);
+  EXPECT_EQ(plan.gradient_bytes, 400);
+
+  options.zero = ZeroStage::kOptimizerGradient;  // ZeRO-2
+  plan = planner.plan_data_parallel(profiles, options);
+  EXPECT_EQ(plan.optimizer_bytes, 200);
+  EXPECT_EQ(plan.gradient_bytes, 25 + 75);
+  EXPECT_EQ(plan.param_bytes, 400);
+
+  options.zero = ZeroStage::kFull;  // ZeRO-3
+  plan = planner.plan_data_parallel(profiles, options);
+  EXPECT_EQ(plan.param_bytes, 100);
+  EXPECT_EQ(plan.gradient_bytes, 100);
+  EXPECT_EQ(plan.optimizer_bytes, 200);
+  EXPECT_EQ(plan.per_rank_peak, 100 + 100 + 200 + 300 + 70 + 2000);
+}
+
+TEST(DataParallelPlan, OneRankIsTheSingleDevicePeakWithNoOverhead) {
+  DistributedPlanner planner;
+  core::DataParallelOptions options;
+  options.ranks = 1;
+  const auto plan = planner.plan_data_parallel(uneven_sequence(), options);
+  EXPECT_EQ(plan.bucket_overhead_bytes, 0);
+  EXPECT_EQ(plan.per_rank_peak, plan.single_device_peak);
+}
+
+// ---------- tensor-parallel arithmetic ----------
+
+TEST(TensorParallelPlan, ShardsDivisibleComponentsAndReplicatesNorms) {
+  DistributedPlanner planner;
+  core::TensorParallelOptions options;
+  options.ways = 4;
+  options.activation_replication_pct = 20;
+
+  const auto sharded = planner.shard_tensor_parallel(
+      component("MLP.1", 1000, 2000, 1000, 100), options);
+  EXPECT_EQ(sharded.param_bytes, 250);
+  EXPECT_EQ(sharded.optimizer_bytes, 500);
+  // 20% of activations replicate; the remaining 800 divide across 4 ranks.
+  EXPECT_EQ(sharded.activation_bytes, 200 + 200);
+  EXPECT_EQ(sharded.transient_peak, 25);
+
+  const auto replicated = planner.shard_tensor_parallel(
+      component("InputNorm.2", 64, 128, 500, 10), options);
+  EXPECT_EQ(replicated.param_bytes, 64);
+  EXPECT_EQ(replicated.optimizer_bytes, 128);
+  EXPECT_EQ(replicated.activation_bytes, 500);
+  EXPECT_EQ(replicated.transient_peak, 10);
+}
+
+TEST(TensorParallelPlan, PlanSumsShardsAndTracksReplicatedBytes) {
+  DistributedPlanner planner;
+  core::TensorParallelOptions options;
+  options.ways = 2;
+  options.activation_replication_pct = 0;
+  const std::vector<ComponentProfile> profiles = {
+      component("SelfAttention.0", 1000, 2000, 600, 40),
+      component("InputNorm.1", 100, 200, 300, 8),
+  };
+  const auto plan = planner.plan_tensor_parallel(profiles, options);
+  EXPECT_EQ(plan.ways, 2);
+  EXPECT_EQ(plan.param_bytes, 500 + 100);
+  EXPECT_EQ(plan.gradient_bytes, 500 + 100);
+  EXPECT_EQ(plan.optimizer_bytes, 1000 + 200);
+  EXPECT_EQ(plan.activation_bytes, 300 + 300);
+  EXPECT_EQ(plan.transient_peak, 20);
+  EXPECT_EQ(plan.replicated_param_bytes, 100);
+  EXPECT_EQ(plan.per_rank_peak, 600 + 600 + 1200 + 600 + 20);
+  EXPECT_LT(plan.per_rank_peak, plan.single_device_peak);
+}
+
+// ---------- hybrid composition ----------
+
+TEST(HybridPlan, PureDataParallelSliceMatchesTheDataParallelPlanner) {
+  DistributedPlanner planner;
+  const auto profiles = uneven_sequence();
+  for (const auto zero : {ZeroStage::kNone, ZeroStage::kOptimizer,
+                          ZeroStage::kOptimizerGradient, ZeroStage::kFull}) {
+    HybridOptions hybrid;
+    hybrid.data_parallel = 4;
+    hybrid.micro_batches = 1;
+    hybrid.zero = zero;
+    core::DataParallelOptions dp;
+    dp.ranks = 4;
+    dp.zero = zero;
+    EXPECT_EQ(planner.plan_hybrid(profiles, hybrid).per_rank_peak,
+              planner.plan_data_parallel(profiles, dp).per_rank_peak)
+        << to_string(zero);
+  }
+}
+
+TEST(HybridPlan, PureTensorParallelSliceMatchesTheTensorParallelPlanner) {
+  DistributedPlanner planner;
+  const auto profiles = uneven_sequence();
+  HybridOptions hybrid;
+  hybrid.tensor_parallel = 4;
+  hybrid.micro_batches = 1;
+  core::TensorParallelOptions tp = hybrid.tensor;
+  tp.ways = 4;
+  EXPECT_EQ(planner.plan_hybrid(profiles, hybrid).per_rank_peak,
+            planner.plan_tensor_parallel(profiles, tp).per_rank_peak);
+}
+
+TEST(HybridPlan, GpuCountMultipliesAndBucketChargesOnlyDataParallel) {
+  DistributedPlanner planner;
+  const auto profiles = uneven_sequence();
+  HybridOptions options;
+  options.data_parallel = 2;
+  options.tensor_parallel = 2;
+  options.pipeline_stages = 2;
+  options.ddp_bucket_bytes = 1 << 20;
+  const auto plan = planner.plan_hybrid(profiles, options);
+  EXPECT_EQ(plan.gpus, 8);
+  ASSERT_EQ(plan.rank_peaks.size(), 2u);
+
+  HybridOptions no_dp = options;
+  no_dp.data_parallel = 1;
+  const auto base = planner.plan_hybrid(profiles, no_dp);
+  // d=2 shrinks (ceil-halves) activations before packing, so the worst
+  // rank can cost at most the d=1 worst rank plus two in-flight buckets.
+  EXPECT_LE(plan.per_rank_peak,
+            base.per_rank_peak + 2 * options.ddp_bucket_bytes);
+}
+
+TEST(HybridPlan, EnumerationCoversEveryDecompositionOfTheBudget) {
+  const auto all = DistributedPlanner::enumerate_decompositions(8, 64);
+  EXPECT_EQ(all.size(), 38u);  // sum over n<=8 of ordered (d,t,p) triples
+  for (const Decomposition& decomposition : all) {
+    EXPECT_GE(decomposition.data_parallel, 1);
+    EXPECT_GE(decomposition.tensor_parallel, 1);
+    EXPECT_GE(decomposition.pipeline_stages, 1);
+    EXPECT_LE(decomposition.gpus(), 8);
+  }
+  // The pipeline cap prunes deep-pipeline candidates only.
+  const auto capped = DistributedPlanner::enumerate_decompositions(8, 2);
+  for (const Decomposition& decomposition : capped) {
+    EXPECT_LE(decomposition.pipeline_stages, 2);
+  }
+  EXPECT_LT(capped.size(), all.size());
+}
+
+// ---------- plan search through the EstimationService ----------
+
+core::PlanRequest small_plan_request() {
+  core::PlanRequest request;
+  request.job.model_name = "distilgpt2";
+  request.job.batch_size = 5;
+  request.job.optimizer = fw::OptimizerKind::kAdamW;
+  request.job.seed = 7;
+  request.devices = {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()};
+  request.max_gpus = 8;
+  return request;
+}
+
+TEST(PlanSearch, EightGpuBudgetRunsExactlyOneProfile) {
+  core::EstimationService service;
+  const core::PlanReport report = service.plan(small_plan_request());
+
+  EXPECT_GE(report.candidates_evaluated, 8u);  // the acceptance bar
+  EXPECT_EQ(report.candidates.size(), report.candidates_evaluated);
+  EXPECT_EQ(report.profiles_run, 1u);
+  EXPECT_EQ(report.replays_run, report.devices.size());
+  ASSERT_EQ(report.single_device_entries.size(), 3u);
+  EXPECT_GT(report.single_device_peak, 0);
+  for (const auto& entry : report.single_device_entries) {
+    EXPECT_TRUE(entry.supported);
+    EXPECT_GT(entry.estimated_peak, 0);
+  }
+}
+
+TEST(PlanSearch, SerialAndThreadedSearchesAreByteIdentical) {
+  core::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  core::EstimationService serial(serial_options);
+  core::ServiceOptions threaded_options;
+  threaded_options.threads = 4;
+  core::EstimationService threaded(threaded_options);
+
+  const core::PlanRequest request = small_plan_request();
+  const core::PlanReport a = serial.plan(request);
+  const core::PlanReport b = threaded.plan(request);
+  EXPECT_EQ(a.to_json(/*include_timings=*/false).dump(2),
+            b.to_json(/*include_timings=*/false).dump(2));
+  EXPECT_EQ(a.profiles_run, 1u);
+  EXPECT_EQ(b.profiles_run, 1u);
+}
+
+TEST(PlanSearch, CandidatesAreRankedBestFirst) {
+  core::EstimationService service;
+  const core::PlanReport report = service.plan(small_plan_request());
+  ASSERT_GT(report.candidates.size(), 1u);
+  for (std::size_t i = 1; i < report.candidates.size(); ++i) {
+    const auto& prev = report.candidates[i - 1];
+    const auto& next = report.candidates[i];
+    EXPECT_GE(prev.fits_count, next.fits_count);
+    if (prev.fits_count == next.fits_count) {
+      EXPECT_LE(prev.plan.gpus, next.plan.gpus);
+    }
+  }
+  for (const auto& candidate : report.candidates) {
+    ASSERT_EQ(candidate.device_fits.size(), report.devices.size());
+    for (std::size_t d = 0; d < report.devices.size(); ++d) {
+      EXPECT_EQ(candidate.device_fits[d],
+                candidate.plan.per_rank_peak <=
+                    report.devices[d].job_budget());
+    }
+    EXPECT_EQ(candidate.splitting_helps,
+              candidate.plan.per_rank_peak < report.single_device_peak);
+  }
+}
+
+TEST(PlanSearch, MaxCandidatesCapsTheReportNotTheSearch) {
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.max_candidates = 3;
+  const core::PlanReport report = service.plan(request);
+  EXPECT_EQ(report.candidates.size(), 3u);
+  EXPECT_GT(report.candidates_evaluated, 3u);
+}
+
+TEST(PlanSearch, RejectsUnknownNames) {
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.job.model_name = "not-a-model";
+  EXPECT_THROW(service.plan(request), std::invalid_argument);
+
+  request = small_plan_request();
+  request.allocator = "not-an-allocator";
+  EXPECT_THROW(service.plan(request), std::invalid_argument);
+
+  request = small_plan_request();
+  request.devices.clear();
+  EXPECT_THROW(service.plan(request), std::invalid_argument);
+}
+
+// ---------- plan request / report JSON ----------
+
+TEST(PlanRequestJson, RoundTripsThroughJson) {
+  core::PlanRequest request = small_plan_request();
+  request.schedule = PipelineSchedule::kInterleaved;
+  request.virtual_stages = 2;
+  request.zero = ZeroStage::kOptimizerGradient;
+  request.max_candidates = 5;
+  const core::PlanRequest parsed =
+      core::PlanRequest::from_json(request.to_json());
+  EXPECT_EQ(parsed.job.model_name, request.job.model_name);
+  EXPECT_EQ(parsed.job.batch_size, request.job.batch_size);
+  ASSERT_EQ(parsed.devices.size(), 3u);
+  EXPECT_EQ(parsed.max_gpus, 8);
+  EXPECT_EQ(parsed.schedule, PipelineSchedule::kInterleaved);
+  EXPECT_EQ(parsed.virtual_stages, 2);
+  EXPECT_EQ(parsed.zero, ZeroStage::kOptimizerGradient);
+  EXPECT_EQ(parsed.max_candidates, 5u);
+  EXPECT_EQ(parsed.allocator, request.allocator);
+}
+
+TEST(PlanRequestJson, RejectsMalformedDocuments) {
+  const auto parse = [](const char* text) {
+    return core::PlanRequest::from_json(util::Json::parse(text));
+  };
+  EXPECT_THROW(parse(R"({"devices": ["rtx3060"]})"), std::exception);
+  EXPECT_THROW(
+      parse(R"({"job": {"model": "distilgpt2", "batch": 5}})"),
+      std::invalid_argument);  // missing devices
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"], "max_gpus": 0})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"], "zero_stage": 4})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"], "schedule": "gpipe"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"],
+                         "activation_replication_pct": 120})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"], "max_candidates": -3})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                         "devices": ["rtx3060"], "profile_iterations": 0})"),
+               std::invalid_argument);
+}
+
+TEST(PlanReportJson, SchemaFieldsPresentAndTimingFree) {
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.max_candidates = 2;
+  const core::PlanReport report = service.plan(request);
+
+  const util::Json json = report.to_json();
+  EXPECT_EQ(json.at("schema_version").as_int(), 1);
+  EXPECT_EQ(json.at("job").at("model").as_string(), "distilgpt2");
+  EXPECT_TRUE(json.at("single_device").contains("analytic_peak_bytes"));
+  EXPECT_EQ(json.at("single_device").at("entries").size(), 3u);
+  ASSERT_EQ(json.at("candidates").size(), 2u);
+  const util::Json& candidate = json.at("candidates")[0];
+  for (const char* key :
+       {"data_parallel", "tensor_parallel", "pipeline_stages", "gpus",
+        "per_rank_peak_bytes", "savings_pct", "splitting_helps",
+        "rank_peaks_bytes", "stages", "fits"}) {
+    EXPECT_TRUE(candidate.contains(key)) << key;
+  }
+  EXPECT_EQ(candidate.at("fits").size(), 3u);
+  EXPECT_EQ(json.at("stage_counters").at("profiles_run").as_int(), 1);
+  EXPECT_TRUE(json.contains("wall_seconds"));
+
+  const util::Json stable = report.to_json(/*include_timings=*/false);
+  EXPECT_FALSE(stable.contains("wall_seconds"));
+  EXPECT_FALSE(
+      stable.at("single_device").at("entries")[0].contains("timings"));
+}
+
+TEST(PlanRequestJson, CiFixtureParses) {
+  // The CI plan-smoke fixture must stay parseable with >= 8 candidates'
+  // worth of GPU budget — the acceptance sweep `xmem plan` runs in CI.
+  std::ifstream in(std::string(XMEM_FIXTURE_DIR) + "/plan_request.json");
+  ASSERT_TRUE(in) << "missing ci/fixtures/plan_request.json";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const core::PlanRequest request =
+      core::PlanRequest::from_json(util::Json::parse(buffer.str()));
+  EXPECT_GE(request.max_gpus, 8);
+  EXPECT_FALSE(request.devices.empty());
+}
+
+}  // namespace
+}  // namespace xmem

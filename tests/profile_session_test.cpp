@@ -1,0 +1,172 @@
+// ProfileSession tests: direct coverage of the profile-once cache, beyond
+// what service_test exercises through the EstimationService.
+//
+//   * the LRU evicts at capacity and an evicted key re-profiles (misses —
+//     i.e. profiles actually run — go up again);
+//   * in-flight deduplication: N threads racing the same cold key run ONE
+//     profile and all observe the same artifacts;
+//   * distinct keys do not dedup against each other;
+//   * cache keys distinguish every field that changes the orchestrated
+//     sequence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/profile_session.h"
+#include "core/xmem_estimator.h"
+
+namespace xmem {
+namespace {
+
+core::ProfileKey key_for_batch(int batch) {
+  core::TrainJob job;
+  job.model_name = "distilgpt2";
+  job.batch_size = batch;
+  job.optimizer = fw::OptimizerKind::kAdamW;
+  job.seed = 7;
+  core::XMemEstimator key_builder;
+  return key_builder.profile_key(job);
+}
+
+TEST(ProfileSessionLru, EvictsAtCapacityAndReprofilesEvictedKeys) {
+  core::ProfileSession session(/*capacity=*/2);
+
+  session.get(key_for_batch(1));
+  session.get(key_for_batch(2));
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_EQ(session.misses(), 2u);
+
+  session.get(key_for_batch(3));  // evicts batch=1 (least recently used)
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_EQ(session.misses(), 3u);
+
+  // Resident keys are hits and refresh recency.
+  session.get(key_for_batch(2));
+  EXPECT_EQ(session.hits(), 1u);
+
+  // The evicted key is gone: asking again re-runs the profile.
+  const auto relookup = session.get(key_for_batch(1));
+  EXPECT_FALSE(relookup.cache_hit);
+  EXPECT_EQ(session.misses(), 4u);
+  // batch=2 was touched above, so batch=3 was the eviction victim now.
+  session.get(key_for_batch(2));
+  EXPECT_EQ(session.hits(), 2u);
+}
+
+TEST(ProfileSessionLru, RecencyNotInsertionOrderDecidesTheVictim) {
+  core::ProfileSession session(/*capacity=*/2);
+  session.get(key_for_batch(1));
+  session.get(key_for_batch(2));
+  session.get(key_for_batch(1));  // bump 1: now 2 is least recent
+  session.get(key_for_batch(3));  // must evict 2, not 1
+  EXPECT_EQ(session.misses(), 3u);
+  session.get(key_for_batch(1));
+  EXPECT_EQ(session.hits(), 2u);  // still resident
+  session.get(key_for_batch(2));
+  EXPECT_EQ(session.misses(), 4u);  // was evicted: re-profiled
+}
+
+TEST(ProfileSessionDedup, ConcurrentRequestsForOneKeyRunOneProfile) {
+  core::ProfileSession session;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::ProfileArtifacts>> artifacts(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&session, &artifacts, i] {
+      artifacts[static_cast<std::size_t>(i)] =
+          session.get(key_for_batch(4)).artifacts;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Exactly one CPU profile ran; whoever arrived mid-profile blocked on the
+  // shared future instead of profiling again.
+  EXPECT_EQ(session.misses(), 1u);
+  EXPECT_EQ(session.hits() + session.misses(),
+            static_cast<std::uint64_t>(kThreads));
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(artifacts[static_cast<std::size_t>(i)].get(),
+              artifacts[0].get());
+  }
+  ASSERT_NE(artifacts[0], nullptr);
+  EXPECT_FALSE(artifacts[0]->analysis.timeline.blocks.empty());
+}
+
+TEST(ProfileSessionDedup, DistinctKeysDoNotDedupAgainstEachOther) {
+  core::ProfileSession session;
+  constexpr int kKeys = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    threads.emplace_back(
+        [&session, i] { session.get(key_for_batch(i + 1)); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(session.misses(), static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(session.hits(), 0u);
+  EXPECT_EQ(session.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(ProfileSessionCacheKeys, DistinguishEveryPipelineInput) {
+  // Two keys that differ in any sequence-changing field must never share a
+  // cache slot.
+  std::set<std::string> cache_strings;
+  core::ProfileKey base = key_for_batch(2);
+  cache_strings.insert(base.cache_string());
+
+  core::ProfileKey variant = base;
+  variant.batch_size = 3;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.optimizer = fw::OptimizerKind::kSgd;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.placement = fw::ZeroGradPlacement::kPos0BeforeBackward;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.seed = 99;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.profile_iterations = 5;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.orchestrator_config.rule_gradients = false;
+  cache_strings.insert(variant.cache_string());
+
+  variant = base;
+  variant.json_round_trip = false;
+  cache_strings.insert(variant.cache_string());
+
+  EXPECT_EQ(cache_strings.size(), 8u);
+}
+
+TEST(ProfileSessionLru, ZeroCapacityIsClampedToOne) {
+  core::ProfileSession session(/*capacity=*/0);
+  EXPECT_EQ(session.capacity(), 1u);
+  session.get(key_for_batch(1));
+  session.get(key_for_batch(2));
+  EXPECT_EQ(session.size(), 1u);
+  EXPECT_EQ(session.misses(), 2u);
+}
+
+TEST(ProfileSessionLru, HitsServeTheIdenticalArtifacts) {
+  core::ProfileSession session;
+  const auto first = session.get(key_for_batch(5));
+  const auto second = session.get(key_for_batch(5));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.artifacts.get(), second.artifacts.get());
+}
+
+}  // namespace
+}  // namespace xmem

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <sstream>
 
 #include "alloc/backend_registry.h"
 #include "core/estimation_service.h"
@@ -114,6 +116,54 @@ TEST(EstimateRequestJson, RejectsMalformedDocuments) {
       core::EstimateRequest::from_json(util::Json::parse(
           R"({"job": {"model": "m", "batch": 1}, "devices": ["warp9"]})")),
       std::invalid_argument);  // unknown device alias
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(XMEM_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in) << "missing ci/fixtures/" << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(EstimateRequestJson, BadFixtureMalformedJsonFailsWithOffset) {
+  // The CI negative-smoke fixtures are asserted here too, so the files and
+  // the behavior they pin cannot drift apart. Truncated JSON must fail in
+  // the parser with the offending offset, not limp into the service.
+  const std::string text = read_fixture("bad_malformed.json");
+  try {
+    util::Json::parse(text);
+    FAIL() << "parser accepted truncated JSON";
+  } catch (const util::JsonParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(EstimateRequestJson, BadFixtureMissingDevicesNamesTheField) {
+  const std::string text = read_fixture("bad_missing_field.json");
+  try {
+    core::EstimateRequest::from_json(util::Json::parse(text));
+    FAIL() << "request without devices was accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("devices"), std::string::npos)
+        << "error must name the missing field: " << error.what();
+  }
+}
+
+TEST(EstimateRequestJson, BadFixtureUnknownEstimatorNamesTheEstimator) {
+  // Unknown estimator names pass parsing (the registry is a service
+  // concern) but the sweep rejects them, naming the offender.
+  const std::string text = read_fixture("bad_unknown_estimator.json");
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(util::Json::parse(text));
+  core::EstimationService service;
+  try {
+    service.sweep(request);
+    FAIL() << "sweep accepted an unknown estimator";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("warp-drive"), std::string::npos)
+        << "error must name the unknown estimator: " << error.what();
+  }
 }
 
 TEST(EstimationServiceSweep, RejectsUnknownNames) {
