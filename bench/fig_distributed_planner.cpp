@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     request.devices = {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()};
     request.zero = core::ZeroStage::kOptimizer;
     request.max_gpus = scope.fast ? 8 : 16;
+    request.refine_top_k = 4;
 
     core::EstimationService service;
     const core::PlanReport report = service.plan(request);
@@ -69,8 +70,24 @@ int main(int argc, char** argv) {
                   util::format_bytes(best->plan.per_rank_peak).c_str(),
                   best->savings_pct, verdicts.c_str());
     }
-    std::printf("profiles_run: %zu  candidates: %zu\n", report.profiles_run,
-                report.candidates_evaluated);
+    // Phase-2 fidelity columns: what replaying each top candidate's rank
+    // sequences through the allocator tower adds over the analytic model
+    // (round-up, caching, fragmentation, and non-component blocks).
+    std::printf("%4s %4s %4s %14s %14s %6s %s\n", "dp", "tp", "pp",
+                "analytic", "replayed", "delta", "verdict");
+    for (const core::PlanCandidate& candidate : report.candidates) {
+      if (!candidate.replayed) continue;
+      std::printf("%4d %4d %4d %14s %14s %5d%% %s\n",
+                  candidate.plan.data_parallel, candidate.plan.tensor_parallel,
+                  candidate.plan.pipeline_stages,
+                  util::format_bytes(candidate.plan.per_rank_peak).c_str(),
+                  util::format_bytes(candidate.replayed_per_rank_peak).c_str(),
+                  candidate.analytic_vs_replayed_pct,
+                  candidate.verdict_changed ? "CHANGED" : "same");
+    }
+    std::printf("profiles_run: %zu  candidates: %zu  replayed: %zu\n",
+                report.profiles_run, report.candidates_evaluated,
+                report.replayed_candidates);
   }
   std::printf("\nExpected shape: per-rank peak falls monotonically with the "
               "budget; pipeline splits dominate small budgets, hybrid "

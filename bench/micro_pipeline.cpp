@@ -4,10 +4,14 @@
 // end-to-end estimate, on a representative mid-size workload.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/analyzer.h"
 #include "core/estimation_service.h"
 #include "core/orchestrator.h"
 #include "core/profile_runner.h"
+#include "core/profile_session.h"
+#include "core/sequence_transform.h"
 #include "core/simulator.h"
 #include "core/xmem_estimator.h"
 #include "models/zoo.h"
@@ -127,6 +131,76 @@ void BM_ServiceEstimateWarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServiceEstimateWarm);
+
+void BM_RankReplay(benchmark::State& state) {
+  // The phase-2 refine hot loop: transform one pipeline rank of a
+  // (d=2, t=2, p=2) candidate and replay it through the allocator tower.
+  // Arg 0 = fresh scratch every replay (the naive loop), arg 1 = reused
+  // transform + replay scratch (the batching/caching pass): the delta is
+  // what scratch reuse buys per candidate.
+  const auto analysis = core::Analyzer().analyze(test_trace());
+  const auto orchestration =
+      core::Orchestrator().orchestrate(analysis.timeline);
+  const std::vector<core::ComponentProfile> profiles =
+      core::per_component_profile(analysis.timeline);
+  core::DistributedPlanner planner;
+  core::HybridOptions hybrid;
+  hybrid.data_parallel = 2;
+  hybrid.tensor_parallel = 2;
+  hybrid.pipeline_stages = 2;
+  const core::HybridPlan plan = planner.plan_hybrid(profiles, hybrid);
+
+  const core::SequenceTransformer transformer(orchestration.sequence,
+                                              profiles);
+  core::RankTransformOptions transform;
+  transform.data_parallel = 2;
+  transform.tensor_parallel = 2;
+  transform.micro_batches = 4;
+  transform.materialize_blocks = false;
+  core::MemorySimulator simulator;
+  const bool reuse = state.range(0) == 1;
+  core::RankScratch scratch;
+  core::ReplayScratch replay_scratch;
+  for (auto _ : state) {
+    if (!reuse) {
+      scratch = core::RankScratch{};
+      replay_scratch = core::ReplayScratch{};
+    }
+    const core::OrchestratedSequence& sequence = transformer.rank_sequence(
+        transform, plan.stages, 2, 0, scratch);
+    benchmark::DoNotOptimize(simulator.replay(sequence, {}, &replay_scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PlanRefine(benchmark::State& state) {
+  // The two-phase plan search at service granularity on a warm shared
+  // session: arg = refine_top_k (0 = analytic-only phase 1). Reported rate
+  // is plans/sec; the arg sweep shows what each refined candidate costs on
+  // top of the analytic grid (§6.1).
+  const auto session = std::make_shared<core::ProfileSession>();
+  core::PlanRequest request;
+  request.job = test_job();
+  request.devices = {gpu::rtx3060(), gpu::a100_40gb()};
+  request.max_gpus = 8;
+  request.refine_top_k = static_cast<int>(state.range(0));
+  {
+    core::ServiceOptions warm;
+    warm.session = session;
+    core::EstimationService(std::move(warm)).plan(request);
+  }
+  for (auto _ : state) {
+    core::ServiceOptions options;
+    options.session = session;
+    options.result_cache_capacity = 0;
+    core::EstimationService service(std::move(options));
+    benchmark::DoNotOptimize(service.plan(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::max<std::int64_t>(state.range(0), 1));
+}
+BENCHMARK(BM_PlanRefine)->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_ServiceSweep(benchmark::State& state) {
   // A scheduler-shaped question: 3 devices x 3 allocators in one request.

@@ -20,8 +20,14 @@
 # through `xmem sweep`/`xmem plan` with --no-timings and diff the JSON
 # reports against ci/fixtures/{sweep,plan}_report.json (schema + payload
 # pinned; wall-clock fields stripped), then assert the profile-once
-# contract via each report's stage counters. The negative smoke feeds every
-# ci/fixtures/bad_*.json through `xmem sweep` and requires a nonzero exit.
+# contract via each report's stage counters. The plan smoke is a refine
+# smoke: the fixture enables refine_top_k, so the report must show exactly
+# one CPU profile AND a nonzero replayed_candidates counter (the two-phase
+# search ran, still off one profile), plus at least one verdict_changed
+# replay (the fidelity gain over the analytic model). The negative smoke
+# feeds every ci/fixtures/bad_*.json through `xmem sweep` — except the
+# plan-shaped bad_refine.json, which goes through `xmem plan` — and
+# requires a nonzero exit.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -112,6 +118,14 @@ if ! grep -q '"profiles_run": 1,' "${plan_actual}"; then
   echo "PLAN SMOKE: the whole plan search must run exactly one CPU profile" >&2
   GOLDEN_FAILED=1
 fi
+if ! grep -qE '"replayed_candidates": [1-9]' "${plan_actual}"; then
+  echo "PLAN SMOKE: refine phase must replay a nonzero candidate count" >&2
+  GOLDEN_FAILED=1
+fi
+if ! grep -q '"verdict_changed": true' "${plan_actual}"; then
+  echo "PLAN SMOKE: expected a replayed verdict differing from the analytic one" >&2
+  GOLDEN_FAILED=1
+fi
 if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
   cp "${plan_actual}" "${plan_golden}"
   echo "updated ${plan_golden}"
@@ -128,8 +142,13 @@ rm -f "${plan_actual}"
 # --- negative smoke: malformed requests must exit nonzero ------------------
 
 for bad in "${FIXTURE_DIR}"/bad_*.json; do
-  if "${BUILD_DIR}/src/xmem_cli" sweep "${bad}" > /dev/null 2>&1; then
-    echo "NEGATIVE SMOKE: xmem sweep accepted $(basename "${bad}")" >&2
+  # Plan-shaped fixtures (refine knobs) only fail through the plan parser.
+  subcommand=sweep
+  case "$(basename "${bad}")" in
+    bad_refine*) subcommand=plan ;;
+  esac
+  if "${BUILD_DIR}/src/xmem_cli" "${subcommand}" "${bad}" > /dev/null 2>&1; then
+    echo "NEGATIVE SMOKE: xmem ${subcommand} accepted $(basename "${bad}")" >&2
     GOLDEN_FAILED=1
   else
     echo "negative smoke ok: $(basename "${bad}")"

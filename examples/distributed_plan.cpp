@@ -4,11 +4,15 @@
 //   1. does the job fit one card at all (single-device replay entries)?
 //   2. if not (or not comfortably), which DP x TP x PP decomposition of an
 //      N-GPU budget makes it fit, and at what per-rank peak?
-//   3. how do ZeRO stages change the data-parallel memory bill?
+//   3. what do the best candidates cost once their per-rank sequences are
+//      replayed through the real allocator tower (phase-2 refinement) —
+//      and does any verdict flip versus the analytic arithmetic?
+//   4. how do ZeRO stages change the data-parallel memory bill?
 //
-// The whole search — every decomposition of the budget, judged against
-// every candidate card — runs exactly ONE profile through the shared
-// ProfileSession; the report's stage counters prove it.
+// The whole two-phase search — every decomposition of the budget plus the
+// top-K per-rank replays, judged against every candidate card — runs
+// exactly ONE profile through the shared ProfileSession; the report's
+// stage counters prove it.
 //
 //   ./distributed_plan [model] [batch] [max_gpus]
 #include <cstdio>
@@ -30,6 +34,7 @@ int main(int argc, char** argv) {
   request.devices = {gpu::rtx3060(), gpu::rtx4060(), gpu::a100_40gb()};
   request.zero = core::ZeroStage::kOptimizer;
   request.max_candidates = 8;
+  request.refine_top_k = 3;
 
   if (!models::is_known_model(request.job.model_name)) {
     std::fprintf(stderr, "unknown model '%s'\n",
@@ -65,6 +70,19 @@ int main(int argc, char** argv) {
                 candidate.plan.pipeline_stages, candidate.plan.gpus,
                 util::format_bytes(candidate.plan.per_rank_peak).c_str(),
                 candidate.savings_pct, verdicts.c_str());
+  }
+
+  std::printf("\nphase-2 refinement (top %d candidates, allocator '%s'):\n",
+              request.refine_top_k, request.allocator.c_str());
+  for (const core::PlanCandidate& candidate : report.candidates) {
+    if (!candidate.replayed) continue;
+    std::printf("  d%d t%d p%d: analytic %-10s replayed %-10s (%+d%%)%s\n",
+                candidate.plan.data_parallel, candidate.plan.tensor_parallel,
+                candidate.plan.pipeline_stages,
+                util::format_bytes(candidate.plan.per_rank_peak).c_str(),
+                util::format_bytes(candidate.replayed_per_rank_peak).c_str(),
+                candidate.analytic_vs_replayed_pct,
+                candidate.verdict_changed ? "  << verdict changed" : "");
   }
 
   // The analytic slices the hybrid model composes, for context: what pure

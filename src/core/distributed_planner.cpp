@@ -15,10 +15,6 @@ bool is_transient(const MemoryBlock& block, util::TimeUs iteration_span) {
   return (block.free_ts - block.alloc_ts) < iteration_span / 20;
 }
 
-std::int64_t ceil_div(std::int64_t value, std::int64_t divisor) {
-  return (value + divisor - 1) / divisor;
-}
-
 }  // namespace
 
 const char* to_string(ZeroStage stage) {
@@ -303,7 +299,8 @@ DataParallelPlan DistributedPlanner::plan_data_parallel(
     plan.activation_bytes += ceil_div(c.activation_bytes, d);
     plan.transient_peak = std::max(plan.transient_peak, c.transient_peak);
   }
-  plan.bucket_overhead_bytes = d > 1 ? 2 * options.ddp_bucket_bytes : 0;
+  plan.bucket_overhead_bytes =
+      d > 1 ? options.ddp_bucket_count * options.ddp_bucket_bytes : 0;
   plan.per_rank_peak = plan.param_bytes + plan.gradient_bytes +
                        plan.optimizer_bytes + plan.activation_bytes +
                        plan.transient_peak + plan.bucket_overhead_bytes;
@@ -406,7 +403,7 @@ HybridPlan DistributedPlanner::plan_hybrid(
       pack_min_max(weights, ranks * chunks_per_rank, options.micro_batches);
   plan.rank_peaks = rank_peaks_of(plan.stages, ranks);
   const std::int64_t bucket_overhead =
-      d > 1 ? 2 * options.ddp_bucket_bytes : 0;
+      d > 1 ? options.ddp_bucket_count * options.ddp_bucket_bytes : 0;
   for (std::int64_t& peak : plan.rank_peaks) {
     peak += bucket_overhead;
     plan.per_rank_peak = std::max(plan.per_rank_peak, peak);

@@ -47,6 +47,12 @@ struct ComponentProfile {
   }
 };
 
+/// Ceil integer division — the shard arithmetic every planner dimension
+/// (and the rank-sequence transform layer) divides bytes with.
+inline std::int64_t ceil_div(std::int64_t value, std::int64_t divisor) {
+  return (value + divisor - 1) / divisor;
+}
+
 /// Extract per-component profiles (in forward order of first appearance).
 /// Optimizer state is apportioned to components proportionally to their
 /// parameter bytes (state tensors are parameter-shaped but their trace
@@ -86,6 +92,9 @@ struct DistributedOptions {
   int micro_batches = 4;
   /// DDP gradient bucket size (PyTorch default 25 MiB).
   std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  /// In-flight DDP gradient buckets per rank (reduce + staging). 2 is the
+  /// classic PyTorch overlap depth, previously hard-coded.
+  int ddp_bucket_count = 2;
   PipelineSchedule schedule = PipelineSchedule::kOneFOneB;
   /// Model chunks per rank under kInterleaved (ignored for kOneFOneB).
   int virtual_stages = 1;
@@ -118,6 +127,8 @@ struct DataParallelOptions {
   ZeroStage zero = ZeroStage::kNone;
   /// DDP gradient bucket size (PyTorch default 25 MiB).
   std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  /// In-flight DDP gradient buckets per rank (previously hard-coded at 2).
+  int ddp_bucket_count = 2;
 };
 
 /// Per-rank byte budget of a pure data-parallel deployment. All fields are
@@ -130,7 +141,7 @@ struct DataParallelPlan {
   std::int64_t optimizer_bytes = 0;
   std::int64_t activation_bytes = 0;  ///< batch shard: ceil(total / ranks)
   std::int64_t transient_peak = 0;
-  std::int64_t bucket_overhead_bytes = 0;  ///< 2 in-flight buckets, 0 if d==1
+  std::int64_t bucket_overhead_bytes = 0;  ///< count x bucket bytes, 0 if d==1
   std::int64_t per_rank_peak = 0;
   std::int64_t single_device_peak = 0;
 };
@@ -169,6 +180,7 @@ struct HybridOptions {
   int virtual_stages = 1;
   ZeroStage zero = ZeroStage::kNone;
   std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  int ddp_bucket_count = 2;
   /// TP shard model; `ways` is ignored (taken from tensor_parallel).
   TensorParallelOptions tensor;
 };
@@ -243,10 +255,10 @@ class DistributedPlanner {
   static std::vector<Decomposition> enumerate_decompositions(
       int max_gpus, int max_pipeline_stages);
 
-  /// Extra resident bytes per data-parallel rank: two in-flight gradient
-  /// buckets (reduce + staging).
+  /// Extra resident bytes per data-parallel rank: the configured number of
+  /// in-flight gradient buckets (reduce + staging).
   std::int64_t data_parallel_overhead(const DistributedOptions& options) const {
-    return 2 * options.ddp_bucket_bytes;
+    return options.ddp_bucket_count * options.ddp_bucket_bytes;
   }
 };
 

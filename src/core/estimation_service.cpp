@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "core/estimator_registry.h"
+#include "core/sequence_transform.h"
 #include "core/simulator.h"
 #include "models/zoo.h"
 #include "util/thread_pool.h"
@@ -267,6 +268,12 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
     throw std::invalid_argument(
         "plan request: \"ddp_bucket_bytes\" must be >= 0");
   }
+  request.ddp_bucket_count = static_cast<int>(
+      json.get_int_or("ddp_bucket_count", request.ddp_bucket_count));
+  if (request.ddp_bucket_count < 0) {
+    throw std::invalid_argument(
+        "plan request: \"ddp_bucket_count\" must be >= 0");
+  }
   request.activation_replication_pct = static_cast<int>(
       json.get_int_or("activation_replication_pct", 25));
   if (request.activation_replication_pct < 0 ||
@@ -287,6 +294,12 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
         "plan request: \"max_candidates\" must be >= 0");
   }
   request.max_candidates = static_cast<std::size_t>(max_candidates);
+  request.refine_top_k = static_cast<int>(
+      json.get_int_or("refine_top_k", request.refine_top_k));
+  if (request.refine_top_k < 0) {
+    throw std::invalid_argument(
+        "plan request: \"refine_top_k\" must be >= 0");
+  }
   return request;
 }
 
@@ -300,11 +313,13 @@ util::Json PlanRequest::to_json() const {
   json["virtual_stages"] = util::Json(virtual_stages);
   json["zero_stage"] = util::Json(static_cast<int>(zero));
   json["ddp_bucket_bytes"] = util::Json(ddp_bucket_bytes);
+  json["ddp_bucket_count"] = util::Json(ddp_bucket_count);
   json["activation_replication_pct"] = util::Json(activation_replication_pct);
   json["allocator"] = util::Json(allocator);
   json["profile_iterations"] = util::Json(profile_iterations);
   json["max_candidates"] =
       util::Json(static_cast<std::int64_t>(max_candidates));
+  json["refine_top_k"] = util::Json(refine_top_k);
   return json;
 }
 
@@ -342,6 +357,28 @@ util::Json PlanCandidate::to_json(
     verdicts.push_back(std::move(verdict));
   }
   json["fits"] = std::move(verdicts);
+  json["replayed"] = util::Json(replayed);
+  if (replayed) {
+    util::Json replay = util::Json::object();
+    util::Json rank_array = util::Json::array();
+    for (const std::int64_t peak : replayed_rank_peaks) {
+      rank_array.push_back(util::Json(peak));
+    }
+    replay["rank_peaks_bytes"] = std::move(rank_array);
+    replay["per_rank_peak_bytes"] = util::Json(replayed_per_rank_peak);
+    replay["analytic_vs_replayed_pct"] = util::Json(analytic_vs_replayed_pct);
+    util::Json replay_verdicts = util::Json::array();
+    for (std::size_t i = 0;
+         i < devices.size() && i < replayed_device_fits.size(); ++i) {
+      util::Json verdict = util::Json::object();
+      verdict["device"] = util::Json(devices[i].name);
+      verdict["fits"] = util::Json(static_cast<bool>(replayed_device_fits[i]));
+      replay_verdicts.push_back(std::move(verdict));
+    }
+    replay["fits"] = std::move(replay_verdicts);
+    replay["verdict_changed"] = util::Json(verdict_changed);
+    json["replay"] = std::move(replay);
+  }
   return json;
 }
 
@@ -370,6 +407,10 @@ util::Json PlanReport::to_json(bool include_timings) const {
   counters["profile_cache_hits"] =
       util::Json(static_cast<std::int64_t>(profile_cache_hits));
   counters["replays_run"] = util::Json(static_cast<std::int64_t>(replays_run));
+  counters["replayed_candidates"] =
+      util::Json(static_cast<std::int64_t>(replayed_candidates));
+  counters["rank_replays"] =
+      util::Json(static_cast<std::int64_t>(rank_replays_run));
   counters["result_cache_hits"] =
       util::Json(static_cast<std::int64_t>(result_cache_hits));
   json["stage_counters"] = std::move(counters);
@@ -383,6 +424,8 @@ struct EstimationService::SweepCounters {
   std::atomic<std::size_t> profiles_run{0};
   std::atomic<std::size_t> profile_cache_hits{0};
   std::atomic<std::size_t> replays_run{0};
+  std::atomic<std::size_t> replayed_candidates{0};
+  std::atomic<std::size_t> rank_replays{0};
   std::atomic<std::size_t> result_cache_hits{0};
 };
 
@@ -715,6 +758,7 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
     options.virtual_stages = request.virtual_stages;
     options.zero = request.zero;
     options.ddp_bucket_bytes = request.ddp_bucket_bytes;
+    options.ddp_bucket_count = request.ddp_bucket_count;
     options.tensor.activation_replication_pct =
         request.activation_replication_pct;
     PlanCandidate candidate;
@@ -756,6 +800,73 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
     report.candidates.resize(request.max_candidates);
   }
 
+  // Phase 2: replay the top-K survivors per rank through the allocator
+  // tower. The transformer binds the ONE cached orchestrated sequence; each
+  // worker owns its scratch, so the fan-out is deterministic and the
+  // buffers amortize across a candidate's ranks.
+  // Clamp before the size_t cast: a negative refine_top_k reaching here
+  // through the C++ API (the JSON path rejects it) means "disabled", not
+  // "refine everything" via wraparound.
+  const std::size_t refine_count = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(request.refine_top_k, 0)),
+      report.candidates.size());
+  if (refine_count > 0) {
+    const SequenceTransformer transformer(
+        lookup.artifacts->orchestration.sequence, profiles);
+    run_fanned(refine_count, [&](std::size_t i) {
+      PlanCandidate& candidate = report.candidates[i];
+      RankTransformOptions transform;
+      transform.data_parallel = candidate.plan.data_parallel;
+      transform.tensor_parallel = candidate.plan.tensor_parallel;
+      transform.micro_batches = request.micro_batches;
+      transform.zero = request.zero;
+      transform.ddp_bucket_bytes = request.ddp_bucket_bytes;
+      transform.ddp_bucket_count = request.ddp_bucket_count;
+      transform.tensor.activation_replication_pct =
+          request.activation_replication_pct;
+      transform.materialize_blocks = false;  // events are all the replay needs
+
+      const std::size_t ranks =
+          std::max<std::size_t>(candidate.plan.rank_peaks.size(), 1);
+      MemorySimulator simulator;
+      SimulationOptions sim_options;
+      sim_options.backend = request.allocator;
+      RankScratch scratch;
+      ReplayScratch replay_scratch;
+      candidate.replayed_rank_peaks.assign(ranks, 0);
+      for (std::size_t r = 0; r < ranks; ++r) {
+        const OrchestratedSequence& sequence = transformer.rank_sequence(
+            transform, candidate.plan.stages, ranks, r, scratch);
+        const SimulationResult simulation =
+            simulator.replay(sequence, sim_options, &replay_scratch);
+        candidate.replayed_rank_peaks[r] = simulation.peak_device;
+        counters.rank_replays.fetch_add(1);
+      }
+      candidate.replayed = true;
+      candidate.replayed_per_rank_peak = *std::max_element(
+          candidate.replayed_rank_peaks.begin(),
+          candidate.replayed_rank_peaks.end());
+      if (candidate.plan.per_rank_peak > 0) {
+        candidate.analytic_vs_replayed_pct = static_cast<int>(
+            100 *
+            (candidate.replayed_per_rank_peak - candidate.plan.per_rank_peak) /
+            candidate.plan.per_rank_peak);
+      }
+      candidate.replayed_device_fits.reserve(request.devices.size());
+      for (const gpu::DeviceModel& device : request.devices) {
+        const bool fits =
+            candidate.replayed_per_rank_peak <= device.job_budget();
+        candidate.replayed_device_fits.push_back(fits);
+        if (fits) ++candidate.replayed_fits_count;
+      }
+      candidate.verdict_changed =
+          candidate.replayed_device_fits != candidate.device_fits;
+      counters.replayed_candidates.fetch_add(1);
+    });
+  }
+
+  report.replayed_candidates = counters.replayed_candidates.load();
+  report.rank_replays_run = counters.rank_replays.load();
   report.profiles_run = counters.profiles_run.load();
   report.profile_cache_hits = counters.profile_cache_hits.load();
   report.replays_run = counters.replays_run.load();

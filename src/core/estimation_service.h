@@ -125,12 +125,20 @@ struct PlanRequest {
   int virtual_stages = 1;
   ZeroStage zero = ZeroStage::kNone;
   std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  /// In-flight DDP gradient buckets per rank (the old hard-coded 2).
+  int ddp_bucket_count = 2;
   int activation_replication_pct = 25;
-  /// Allocator the single-device replay entries simulate against.
+  /// Allocator the single-device replay entries — and the refine pass's
+  /// per-rank replays — simulate against.
   std::string allocator = alloc::kDefaultBackendName;
   int profile_iterations = 3;
   /// Keep only the best N candidates in the report (0 = all).
   std::size_t max_candidates = 0;
+  /// Phase-2 refinement: re-simulate the top K ranked candidates per rank
+  /// through the allocator tower (rank-sequence transform + simulator
+  /// replay), yielding fragmentation-aware peaks and refined verdicts.
+  /// 0 = analytic-only (the phase-1 ranking stands unrefined).
+  int refine_top_k = 0;
 
   /// Parse a plan document; throws std::invalid_argument /
   /// util::JsonParseError on bad input.
@@ -149,6 +157,22 @@ struct PlanCandidate {
   std::vector<bool> device_fits;
   std::size_t fits_count = 0;
 
+  /// Phase-2 refinement (set only for the top-K candidates when
+  /// `refine_top_k > 0`): per-rank sequences replayed through the real
+  /// allocator tower, so round-up, caching, and fragmentation — absent from
+  /// the analytic arithmetic above — are priced in.
+  bool replayed = false;
+  std::vector<std::int64_t> replayed_rank_peaks;
+  std::int64_t replayed_per_rank_peak = 0;
+  /// 100 * (replayed - analytic) / analytic, integer-truncated: how far the
+  /// analytic model was from the allocator-aware answer.
+  int analytic_vs_replayed_pct = 0;
+  std::vector<bool> replayed_device_fits;
+  std::size_t replayed_fits_count = 0;
+  /// Any device verdict flipped between the analytic and replayed peaks —
+  /// the fidelity gain the paper's §3.4 argument predicts.
+  bool verdict_changed = false;
+
   util::Json to_json(const std::vector<gpu::DeviceModel>& devices) const;
 };
 
@@ -166,6 +190,8 @@ struct PlanReport {
   /// Ranked best-first: most devices fit, then fewest GPUs, lowest peak.
   std::vector<PlanCandidate> candidates;
   std::size_t candidates_evaluated = 0;  ///< before any max_candidates cap
+  std::size_t replayed_candidates = 0;   ///< candidates refined per rank
+  std::size_t rank_replays_run = 0;      ///< simulator replays in the refine
   std::size_t profiles_run = 0;
   std::size_t profile_cache_hits = 0;
   std::size_t replays_run = 0;
@@ -203,12 +229,16 @@ class EstimationService {
   /// the thread count.
   EstimateReport sweep(const EstimateRequest& request);
 
-  /// Answer a multi-GPU placement question: evaluate every (d, t, p)
-  /// decomposition of the request's GPU budget against its candidate
-  /// devices. The per-device single-device entries and every candidate
-  /// share ONE profile through the session (profiles_run == 1 cold); the
-  /// candidate grid fans out on the pool. Deterministic: serial and
-  /// threaded searches produce byte-identical reports.
+  /// Answer a multi-GPU placement question with a two-phase search:
+  /// phase 1 prunes every (d, t, p) decomposition of the GPU budget with
+  /// cheap analytic arithmetic and ranks the survivors; phase 2 (when
+  /// `refine_top_k > 0`) replays the top-K candidates' per-rank sequences
+  /// through the allocator tower via the rank-sequence transform layer,
+  /// yielding fragmentation-aware rank peaks and refined verdicts. The
+  /// single-device entries, the whole grid, and every rank replay share
+  /// ONE profile through the session (profiles_run == 1 cold); both phases
+  /// fan out on the pool. Deterministic: serial and threaded searches
+  /// produce byte-identical reports.
   PlanReport plan(const PlanRequest& request);
 
   /// Single-question convenience: one estimator, one device, one allocator.

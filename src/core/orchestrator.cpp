@@ -115,12 +115,7 @@ Orchestrator::Output Orchestrator::orchestrate(
           OrchestratedEvent{block.free_ts, block.id, block.size, false});
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const OrchestratedEvent& a, const OrchestratedEvent& b) {
-              if (a.ts != b.ts) return a.ts < b.ts;
-              if (a.is_alloc != b.is_alloc) return !a.is_alloc;  // frees first
-              return a.block_id < b.block_id;
-            });
+  std::sort(events.begin(), events.end(), orchestrated_event_order);
   return out;
 }
 

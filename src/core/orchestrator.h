@@ -36,6 +36,18 @@ struct OrchestratedEvent {
   bool is_alloc = false;
 };
 
+/// The one replay-stream ordering contract: time-ordered, frees before
+/// allocs on ties (so same-instant reuse does not manufacture phantom
+/// peaks), block id as the total-order tiebreak. Every producer of an
+/// OrchestratedSequence (the Orchestrator, the rank-sequence transforms)
+/// sorts with this comparator.
+inline bool orchestrated_event_order(const OrchestratedEvent& a,
+                                     const OrchestratedEvent& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.is_alloc != b.is_alloc) return !a.is_alloc;
+  return a.block_id < b.block_id;
+}
+
 struct OrchestratedSequence {
   /// Blocks with adjusted lifecycles (free_ts == -1: never freed in replay).
   std::vector<MemoryBlock> blocks;

@@ -1,0 +1,204 @@
+#include "core/sequence_transform.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xmem::core {
+
+SequenceTransformer::SequenceTransformer(
+    const OrchestratedSequence& base,
+    const std::vector<ComponentProfile>& profiles)
+    : base_(base) {
+  component_names_.reserve(profiles.size());
+  std::map<std::string, std::int32_t> index_of;
+  for (const ComponentProfile& profile : profiles) {
+    index_of.emplace(profile.component,
+                     static_cast<std::int32_t>(component_names_.size()));
+    component_names_.push_back(profile.component);
+  }
+  block_component_.reserve(base.blocks.size());
+  for (const MemoryBlock& block : base.blocks) {
+    const auto it = index_of.find(block.component);
+    block_component_.push_back(it == index_of.end() ? -1 : it->second);
+    next_buffer_id_ = std::max(next_buffer_id_, block.id + 1);
+  }
+}
+
+const OrchestratedSequence& SequenceTransformer::rank_sequence(
+    const RankTransformOptions& options,
+    const std::vector<PipelineStage>& chunks, std::size_t pipeline_ranks,
+    std::size_t rank, RankScratch& scratch) const {
+  OrchestratedSequence& out = scratch.sequence;
+  out.blocks.clear();
+  out.events.clear();
+  scratch.buffers.clear();
+  out.events.reserve(base_.events.size());
+  if (options.materialize_blocks) out.blocks.reserve(base_.blocks.size());
+
+  const std::int64_t t = std::max(1, options.tensor_parallel);
+  const std::int64_t d = std::max(1, options.data_parallel);
+  const int micro_batches = std::max(1, options.micro_batches);
+
+  // Component -> chunk map from the contiguous partition; everything in one
+  // chunk when no partition was supplied.
+  const std::size_t total_chunks = std::max<std::size_t>(chunks.size(), 1);
+  const std::size_t ranks =
+      std::min(std::max<std::size_t>(pipeline_ranks, 1), total_chunks);
+  std::vector<std::size_t>& chunk_of = scratch.chunk_of;
+  chunk_of.assign(component_names_.size(), 0);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (std::size_t i = chunks[c].first_component;
+         i <= chunks[c].last_component && i < chunk_of.size(); ++i) {
+      chunk_of[i] = c;
+    }
+  }
+
+  // Per-component TP replication flag, resolved once per call instead of
+  // per block (the substring scan is the only string work in the loop).
+  std::vector<char>& replicated = scratch.replicated;
+  replicated.assign(component_names_.size(), 0);
+  if (t > 1) {
+    for (std::size_t i = 0; i < component_names_.size(); ++i) {
+      for (const std::string& marker : options.tensor.replicated_substrings) {
+        if (component_names_[i].find(marker) != std::string::npos) {
+          replicated[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  const int replication_pct =
+      std::clamp(options.tensor.activation_replication_pct, 0, 100);
+
+  // Collective-buffer anchors, discovered while slicing.
+  util::TimeUs first_ts = -1;
+  util::TimeUs first_forward_ts = -1;
+  util::TimeUs first_backward_ts = -1;
+  std::int64_t max_forward_bytes = 0;   ///< post-shard (all-reduce payload)
+  std::int64_t max_param_gather = 0;    ///< TP-sharded, un-DP-sharded params
+
+  for (std::size_t i = 0; i < base_.blocks.size(); ++i) {
+    const MemoryBlock& block = base_.blocks[i];
+    const std::int32_t component = block_component_[i];
+    const std::size_t chunk = component < 0 ? 0 : chunk_of[component];
+    if (chunk % ranks != rank) continue;
+
+    // 1) Tensor parallelism.
+    std::int64_t bytes = block.size;
+    if (t > 1 && (component < 0 || !replicated[component])) {
+      switch (block.phase) {
+        case Phase::kForward: {
+          const std::int64_t replicated_bytes = bytes * replication_pct / 100;
+          bytes = replicated_bytes + ceil_div(bytes - replicated_bytes, t);
+          break;
+        }
+        case Phase::kModelLoad:
+        case Phase::kBackward:
+        case Phase::kOptimizerStep:
+          bytes = ceil_div(bytes, t);
+          break;
+        case Phase::kDataLoader:
+        case Phase::kOther:
+          break;  // every TP rank sees the whole batch
+      }
+    }
+    if (block.phase == Phase::kModelLoad) {
+      max_param_gather = std::max(max_param_gather, bytes);
+    }
+
+    // 2) Data parallelism (batch shard + ZeRO state shard).
+    if (d > 1) {
+      switch (block.phase) {
+        case Phase::kForward:
+        case Phase::kDataLoader:
+          bytes = ceil_div(bytes, d);
+          break;
+        case Phase::kModelLoad:
+          if (options.zero >= ZeroStage::kFull) bytes = ceil_div(bytes, d);
+          break;
+        case Phase::kBackward:
+          if (options.zero >= ZeroStage::kOptimizerGradient) {
+            bytes = ceil_div(bytes, d);
+          }
+          break;
+        case Phase::kOptimizerStep:
+          if (options.zero >= ZeroStage::kOptimizer) bytes = ceil_div(bytes, d);
+          break;
+        case Phase::kOther:
+          break;
+      }
+    }
+
+    // 3) 1F1B in-flight scaling: this chunk holds min(chunks - c, m)
+    // micro-batch activation copies of 1/m each.
+    if (block.phase == Phase::kForward && micro_batches > 1) {
+      const std::int64_t in_flight = std::min<std::int64_t>(
+          static_cast<std::int64_t>(total_chunks - chunk), micro_batches);
+      bytes = ceil_div(bytes * in_flight, micro_batches);
+    }
+    if (block.phase == Phase::kForward) {
+      max_forward_bytes = std::max(max_forward_bytes, bytes);
+    }
+
+    if (first_ts < 0 || block.alloc_ts < first_ts) first_ts = block.alloc_ts;
+    if (block.phase == Phase::kForward &&
+        (first_forward_ts < 0 || block.alloc_ts < first_forward_ts)) {
+      first_forward_ts = block.alloc_ts;
+    }
+    if (block.phase == Phase::kBackward &&
+        (first_backward_ts < 0 || block.alloc_ts < first_backward_ts)) {
+      first_backward_ts = block.alloc_ts;
+    }
+
+    out.events.push_back(
+        OrchestratedEvent{block.alloc_ts, block.id, bytes, true});
+    if (!block.persistent()) {
+      out.events.push_back(
+          OrchestratedEvent{block.free_ts, block.id, bytes, false});
+    }
+    if (options.materialize_blocks) {
+      MemoryBlock sliced = block;
+      sliced.size = bytes;
+      out.blocks.push_back(std::move(sliced));
+    }
+  }
+
+  // 4) Collective-communication buffers, as ordinary resident events.
+  if (options.inject_collectives) {
+    std::int64_t next_id = next_buffer_id_;
+    const auto inject = [&](const char* kind, std::int64_t bytes,
+                            util::TimeUs ts) {
+      if (bytes <= 0) return;
+      if (ts < 0) ts = first_ts < 0 ? 0 : first_ts;
+      scratch.buffers.push_back(CollectiveBuffer{kind, bytes, ts, next_id});
+      out.events.push_back(OrchestratedEvent{ts, next_id, bytes, true});
+      if (options.materialize_blocks) {
+        MemoryBlock block;
+        block.id = next_id;
+        block.size = bytes;
+        block.alloc_ts = ts;
+        block.free_ts = -1;
+        block.component = std::string("__collective:") + kind;
+        block.phase = Phase::kOther;
+        out.blocks.push_back(std::move(block));
+      }
+      ++next_id;
+    };
+    if (d > 1) {
+      for (int b = 0; b < options.ddp_bucket_count; ++b) {
+        inject("ddp_bucket", options.ddp_bucket_bytes, first_backward_ts);
+      }
+      if (options.zero >= ZeroStage::kFull) {
+        inject("zero3_allgather", max_param_gather, first_ts);
+      }
+    }
+    if (t > 1) {
+      inject("tp_allreduce", max_forward_bytes, first_forward_ts);
+    }
+  }
+
+  std::sort(out.events.begin(), out.events.end(), orchestrated_event_order);
+  return out;
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,132 @@
+// Rank-sequence transform layer (paper §3.4 applied to §6.2 planning).
+//
+// The paper's accuracy claim rests on replaying the orchestrated event
+// sequence through the real allocator tower — fragmentation, round-up, and
+// caching are sequence-dependent, so analytic per-component sums (the
+// DNNMem style) diverge from device truth. The DistributedPlanner's hybrid
+// search, however, ranks (d, t, p) candidates by exactly that analytic
+// arithmetic. This layer closes the gap: pure, composable transforms that
+// take the single-device OrchestratedSequence plus one plan candidate and
+// emit the event sequence ONE RANK of that deployment would replay, so the
+// simulator (and any registry backend) can price the candidate with full
+// allocator semantics and no new concepts.
+//
+// Transform semantics, applied per block in this order:
+//   1. Tensor parallelism — components matching the replicated substrings
+//      (Norm/Embedding, the Megatron convention) keep their bytes whole;
+//      divisible components ceil-divide params/optimizer/gradients by t and
+//      split forward bytes by the activation-replication model (the same
+//      model as DistributedPlanner::shard_tensor_parallel, applied
+//      per block instead of per component).
+//   2. Data parallelism — forward/dataloader bytes shard with the batch
+//      (ceil(x/d)); ZeRO shards the persistent classes: stage 1 divides
+//      optimizer-step bytes, stage 2 adds backward (gradient) bytes,
+//      stage 3 adds model-load (parameter) bytes.
+//   3. Pipeline slicing — each block belongs to the contiguous stage chunk
+//      that owns its component (unattributed blocks — batch data, script
+//      temporaries — ride on chunk 0, where the input pipeline lives);
+//      rank r of p owns chunks r, r+p, r+2p, … (interleaved schedule).
+//      Forward bytes scale by in_flight/micro_batches where in_flight =
+//      min(total_chunks - chunk, micro_batches), mirroring the 1F1B
+//      in-flight accounting of the analytic stage model.
+//   4. Collective-communication buffers — injected as ordinary
+//      alloc events (free_ts = -1: resident through the peak window, the
+//      same accounting the analytic model applies), so the simulator needs
+//      no new concepts: `ddp_bucket_count` DDP gradient buckets from the
+//      first backward block (d > 1), one all-reduce staging buffer sized
+//      like the largest sharded forward block from the first forward block
+//      (t > 1), and one parameter all-gather staging buffer sized like the
+//      largest TP-sharded (but un-DP-sharded) parameter block (ZeRO-3,
+//      d > 1). This generalizes the previously hard-coded "2 x 25 MiB DDP
+//      buckets" constant.
+//
+// Everything is deterministic integer arithmetic over an immutable base
+// sequence: a SequenceTransformer is built once per plan search and shared
+// const across the thread-pool fan-out; each worker passes its own
+// RankScratch, whose buffers are reused across candidates (the §6.1
+// batching/caching pass — measured by BM_RankReplay in bench/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distributed_planner.h"
+#include "core/orchestrator.h"
+
+namespace xmem::core {
+
+/// How one rank of a (d, t, p) candidate reshapes the base sequence.
+/// Pipeline geometry arrives separately (the chunk partition + rank).
+struct RankTransformOptions {
+  int data_parallel = 1;
+  int tensor_parallel = 1;
+  /// 1F1B micro-batch count; forward bytes scale by in_flight/micro_batches.
+  int micro_batches = 1;
+  ZeroStage zero = ZeroStage::kNone;
+  std::int64_t ddp_bucket_bytes = std::int64_t{25} * 1024 * 1024;
+  /// In-flight DDP gradient buckets (reduce + staging). 2 is the classic
+  /// PyTorch overlap depth the planner used to hard-code.
+  int ddp_bucket_count = 2;
+  /// Replicated-component + activation-replication model (`ways` ignored;
+  /// taken from tensor_parallel).
+  TensorParallelOptions tensor;
+  /// Inject the collective-communication buffer events of step 4. Property
+  /// tests disable this to check byte conservation of the pure transforms.
+  bool inject_collectives = true;
+  /// Also materialize the per-rank MemoryBlock vector (component names and
+  /// all). The simulator only consumes events; the service disables this on
+  /// the hot path so the transform stays string-copy free.
+  bool materialize_blocks = true;
+};
+
+/// One injected collective-communication staging buffer (also recorded in
+/// the scratch so tests and reports can see what was added).
+struct CollectiveBuffer {
+  std::string kind;  ///< "ddp_bucket" | "tp_allreduce" | "zero3_allgather"
+  std::int64_t bytes = 0;
+  util::TimeUs alloc_ts = 0;
+  std::int64_t block_id = 0;
+};
+
+/// Reusable per-worker output storage. Vectors keep their capacity across
+/// candidates, so a refine loop allocates O(1) after the first rank.
+struct RankScratch {
+  OrchestratedSequence sequence;
+  std::vector<CollectiveBuffer> buffers;
+  /// Transform-internal working sets, kept here so they reuse capacity too.
+  std::vector<std::size_t> chunk_of;
+  std::vector<char> replicated;
+};
+
+class SequenceTransformer {
+ public:
+  /// Bind the base single-device sequence and the component order of its
+  /// per-component profile (forward order — the same vector the planner
+  /// packed stages over). Both must outlive the transformer. Construction
+  /// indexes every block's component once; transforms never rescan strings.
+  SequenceTransformer(const OrchestratedSequence& base,
+                      const std::vector<ComponentProfile>& profiles);
+
+  /// Emit the sequence pipeline rank `rank` (0-based, of `pipeline_ranks`)
+  /// replays under `options` and the contiguous chunk partition `chunks`
+  /// (a candidate's `plan.stages`; empty = one chunk holding everything).
+  /// Builds into `scratch` and returns `scratch.sequence`. Thread-safe:
+  /// const on the transformer, all mutation confined to the scratch.
+  const OrchestratedSequence& rank_sequence(
+      const RankTransformOptions& options,
+      const std::vector<PipelineStage>& chunks, std::size_t pipeline_ranks,
+      std::size_t rank, RankScratch& scratch) const;
+
+  std::size_t component_count() const { return component_names_.size(); }
+  const OrchestratedSequence& base() const { return base_; }
+
+ private:
+  const OrchestratedSequence& base_;
+  std::vector<std::string> component_names_;  ///< profile forward order
+  /// Per base block: index into component_names_, or -1 (unattributed).
+  std::vector<std::int32_t> block_component_;
+  std::int64_t next_buffer_id_ = 0;  ///< first id free for injected buffers
+};
+
+}  // namespace xmem::core

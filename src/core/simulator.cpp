@@ -6,13 +6,19 @@
 namespace xmem::core {
 
 SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
-                                         const SimulationOptions& options) const {
+                                         const SimulationOptions& options,
+                                         ReplayScratch* scratch) const {
   SimulationResult result;
   alloc::SimulatedCudaDriver driver(options.capacity);
   const std::unique_ptr<fw::AllocatorBackend> allocator =
       alloc::make_backend(options.backend, driver);
-  std::unordered_map<std::int64_t, std::int64_t> live;
-  live.reserve(sequence.blocks.size());
+  // Transform-layer sequences may carry events only (no materialized
+  // blocks); size the live map from whichever is populated.
+  ReplayScratch local;
+  ReplayScratch& workspace = scratch != nullptr ? *scratch : local;
+  std::unordered_map<std::int64_t, std::int64_t>& live = workspace.live;
+  live.clear();
+  live.reserve(std::max(sequence.blocks.size(), sequence.events.size() / 2));
 
   for (const OrchestratedEvent& event : sequence.events) {
     if (event.is_alloc) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -54,10 +55,20 @@ struct SimulationResult {
   std::vector<std::pair<util::TimeUs, std::int64_t>> allocated_series;
 };
 
+/// Reusable replay state for hot loops that replay many sequences back to
+/// back (the planner's per-rank refine pass): the live block->backend-id map
+/// keeps its bucket array across replays instead of rehashing from empty
+/// every call. Allocator/driver state is never reused — every replay gets a
+/// fresh tower, which is what makes replays order-independent.
+struct ReplayScratch {
+  std::unordered_map<std::int64_t, std::int64_t> live;
+};
+
 class MemorySimulator {
  public:
   SimulationResult replay(const OrchestratedSequence& sequence,
-                          const SimulationOptions& options = {}) const;
+                          const SimulationOptions& options = {},
+                          ReplayScratch* scratch = nullptr) const;
 };
 
 }  // namespace xmem::core

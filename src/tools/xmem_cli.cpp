@@ -9,8 +9,11 @@
 //                 (profile-once/estimate-many: one job x devices x
 //                  allocators x estimators, JSON report on stdout)
 //   xmem plan     REQUEST.json [--out FILE] [--no-timings] [--serial]
+//                 [--refine-top-k N | --no-refine]
 //                 (multi-GPU planner: ranked DPxTPxPP decompositions of a
-//                  GPU budget, one CPU profile for the whole search)
+//                  GPU budget; the top-K candidates are re-simulated per
+//                  rank through the allocator tower; one CPU profile for
+//                  the whole two-phase search)
 //   xmem models
 //   xmem devices
 //   xmem backends
@@ -54,6 +57,7 @@ int usage() {
                "[--serial]\n"
                "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
+               "                [--refine-top-k N | --no-refine]\n"
                "  xmem models\n"
                "  xmem devices\n"
                "  xmem backends   (allocator models for --allocator)\n"
@@ -76,6 +80,8 @@ struct Cli {
   bool curve = false;
   bool no_timings = false;
   bool serial = false;
+  bool no_refine = false;
+  int refine_top_k = -1;  ///< -1: keep the request document's value
   int iterations = 3;
 };
 
@@ -133,6 +139,16 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.no_timings = true;
     } else if (arg == "--serial") {
       cli.serial = true;
+    } else if (arg == "--no-refine") {
+      cli.no_refine = true;
+    } else if (arg == "--refine-top-k") {
+      const char* v = next("--refine-top-k");
+      if (v == nullptr) return false;
+      cli.refine_top_k = std::atoi(v);
+      if (cli.refine_top_k < 0) {
+        std::fprintf(stderr, "--refine-top-k must be >= 0\n");
+        return false;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -335,7 +351,13 @@ util::Json respond_sweep(const Cli& cli, const util::Json& document) {
 }
 
 util::Json respond_plan(const Cli& cli, const util::Json& document) {
-  const core::PlanRequest request = core::PlanRequest::from_json(document);
+  core::PlanRequest request = core::PlanRequest::from_json(document);
+  // CLI refinement flags override the request document.
+  if (cli.no_refine) {
+    request.refine_top_k = 0;
+  } else if (cli.refine_top_k >= 0) {
+    request.refine_top_k = cli.refine_top_k;
+  }
   core::ServiceOptions service_options;
   if (cli.serial) service_options.threads = 1;
   core::EstimationService service(service_options);
