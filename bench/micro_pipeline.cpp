@@ -174,6 +174,45 @@ void BM_RankReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_RankReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_RankReplayReset(benchmark::State& state) {
+  // The tower half of the refine loop in isolation: the same transformed
+  // rank sequence replayed per candidate. Arg 0 = fresh driver + backend
+  // every replay (the pre-reset rebuild path), arg 1 = backend_reset() on
+  // the pooled tower kept in ReplayScratch. The delta is what the reset
+  // contract buys each refined candidate.
+  const auto analysis = core::Analyzer().analyze(test_trace());
+  const auto orchestration =
+      core::Orchestrator().orchestrate(analysis.timeline);
+  const std::vector<core::ComponentProfile> profiles =
+      core::per_component_profile(analysis.timeline);
+  core::DistributedPlanner planner;
+  core::HybridOptions hybrid;
+  hybrid.data_parallel = 2;
+  hybrid.tensor_parallel = 2;
+  hybrid.pipeline_stages = 2;
+  const core::HybridPlan plan = planner.plan_hybrid(profiles, hybrid);
+  const core::SequenceTransformer transformer(orchestration.sequence,
+                                              profiles);
+  core::RankTransformOptions transform;
+  transform.data_parallel = 2;
+  transform.tensor_parallel = 2;
+  transform.micro_batches = 4;
+  transform.materialize_blocks = false;
+  core::RankScratch rank_scratch;
+  const core::OrchestratedSequence sequence =
+      transformer.rank_sequence(transform, plan.stages, 2, 0, rank_scratch);
+
+  core::MemorySimulator simulator;
+  const bool reset = state.range(0) == 1;
+  core::ReplayScratch scratch;
+  for (auto _ : state) {
+    if (!reset) scratch = core::ReplayScratch{};
+    benchmark::DoNotOptimize(simulator.replay(sequence, {}, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankReplayReset)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_PlanRefine(benchmark::State& state) {
   // The two-phase plan search at service granularity on a warm shared
   // session: arg = refine_top_k (0 = analytic-only phase 1). Reported rate

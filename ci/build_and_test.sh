@@ -20,7 +20,10 @@
 # through `xmem sweep`/`xmem plan` with --no-timings and diff the JSON
 # reports against ci/fixtures/{sweep,plan}_report.json (schema + payload
 # pinned; wall-clock fields stripped), then assert the profile-once
-# contract via each report's stage counters. The plan smoke is a refine
+# contract via each report's stage counters. The sweep fixture includes the
+# knobbed cub-binned backend with an explicit allocator_config block, so
+# the knob plumbing (request JSON -> registry factory -> replay tower) is
+# golden-diffed end to end. The plan smoke is a refine
 # smoke: the fixture enables refine_top_k, so the report must show exactly
 # one CPU profile AND a nonzero replayed_candidates counter (the two-phase
 # search ran, still off one profile), plus at least one verdict_changed

@@ -74,6 +74,24 @@ CachingAllocatorSim::Block* CachingAllocatorSim::find_free_block(
   return block;
 }
 
+CachingAllocatorSim::Block* CachingAllocatorSim::acquire_block() {
+  if (spare_blocks_.empty()) {
+    arena_.push_back(std::make_unique<Block>());
+    return arena_.back().get();
+  }
+  Block* block = spare_blocks_.back();
+  spare_blocks_.pop_back();
+  *block = Block{};
+  return block;
+}
+
+CachingAllocatorSim::Block* CachingAllocatorSim::live_block(BlockId id) const {
+  if (id < 1 || static_cast<std::size_t>(id) >= live_slots_.size()) {
+    return nullptr;
+  }
+  return live_slots_[static_cast<std::size_t>(id)];
+}
+
 CachingAllocatorSim::Block* CachingAllocatorSim::allocate_segment(
     BlockPool& pool, std::int64_t alloc_size) {
   auto addr = driver_.cuda_malloc(alloc_size);
@@ -87,15 +105,14 @@ CachingAllocatorSim::Block* CachingAllocatorSim::allocate_segment(
   }
   if (!addr.has_value()) return nullptr;
 
-  auto block = std::make_unique<Block>();
-  block->addr = *addr;
-  block->size = alloc_size;
-  block->allocated = false;
-  block->segment_addr = *addr;
-  block->segment_size = alloc_size;
-  block->is_small_pool = pool.is_small;
-  Block* raw = block.get();
-  blocks_[raw->addr] = std::move(block);
+  Block* raw = acquire_block();
+  raw->addr = *addr;
+  raw->size = alloc_size;
+  raw->allocated = false;
+  raw->segment_addr = *addr;
+  raw->segment_size = alloc_size;
+  raw->is_small_pool = pool.is_small;
+  segments_[raw->addr] = raw;
 
   stats_.reserved_bytes += alloc_size;
   stats_.peak_reserved_bytes =
@@ -109,7 +126,7 @@ CachingAllocatorSim::Block* CachingAllocatorSim::split_block(Block* block,
                                                              BlockPool& pool) {
   assert(!block->allocated);
   assert(block->size > size);
-  auto remainder = std::make_unique<Block>();
+  Block* remainder = acquire_block();
   remainder->addr = block->addr + static_cast<std::uint64_t>(size);
   remainder->size = block->size - size;
   remainder->allocated = false;
@@ -117,15 +134,13 @@ CachingAllocatorSim::Block* CachingAllocatorSim::split_block(Block* block,
   remainder->is_small_pool = block->is_small_pool;
   remainder->prev = block;
   remainder->next = block->next;
-  if (block->next != nullptr) block->next->prev = remainder.get();
-  block->next = remainder.get();
+  if (block->next != nullptr) block->next->prev = remainder;
+  block->next = remainder;
   block->size = size;
 
-  Block* raw = remainder.get();
-  blocks_[raw->addr] = std::move(remainder);
-  pool.free_blocks.insert(raw);
+  pool.free_blocks.insert(remainder);
   ++stats_.num_splits;
-  return raw;
+  return remainder;
 }
 
 AllocOutcome CachingAllocatorSim::allocate(std::int64_t size) {
@@ -148,7 +163,12 @@ AllocOutcome CachingAllocatorSim::allocate(std::int64_t size) {
   block->allocated = true;
   block->requested_size = size;
   block->id = next_id_++;
-  live_[block->id] = block;
+  const auto slot = static_cast<std::size_t>(block->id);
+  if (slot >= live_slots_.size()) {
+    live_slots_.resize(std::max(live_slots_.size() * 2, slot + 1), nullptr);
+  }
+  live_slots_[slot] = block;
+  ++num_live_;
 
   stats_.allocated_bytes += block->size;
   stats_.requested_bytes += size;
@@ -167,7 +187,7 @@ void CachingAllocatorSim::coalesce_with_neighbors(Block* block,
     prev->size += block->size;
     prev->next = block->next;
     if (block->next != nullptr) block->next->prev = prev;
-    blocks_.erase(block->addr);
+    recycle_block(block);
     block = prev;
     ++stats_.num_coalesces;
   }
@@ -176,19 +196,19 @@ void CachingAllocatorSim::coalesce_with_neighbors(Block* block,
     block->size += next->size;
     block->next = next->next;
     if (next->next != nullptr) next->next->prev = block;
-    blocks_.erase(next->addr);
+    recycle_block(next);
     ++stats_.num_coalesces;
   }
   pool.free_blocks.insert(block);
 }
 
 void CachingAllocatorSim::free(BlockId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) {
+  Block* block = live_block(id);
+  if (block == nullptr) {
     throw std::logic_error("CachingAllocatorSim::free: unknown block id");
   }
-  Block* block = it->second;
-  live_.erase(it);
+  live_slots_[static_cast<std::size_t>(id)] = nullptr;
+  --num_live_;
 
   stats_.allocated_bytes -= block->size;
   stats_.requested_bytes -= block->requested_size;
@@ -203,27 +223,49 @@ void CachingAllocatorSim::free(BlockId id) {
 
 std::int64_t CachingAllocatorSim::release_cached_segments() {
   std::int64_t released = 0;
-  // A segment is releasable when its whole extent is one free block.
-  std::vector<Block*> releasable;
-  for (auto& [addr, block] : blocks_) {
-    if (!block->allocated && block->prev == nullptr &&
-        block->next == nullptr) {
-      releasable.push_back(block.get());
+  // A segment is releasable when its whole extent is one free block (the
+  // head with no neighbours), released in address order.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    Block* block = it->second;
+    if (block->allocated || block->next != nullptr) {
+      ++it;
+      continue;
     }
-  }
-  for (Block* block : releasable) {
     BlockPool& pool = block->is_small_pool ? *small_pool_ : *large_pool_;
     pool.free_blocks.erase(block);
     driver_.cuda_free(block->segment_addr);
     stats_.reserved_bytes -= block->size;
     ++stats_.num_segments_released;
     released += block->size;
-    blocks_.erase(block->addr);
+    recycle_block(block);
+    it = segments_.erase(it);
   }
   return released;
 }
 
 void CachingAllocatorSim::empty_cache() { release_cached_segments(); }
+
+void CachingAllocatorSim::backend_reset() {
+  // Release every driver reservation (one per segment head), then move all
+  // Block nodes — live or cached — to the spare pool so the next replay
+  // reuses them instead of hitting the heap. The flat live table keeps its
+  // capacity; only the occupied prefix is cleared.
+  for (auto& [addr, head] : segments_) {
+    driver_.cuda_free(head->segment_addr);
+    for (Block* b = head; b != nullptr;) {
+      Block* next = b->next;
+      spare_blocks_.push_back(b);
+      b = next;
+    }
+  }
+  segments_.clear();
+  std::fill(live_slots_.begin(), live_slots_.end(), nullptr);
+  num_live_ = 0;
+  small_pool_->free_blocks.clear();
+  large_pool_->free_blocks.clear();
+  stats_ = CachingAllocatorStats{};
+  next_id_ = 1;
+}
 
 fw::BackendStats CachingAllocatorSim::backend_stats() const {
   fw::BackendStats s;
@@ -235,28 +277,28 @@ fw::BackendStats CachingAllocatorSim::backend_stats() const {
   s.num_frees = stats_.num_frees;
   s.num_segments =
       stats_.num_segments_allocated - stats_.num_segments_released;
-  s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+  s.num_live_blocks = num_live_;
   return s;
 }
 
 bool CachingAllocatorSim::is_live(BlockId id) const {
-  return live_.count(id) > 0;
+  return live_block(id) != nullptr;
 }
 
 std::int64_t CachingAllocatorSim::block_size(BlockId id) const {
-  auto it = live_.find(id);
-  if (it == live_.end()) {
+  const Block* block = live_block(id);
+  if (block == nullptr) {
     throw std::logic_error("block_size: unknown block id");
   }
-  return it->second->size;
+  return block->size;
 }
 
 std::uint64_t CachingAllocatorSim::block_addr(BlockId id) const {
-  auto it = live_.find(id);
-  if (it == live_.end()) {
+  const Block* block = live_block(id);
+  if (block == nullptr) {
     throw std::logic_error("block_addr: unknown block id");
   }
-  return it->second->addr;
+  return block->addr;
 }
 
 std::string snapshot_to_json(const std::vector<SegmentInfo>& segments,
@@ -287,12 +329,11 @@ std::string snapshot_to_json(const std::vector<SegmentInfo>& segments,
 
 std::vector<SegmentInfo> CachingAllocatorSim::snapshot() const {
   std::vector<SegmentInfo> segments;
-  for (const auto& [addr, block] : blocks_) {
-    if (block->prev != nullptr) continue;  // not a segment head
+  for (const auto& [addr, head] : segments_) {
     SegmentInfo seg;
-    seg.addr = block->segment_addr;
-    seg.is_small_pool = block->is_small_pool;
-    for (const Block* b = block.get(); b != nullptr; b = b->next) {
+    seg.addr = head->segment_addr;
+    seg.is_small_pool = head->is_small_pool;
+    for (const Block* b = head; b != nullptr; b = b->next) {
       seg.blocks.push_back(BlockInfo{b->addr, b->size, b->allocated});
       seg.size += b->size;
     }

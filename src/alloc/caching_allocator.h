@@ -126,12 +126,15 @@ class CachingAllocatorSim final : public fw::AllocatorBackend {
     return round_size(bytes);
   }
   void backend_trim() override { empty_cache(); }
+  void backend_reset() override;
 
   /// Live-block introspection (tests + snapshot dumps).
   bool is_live(BlockId id) const;
   std::int64_t block_size(BlockId id) const;
   std::uint64_t block_addr(BlockId id) const;
-  std::size_t num_live_blocks() const { return live_.size(); }
+  std::size_t num_live_blocks() const {
+    return static_cast<std::size_t>(num_live_);
+  }
 
   /// Full segment map in address order, mirroring
   /// torch.cuda.memory_snapshot().
@@ -147,14 +150,26 @@ class CachingAllocatorSim final : public fw::AllocatorBackend {
   Block* split_block(Block* block, std::int64_t size, BlockPool& pool);
   void coalesce_with_neighbors(Block* block, BlockPool& pool);
   std::int64_t release_cached_segments();
+  Block* acquire_block();
+  void recycle_block(Block* block) { spare_blocks_.push_back(block); }
+  Block* live_block(BlockId id) const;
 
   SimulatedCudaDriver& driver_;
   std::unique_ptr<BlockPool> small_pool_;
   std::unique_ptr<BlockPool> large_pool_;
-  // All blocks, live or cached, keyed by base address (addresses are unique:
-  // segments are disjoint in driver VA space).
-  std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
-  std::map<BlockId, Block*> live_;
+  // Block nodes are owned by a grow-only arena and threaded through the
+  // segments via prev/next; splits and coalesces are pure pointer surgery
+  // plus free-set updates — no per-event tree-node churn. Only the segment
+  // heads live in an ordered map (touched on segment alloc/release, the
+  // rare path), which release/snapshot walk in address order.
+  std::vector<std::unique_ptr<Block>> arena_;
+  std::vector<Block*> spare_blocks_;
+  std::map<std::uint64_t, Block*> segments_;
+  // Block ids are handed out sequentially and never reused within a run
+  // (backend_reset() restarts them), so the live table is a flat vector
+  // indexed by id — O(1) per event, and its capacity survives reset.
+  std::vector<Block*> live_slots_;
+  std::int64_t num_live_ = 0;
   BlockId next_id_ = 1;
   CachingAllocatorStats stats_;
 };

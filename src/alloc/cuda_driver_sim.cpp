@@ -6,11 +6,7 @@
 namespace xmem::alloc {
 
 SimulatedCudaDriver::SimulatedCudaDriver(std::int64_t capacity)
-    : capacity_(capacity),
-      // Real CUDA virtual addresses start far from zero; starting the
-      // simulated VA space at a large, distinctive base makes address-mixups
-      // with CPU traces (which use their own base) easy to spot in dumps.
-      next_addr_(0x7F0000000000ULL) {
+    : capacity_(capacity), next_addr_(kVaBase) {
   if (capacity <= 0) {
     throw std::invalid_argument("SimulatedCudaDriver: capacity must be > 0");
   }
@@ -46,6 +42,12 @@ void SimulatedCudaDriver::cuda_free(std::uint64_t addr) {
   stats_.requested_bytes -= it->second.requested;
   ++stats_.num_frees;
   reservations_.erase(it);
+}
+
+void SimulatedCudaDriver::reset() {
+  reservations_.clear();
+  stats_ = DriverStats{};
+  next_addr_ = kVaBase;
 }
 
 std::optional<std::int64_t> SimulatedCudaDriver::reservation_size(

@@ -30,6 +30,10 @@ class SimulatedCudaDriver {
  public:
   /// Allocation granularity of the simulated driver (large-page size).
   static constexpr std::int64_t kPageSize = 2 * util::kMiB;
+  /// Base of the simulated VA space. Real CUDA virtual addresses start far
+  /// from zero; a large, distinctive base makes address-mixups with CPU
+  /// traces (which use their own base) easy to spot in dumps.
+  static constexpr std::uint64_t kVaBase = 0x7F0000000000ULL;
 
   /// `capacity` is the device memory available to this process (already net
   /// of M_init and M_fm — callers subtract those, see gpu::DeviceModel).
@@ -41,6 +45,13 @@ class SimulatedCudaDriver {
   /// cudaFree: releases a pointer previously returned by cuda_malloc.
   /// Unknown addresses are a programming error and throw.
   void cuda_free(std::uint64_t addr);
+
+  /// Return to the exact post-construction state: drop every reservation,
+  /// zero all counters (peaks included), and restart the VA space, so a
+  /// replay against a reset driver is byte-identical to one against a
+  /// fresh driver. Pairs with fw::AllocatorBackend::backend_reset() when a
+  /// whole tower is reused (ReplayScratch in core/simulator.h).
+  void reset();
 
   std::int64_t capacity() const { return capacity_; }
   std::int64_t free_bytes() const { return capacity_ - stats_.used_bytes; }

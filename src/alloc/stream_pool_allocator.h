@@ -1,0 +1,83 @@
+// Stream-ordered pool allocator — the cudaMallocAsync / cudaMemPool
+// semantics (CTranslate2's CudaAsyncAllocator path in SNIPPETS.md
+// Snippet 2): the driver-side pool grows in large chunks, carves requests
+// out of them best-fit, and after every free trims itself back down to a
+// release threshold (cudaMemPoolAttrReleaseThreshold, default 0 — the CUDA
+// default, which returns every wholly-free chunk at the first
+// synchronization point).
+//
+// The simulation is single-stream like the rest of the tower, so "at the
+// next synchronization" collapses to "immediately after the free"; what the
+// knob controls is how much idle (reserved minus active) memory the pool is
+// allowed to keep holding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "alloc/cuda_driver_sim.h"
+#include "fw/backend.h"
+
+namespace xmem::alloc {
+
+struct StreamPoolConfig {
+  /// Idle bytes (reserved - active) the pool may retain before it starts
+  /// releasing wholly-free chunks. 0 = release eagerly (CUDA's default).
+  std::int64_t release_threshold_bytes = 0;
+  /// Minimum chunk acquired from the driver; larger requests get a chunk
+  /// of exactly their (rounded) size.
+  std::int64_t chunk_bytes = 32 * util::kMiB;
+};
+
+class StreamPoolAllocator final : public fw::AllocatorBackend {
+ public:
+  static constexpr std::int64_t kAlignment = 256;
+
+  /// Throws std::invalid_argument on a malformed config (non-positive
+  /// chunk_bytes, negative release threshold).
+  StreamPoolAllocator(SimulatedCudaDriver& driver,
+                      const StreamPoolConfig& config);
+  ~StreamPoolAllocator();
+  StreamPoolAllocator(const StreamPoolAllocator&) = delete;
+  StreamPoolAllocator& operator=(const StreamPoolAllocator&) = delete;
+
+  // fw::AllocatorBackend.
+  std::string_view backend_name() const override { return "stream-pool"; }
+  fw::BackendAllocResult backend_alloc(std::int64_t bytes) override;
+  void backend_free(std::int64_t id) override;
+  fw::BackendStats backend_stats() const override;
+  std::int64_t backend_round(std::int64_t bytes) const override {
+    return util::round_up(bytes, kAlignment);
+  }
+  void backend_trim() override;
+  void backend_reset() override;
+
+  /// Chunks released by threshold trimming so far (not by trim/reset).
+  std::int64_t num_threshold_releases() const { return num_threshold_releases_; }
+
+ private:
+  struct Block;
+  struct Less {
+    bool operator()(const Block* a, const Block* b) const;
+  };
+
+  Block* grow(std::int64_t rounded);
+  void release_free_chunks(std::int64_t keep_idle_bytes);
+  std::unique_ptr<Block> acquire_block();
+  void recycle_block(std::uint64_t addr);
+
+  SimulatedCudaDriver& driver_;
+  StreamPoolConfig config_;
+  std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
+  std::map<std::int64_t, Block*> live_;
+  std::set<Block*, Less> free_blocks_;
+  std::vector<std::unique_ptr<Block>> spare_blocks_;
+  std::int64_t next_id_ = 1;
+  std::int64_t num_threshold_releases_ = 0;
+  fw::BackendStats stats_;
+};
+
+}  // namespace xmem::alloc

@@ -31,6 +31,20 @@ std::int64_t TfBfcAllocator::round_size(std::int64_t bytes) {
   return util::round_up(bytes, kMinAllocationSize);
 }
 
+std::unique_ptr<TfBfcAllocator::Chunk> TfBfcAllocator::acquire_chunk() {
+  if (spare_chunks_.empty()) return std::make_unique<Chunk>();
+  auto chunk = std::move(spare_chunks_.back());
+  spare_chunks_.pop_back();
+  *chunk = Chunk{};
+  return chunk;
+}
+
+void TfBfcAllocator::recycle_chunk(std::uint64_t addr) {
+  auto it = chunks_.find(addr);
+  spare_chunks_.push_back(std::move(it->second));
+  chunks_.erase(it);
+}
+
 TfBfcAllocator::Chunk* TfBfcAllocator::extend(std::int64_t rounded) {
   // Region growth: at least the request, preferring the doubling schedule.
   std::int64_t region = std::max(next_region_size_,
@@ -48,7 +62,7 @@ TfBfcAllocator::Chunk* TfBfcAllocator::extend(std::int64_t rounded) {
   if (!addr.has_value()) return nullptr;
   next_region_size_ = std::min<std::int64_t>(region * 2,
                                              std::int64_t{1} << 33);
-  auto chunk = std::make_unique<Chunk>();
+  auto chunk = acquire_chunk();
   chunk->addr = *addr;
   chunk->size = driver_.reservation_size(*addr).value_or(region);
   Chunk* raw = chunk.get();
@@ -78,7 +92,7 @@ TfAllocOutcome TfBfcAllocator::allocate(std::int64_t bytes) {
   }
 
   if (chunk->size - rounded >= kMinAllocationSize) {
-    auto remainder = std::make_unique<Chunk>();
+    auto remainder = acquire_chunk();
     remainder->addr = chunk->addr + static_cast<std::uint64_t>(rounded);
     remainder->size = chunk->size - rounded;
     remainder->prev = chunk;
@@ -117,7 +131,7 @@ void TfBfcAllocator::free(std::int64_t id) {
     prev->size += chunk->size;
     prev->next = chunk->next;
     if (chunk->next != nullptr) chunk->next->prev = prev;
-    chunks_.erase(chunk->addr);
+    recycle_chunk(chunk->addr);
     chunk = prev;
   }
   if (Chunk* next = chunk->next; next != nullptr && !next->allocated) {
@@ -125,9 +139,26 @@ void TfBfcAllocator::free(std::int64_t id) {
     chunk->size += next->size;
     chunk->next = next->next;
     if (next->next != nullptr) next->next->prev = chunk;
-    chunks_.erase(next->addr);
+    recycle_chunk(next->addr);
   }
   free_chunks_.insert(chunk);
+}
+
+void TfBfcAllocator::backend_reset() {
+  // Regions are driver reservations whose base is the chunk with no
+  // predecessor; release them, then recycle every Chunk node.
+  for (auto& [addr, chunk] : chunks_) {
+    if (chunk->prev == nullptr) driver_.cuda_free(chunk->addr);
+  }
+  for (auto& [addr, chunk] : chunks_) {
+    spare_chunks_.push_back(std::move(chunk));
+  }
+  chunks_.clear();
+  live_.clear();
+  free_chunks_.clear();
+  next_region_size_ = kInitialRegionSize;
+  next_id_ = 1;
+  stats_ = TfBfcStats{};
 }
 
 }  // namespace xmem::alloc

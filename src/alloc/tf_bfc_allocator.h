@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "alloc/cuda_driver_sim.h"
 #include "fw/backend.h"
@@ -77,6 +78,7 @@ class TfBfcAllocator final : public fw::AllocatorBackend {
   std::int64_t backend_round(std::int64_t bytes) const override {
     return round_size(bytes);
   }
+  void backend_reset() override;
 
  private:
   struct Chunk;
@@ -85,6 +87,8 @@ class TfBfcAllocator final : public fw::AllocatorBackend {
   };
 
   Chunk* extend(std::int64_t rounded);
+  std::unique_ptr<Chunk> acquire_chunk();
+  void recycle_chunk(std::uint64_t addr);
 
   SimulatedCudaDriver& driver_;
   std::int64_t next_region_size_ = kInitialRegionSize;
@@ -92,6 +96,8 @@ class TfBfcAllocator final : public fw::AllocatorBackend {
   std::map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
   std::map<std::int64_t, Chunk*> live_;
   std::set<Chunk*, Less> free_chunks_;
+  // Retired Chunk nodes recycled across backend_reset() replays.
+  std::vector<std::unique_ptr<Chunk>> spare_chunks_;
   TfBfcStats stats_;
 };
 

@@ -24,6 +24,20 @@ bool BasicBfcAllocator::Less::operator()(const Block* a, const Block* b) const {
 BasicBfcAllocator::BasicBfcAllocator() = default;
 BasicBfcAllocator::~BasicBfcAllocator() = default;
 
+std::unique_ptr<BasicBfcAllocator::Block> BasicBfcAllocator::acquire_block() {
+  if (spare_blocks_.empty()) return std::make_unique<Block>();
+  auto block = std::move(spare_blocks_.back());
+  spare_blocks_.pop_back();
+  *block = Block{};
+  return block;
+}
+
+void BasicBfcAllocator::recycle_block(std::uint64_t addr) {
+  auto it = blocks_.find(addr);
+  spare_blocks_.push_back(std::move(it->second));
+  blocks_.erase(it);
+}
+
 std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
   if (bytes <= 0) throw std::invalid_argument("BasicBfcAllocator: bytes <= 0");
   const std::int64_t rounded = util::round_up(bytes, kAlignment);
@@ -38,7 +52,7 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
     free_blocks_.erase(it);
   } else {
     const std::int64_t segment = util::round_up(rounded, kSegmentGranularity);
-    auto owned = std::make_unique<Block>();
+    auto owned = acquire_block();
     owned->addr = next_addr_;
     owned->size = segment;
     next_addr_ += static_cast<std::uint64_t>(segment) + kSegmentGranularity;
@@ -50,7 +64,7 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
   }
 
   if (block->size - rounded >= kAlignment) {
-    auto remainder = std::make_unique<Block>();
+    auto remainder = acquire_block();
     remainder->addr = block->addr + static_cast<std::uint64_t>(rounded);
     remainder->size = block->size - rounded;
     remainder->prev = block;
@@ -88,7 +102,7 @@ void BasicBfcAllocator::free(std::int64_t id) {
     prev->size += block->size;
     prev->next = block->next;
     if (block->next != nullptr) block->next->prev = prev;
-    blocks_.erase(block->addr);
+    recycle_block(block->addr);
     block = prev;
   }
   if (Block* next = block->next; next != nullptr && !next->allocated) {
@@ -96,9 +110,28 @@ void BasicBfcAllocator::free(std::int64_t id) {
     block->size += next->size;
     block->next = next->next;
     if (next->next != nullptr) next->next->prev = block;
-    blocks_.erase(next->addr);
+    recycle_block(next->addr);
   }
   free_blocks_.insert(block);
+}
+
+void BasicBfcAllocator::backend_reset() {
+  // No driver underneath — just recycle every node and restart the arena.
+  for (auto& [addr, block] : blocks_) {
+    spare_blocks_.push_back(std::move(block));
+  }
+  blocks_.clear();
+  live_.clear();
+  free_blocks_.clear();
+  next_addr_ = kArenaBase;
+  next_id_ = 1;
+  reserved_ = 0;
+  peak_reserved_ = 0;
+  allocated_ = 0;
+  peak_allocated_ = 0;
+  num_allocs_ = 0;
+  num_frees_ = 0;
+  num_segments_ = 0;
 }
 
 fw::BackendAllocResult BasicBfcAllocator::backend_alloc(std::int64_t bytes) {

@@ -44,6 +44,7 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
   void backend_free(std::int64_t id) override { free(id); }
   fw::BackendStats backend_stats() const override;
   std::int64_t backend_round(std::int64_t bytes) const override;
+  void backend_reset() override;
 
  private:
   struct Block;
@@ -51,7 +52,12 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
     bool operator()(const Block* a, const Block* b) const;
   };
 
-  std::uint64_t next_addr_ = 0x400000000ULL;
+  std::unique_ptr<Block> acquire_block();
+  void recycle_block(std::uint64_t addr);
+
+  static constexpr std::uint64_t kArenaBase = 0x400000000ULL;
+
+  std::uint64_t next_addr_ = kArenaBase;
   std::int64_t next_id_ = 1;
   std::int64_t reserved_ = 0;
   std::int64_t peak_reserved_ = 0;
@@ -63,6 +69,8 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
   std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
   std::map<std::int64_t, Block*> live_;
   std::set<Block*, Less> free_blocks_;
+  // Retired Block nodes recycled across backend_reset() replays.
+  std::vector<std::unique_ptr<Block>> spare_blocks_;
 };
 
 }  // namespace xmem::baselines

@@ -107,6 +107,60 @@ util::Json devices_to_json(const std::vector<gpu::DeviceModel>& devices) {
   return device_array;
 }
 
+std::map<std::string, alloc::BackendKnobs> allocator_config_from_json(
+    const util::Json& json, const std::string& context) {
+  if (!json.is_object()) {
+    throw std::invalid_argument(context +
+                                ": \"allocator_config\" must be an object "
+                                "mapping backend name -> knob object");
+  }
+  std::map<std::string, alloc::BackendKnobs> config;
+  for (const auto& [name, knobs] : json.as_object()) {
+    config[name] = alloc::parse_backend_knobs(
+        knobs, context + ": allocator_config." + name);
+  }
+  return config;
+}
+
+util::Json allocator_config_to_json(
+    const std::map<std::string, alloc::BackendKnobs>& config) {
+  util::Json json = util::Json::object();
+  for (const auto& [name, knobs] : config) {
+    util::Json knob_object = util::Json::object();
+    for (const auto& [knob, value] : knobs) {
+      knob_object[knob] = util::Json(value);
+    }
+    json[name] = std::move(knob_object);
+  }
+  return json;
+}
+
+/// Fail a request up front when its allocator_config is malformed: unknown
+/// backend names, and — by constructing a throwaway backend — unknown knob
+/// names or out-of-range values, surfacing the backend's own actionable
+/// message instead of a mid-sweep failure.
+void validate_allocator_config(
+    const std::map<std::string, alloc::BackendKnobs>& config,
+    const std::string& context) {
+  for (const auto& [name, knobs] : config) {
+    if (!alloc::is_known_backend(name)) {
+      throw std::invalid_argument(context +
+                                  ": allocator_config names unknown backend '" +
+                                  name + "'");
+    }
+    alloc::SimulatedCudaDriver probe(SimulationOptions::kUnboundedCapacity);
+    alloc::make_backend(name, probe, knobs);
+  }
+}
+
+const alloc::BackendKnobs& knobs_for(
+    const std::map<std::string, alloc::BackendKnobs>& config,
+    const std::string& name) {
+  static const alloc::BackendKnobs empty;
+  const auto it = config.find(name);
+  return it == config.end() ? empty : it->second;
+}
+
 }  // namespace
 
 EstimateRequest EstimateRequest::from_json(const util::Json& json) {
@@ -136,6 +190,10 @@ EstimateRequest EstimateRequest::from_json(const util::Json& json) {
       request.estimators.push_back(entry.as_string());
     }
   }
+  if (json.contains("allocator_config")) {
+    request.allocator_config =
+        allocator_config_from_json(json.at("allocator_config"), "request");
+  }
   request.profile_iterations =
       static_cast<int>(json.get_int_or("profile_iterations", 3));
   request.record_curve = json.contains("curve") && json.at("curve").as_bool();
@@ -156,6 +214,9 @@ util::Json EstimateRequest::to_json() const {
     estimator_array.push_back(util::Json(name));
   }
   json["estimators"] = std::move(estimator_array);
+  if (!allocator_config.empty()) {
+    json["allocator_config"] = allocator_config_to_json(allocator_config);
+  }
   json["profile_iterations"] = util::Json(profile_iterations);
   json["curve"] = util::Json(record_curve);
   return json;
@@ -282,6 +343,10 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
         "plan request: \"activation_replication_pct\" must be 0..100");
   }
   request.allocator = json.get_string_or("allocator", request.allocator);
+  if (json.contains("allocator_config")) {
+    request.allocator_config = allocator_config_from_json(
+        json.at("allocator_config"), "plan request");
+  }
   request.profile_iterations =
       static_cast<int>(json.get_int_or("profile_iterations", 3));
   if (request.profile_iterations < 1) {
@@ -316,6 +381,9 @@ util::Json PlanRequest::to_json() const {
   json["ddp_bucket_count"] = util::Json(ddp_bucket_count);
   json["activation_replication_pct"] = util::Json(activation_replication_pct);
   json["allocator"] = util::Json(allocator);
+  if (!allocator_config.empty()) {
+    json["allocator_config"] = allocator_config_to_json(allocator_config);
+  }
   json["profile_iterations"] = util::Json(profile_iterations);
   json["max_candidates"] =
       util::Json(static_cast<std::int64_t>(max_candidates));
@@ -557,6 +625,14 @@ EstimateEntry EstimationService::run_entry(const EstimateRequest& request,
   result_key += std::to_string(device.m_fm);
   result_key += '|';
   result_key += spec.allocator;
+  const alloc::BackendKnobs& knobs =
+      knobs_for(request.allocator_config, spec.allocator);
+  if (!knobs.empty()) {
+    // Same backend under different knobs is a different question.
+    result_key += '{';
+    result_key += alloc::knobs_fingerprint(knobs);
+    result_key += '}';
+  }
   result_key += request.record_curve ? "|curve" : "";
 
   EstimateEntry cached;
@@ -587,9 +663,16 @@ EstimateEntry EstimationService::run_entry(const EstimateRequest& request,
     MemorySimulator simulator;
     SimulationOptions sim_options;
     sim_options.backend = spec.allocator;
+    sim_options.backend_knobs = knobs;
     sim_options.record_series = request.record_curve;
+    // Worker-thread-lifetime scratch: consecutive entries on this thread
+    // reset the allocator tower instead of rebuilding it (byte-identical
+    // results per the backend_reset() contract, so the report stays
+    // independent of how entries land on threads).
+    thread_local ReplayScratch replay_scratch;
     const SimulationResult simulation = simulator.replay(
-        lookup.artifacts->orchestration.sequence, sim_options);
+        lookup.artifacts->orchestration.sequence, sim_options,
+        &replay_scratch);
     counters.replays_run.fetch_add(1);
 
     entry.estimated_peak = simulation.peak_device;
@@ -641,6 +724,7 @@ EstimateReport EstimationService::sweep(const EstimateRequest& request) {
                                   "'");
     }
   }
+  validate_allocator_config(request.allocator_config, "sweep");
   const std::vector<std::string> estimators =
       request.estimators.empty() ? std::vector<std::string>{"xMem"}
                                  : request.estimators;
@@ -700,6 +784,7 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
     throw std::invalid_argument("plan: unknown allocator '" +
                                 request.allocator + "'");
   }
+  validate_allocator_config(request.allocator_config, "plan");
 
   PlanReport report;
   report.job = request.job;
@@ -714,6 +799,7 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
   baseline.devices = request.devices;
   baseline.allocators = {request.allocator};
   baseline.estimators = {"xMem"};
+  baseline.allocator_config = request.allocator_config;
   baseline.profile_iterations = request.profile_iterations;
   std::vector<EntrySpec> specs;
   for (std::size_t d = 0; d < request.devices.size(); ++d) {
@@ -831,8 +917,16 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
       MemorySimulator simulator;
       SimulationOptions sim_options;
       sim_options.backend = request.allocator;
-      RankScratch scratch;
-      ReplayScratch replay_scratch;
+      sim_options.backend_knobs =
+          knobs_for(request.allocator_config, request.allocator);
+      // Worker-thread-lifetime scratch: every candidate this thread picks
+      // up reuses the transform buffers AND the allocator tower, which is
+      // reset — not rebuilt — between replays. The backend_reset() contract
+      // (fw/backend.h) makes each replay byte-identical to a fresh-tower
+      // replay, so the report stays deterministic regardless of how
+      // candidates land on threads.
+      thread_local RankScratch scratch;
+      thread_local ReplayScratch replay_scratch;
       candidate.replayed_rank_peaks.assign(ranks, 0);
       for (std::size_t r = 0; r < ranks; ++r) {
         const OrchestratedSequence& sequence = transformer.rank_sequence(

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -51,6 +52,11 @@ struct EstimateRequest {
   std::vector<std::string> allocators = {alloc::kDefaultBackendName};
   /// Estimator registry names. Empty = {"xMem"}.
   std::vector<std::string> estimators = {"xMem"};
+  /// Per-backend policy knobs, keyed by registry name (JSON:
+  /// `"allocator_config": {"cub-binned": {"max_bin": 20}}`). Only consulted
+  /// for backends this request sweeps; every entry is validated up front so
+  /// a malformed config fails the sweep with the backend's own message.
+  std::map<std::string, alloc::BackendKnobs> allocator_config;
   int profile_iterations = 3;
   /// Record the reserved-bytes curve per entry (Fig. 6-style).
   bool record_curve = false;
@@ -131,6 +137,9 @@ struct PlanRequest {
   /// Allocator the single-device replay entries — and the refine pass's
   /// per-rank replays — simulate against.
   std::string allocator = alloc::kDefaultBackendName;
+  /// Policy knobs per backend, same schema and validation as
+  /// EstimateRequest::allocator_config.
+  std::map<std::string, alloc::BackendKnobs> allocator_config;
   int profile_iterations = 3;
   /// Keep only the best N candidates in the report (0 = all).
   std::size_t max_candidates = 0;

@@ -9,13 +9,33 @@ SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
                                          const SimulationOptions& options,
                                          ReplayScratch* scratch) const {
   SimulationResult result;
-  alloc::SimulatedCudaDriver driver(options.capacity);
-  const std::unique_ptr<fw::AllocatorBackend> allocator =
-      alloc::make_backend(options.backend, driver);
-  // Transform-layer sequences may carry events only (no materialized
-  // blocks); size the live map from whichever is populated.
   ReplayScratch local;
   ReplayScratch& workspace = scratch != nullptr ? *scratch : local;
+  // Reset-instead-of-rebuild: when the scratch already holds a tower for
+  // this exact (backend, knobs, capacity), reset it back to its
+  // post-construction state — byte-identical to a fresh build per the
+  // backend_reset() contract, but without re-growing segment maps and block
+  // pools. Anything else (first use, different config) builds fresh.
+  std::string tower_key = options.backend;
+  tower_key += '|';
+  tower_key += alloc::knobs_fingerprint(options.backend_knobs);
+  tower_key += '|';
+  tower_key += std::to_string(options.capacity);
+  if (workspace.backend != nullptr && workspace.tower_key == tower_key) {
+    workspace.backend->backend_reset();
+    workspace.driver->reset();
+  } else {
+    workspace.backend.reset();  // must die before the driver it borrows
+    workspace.driver =
+        std::make_unique<alloc::SimulatedCudaDriver>(options.capacity);
+    workspace.backend = alloc::make_backend(options.backend, *workspace.driver,
+                                            options.backend_knobs);
+    workspace.tower_key = std::move(tower_key);
+  }
+  alloc::SimulatedCudaDriver& driver = *workspace.driver;
+  fw::AllocatorBackend* const allocator = workspace.backend.get();
+  // Transform-layer sequences may carry events only (no materialized
+  // blocks); size the live map from whichever is populated.
   std::unordered_map<std::int64_t, std::int64_t>& live = workspace.live;
   live.clear();
   live.reserve(std::max(sequence.blocks.size(), sequence.events.size() / 2));
@@ -54,7 +74,7 @@ SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
                            : result.peak_reserved;
   result.peak_allocated = result.backend_stats.peak_active_bytes;
   if (const auto* caching =
-          dynamic_cast<const alloc::CachingAllocatorSim*>(allocator.get())) {
+          dynamic_cast<const alloc::CachingAllocatorSim*>(allocator)) {
     result.stats = caching->stats();
   }
   return result;

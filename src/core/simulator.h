@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -35,6 +36,9 @@ struct SimulationOptions {
   bool record_series = false;
   /// Registry name of the framework allocator to replay against.
   std::string backend = alloc::kDefaultBackendName;
+  /// Policy knobs for the backend (empty = its documented defaults); see
+  /// alloc/backend_registry.h for the per-backend knob tables.
+  alloc::BackendKnobs backend_knobs;
 
   static constexpr std::int64_t kUnboundedCapacity = std::int64_t{1} << 50;
 };
@@ -56,12 +60,25 @@ struct SimulationResult {
 };
 
 /// Reusable replay state for hot loops that replay many sequences back to
-/// back (the planner's per-rank refine pass): the live block->backend-id map
-/// keeps its bucket array across replays instead of rehashing from empty
-/// every call. Allocator/driver state is never reused — every replay gets a
-/// fresh tower, which is what makes replays order-independent.
+/// back (the planner's per-rank refine pass):
+///
+///   * the live block->backend-id map keeps its bucket array across replays
+///     instead of rehashing from empty every call;
+///   * the driver + backend tower is kept and *reset* between replays
+///     (backend_reset() / SimulatedCudaDriver::reset()) instead of being
+///     rebuilt, so segment maps, block-node pools, and free-set storage
+///     survive. The reset contract (fw/backend.h) makes a reset tower
+///     byte-identical to a fresh one, which keeps replays
+///     order-independent; tests/backend_reset_test.cpp enforces it per
+///     backend.
+///
+/// The tower is only reused when the (backend, knobs, capacity) triple
+/// matches the previous replay — a mismatch rebuilds it transparently.
 struct ReplayScratch {
   std::unordered_map<std::int64_t, std::int64_t> live;
+  std::unique_ptr<alloc::SimulatedCudaDriver> driver;
+  std::unique_ptr<fw::AllocatorBackend> backend;
+  std::string tower_key;  ///< backend|knobs|capacity of the held tower
 };
 
 class MemorySimulator {

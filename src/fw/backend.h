@@ -57,6 +57,15 @@ namespace xmem::fw {
 //     num_allocs - num_frees == num_live_blocks.
 //   * backend_trim() releases whatever cached memory the policy allows
 //     (may be a no-op); it never touches live blocks.
+//   * backend_reset() returns the backend to its exact post-construction
+//     observable state: every handle (live or not) is invalidated, all
+//     device reservations are released, every counter — peaks included —
+//     reads zero, and handle numbering restarts. A replay through a reset
+//     backend must be byte-identical to the same replay through a freshly
+//     constructed one (tests/backend_reset_test.cpp proves it per backend).
+//     What reset() may keep is capacity: node pools, map buckets, and
+//     vector storage survive, which is what makes reset-instead-of-rebuild
+//     the replay hot path (ReplayScratch in core/simulator.h).
 // ---------------------------------------------------------------------------
 
 /// Backend-agnostic counter snapshot (the shared subset every allocator
@@ -102,6 +111,14 @@ class AllocatorBackend {
   /// Release cached memory where the policy allows it (empty_cache() for
   /// the PyTorch model; a no-op for policies that never return memory).
   virtual void backend_trim() {}
+
+  /// Return to the exact post-construction observable state (see the
+  /// contract table above): invalidate every handle, release all device
+  /// reservations, zero every counter including peaks, restart handle
+  /// numbering. Implementations keep their node pools and container
+  /// capacity so the next replay allocates O(1) — this is the
+  /// reset-instead-of-rebuild hot path the planner's refine loop runs on.
+  virtual void backend_reset() = 0;
 };
 
 }  // namespace xmem::fw

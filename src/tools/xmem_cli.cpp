@@ -7,7 +7,9 @@
 //   xmem verify   ... (same flags; also runs the simulated ground truth)
 //   xmem sweep    REQUEST.json [--out FILE] [--no-timings] [--serial]
 //                 (profile-once/estimate-many: one job x devices x
-//                  allocators x estimators, JSON report on stdout)
+//                  allocators x estimators, JSON report on stdout; the
+//                  request's optional "allocator_config" object maps a
+//                  backend name to its integer policy knobs)
 //   xmem plan     REQUEST.json [--out FILE] [--no-timings] [--serial]
 //                 [--refine-top-k N | --no-refine]
 //                 (multi-GPU planner: ranked DPxTPxPP decompositions of a
@@ -60,7 +62,9 @@ int usage() {
                "                [--refine-top-k N | --no-refine]\n"
                "  xmem models\n"
                "  xmem devices\n"
-               "  xmem backends   (allocator models for --allocator)\n"
+               "  xmem backends   (allocator models for --allocator; knobbed\n"
+               "                   backends list their \"allocator_config\"\n"
+               "                   request keys)\n"
                "  xmem estimators (estimation engines for --estimator)\n");
   return 1;
 }
@@ -190,9 +194,13 @@ int list_devices() {
 
 int list_backends() {
   for (const std::string& name : alloc::backend_names()) {
-    std::printf("%-12s %s\n", name.c_str(),
+    std::printf("%-18s %s\n", name.c_str(),
                 alloc::backend_description(name).c_str());
   }
+  std::printf(
+      "\nknobbed backends are tuned per sweep/plan request via\n"
+      "  \"allocator_config\": {\"<backend>\": {\"<knob>\": <integer>}}\n"
+      "(see docs/ALLOCATORS.md for each backend's knob table)\n");
   return 0;
 }
 

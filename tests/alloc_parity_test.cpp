@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "alloc/backend_registry.h"
+#include "alloc/cub_allocator.h"
 #include "alloc/event_stream.h"
+#include "alloc/stream_pool_allocator.h"
 #include "core/simulator.h"
 #include "util/bytes.h"
 
@@ -179,6 +181,161 @@ TEST(AllocatorParity, SimulatorReplayMatchesDirectBackendReplay) {
   }
 }
 
+// ---------- knob sweeps: documented monotonicity per backend ----------
+//
+// Each configurable backend documents how its knobs move the reserved /
+// active peaks (docs/ALLOCATORS.md). These cases pin the *direction* of
+// each knob on a fixed 10k-event stream, so a refactor that silently
+// inverts a policy (e.g. a split cap that starts lowering fragmentation)
+// fails loudly here rather than shifting estimation numbers downstream.
+
+std::vector<StreamEvent> knob_sweep_stream() {
+  EventStreamConfig config;
+  config.seed = 777;
+  config.num_events = 10000;
+  config.num_streams = 2;
+  return generate_event_stream(config);
+}
+
+/// Replay one stream through a registry backend built with explicit knobs.
+ReplayReport replay_with_knobs(const std::string& name,
+                               const BackendKnobs& knobs,
+                               const std::vector<StreamEvent>& events) {
+  SimulatedCudaDriver driver(kUnbounded);
+  const auto backend = make_backend(name, driver, knobs);
+  return replay_with_invariants(*backend, events);
+}
+
+TEST(KnobSweeps, ExpandableSplitCapNeverLowersPeakReserved) {
+  // max_split_size_bytes only ever *forbids* splits that the unlimited
+  // policy would have made, so any finite cap can fragment more — never
+  // less — than cap 0 (unlimited, the upstream default).
+  const auto events = knob_sweep_stream();
+  const ReplayReport unlimited =
+      replay_with_knobs("pytorch-expandable", {}, events);
+  ASSERT_TRUE(unlimited.ok) << unlimited.violation;
+  for (const std::int64_t cap : {64 * kMiB, 16 * kMiB, 4 * kMiB}) {
+    const ReplayReport capped = replay_with_knobs(
+        "pytorch-expandable", {{"max_split_size_bytes", cap}}, events);
+    ASSERT_TRUE(capped.ok) << "cap " << cap << ": " << capped.violation;
+    EXPECT_GE(capped.peak_reserved, unlimited.peak_reserved)
+        << "split cap " << cap << " reserved less than unlimited splitting";
+    // A free block over the cap is handed out whole (splitting it is
+    // forbidden), so the caller is charged more, never less.
+    EXPECT_GE(capped.final_stats.peak_active_bytes,
+              unlimited.final_stats.peak_active_bytes);
+  }
+}
+
+TEST(KnobSweeps, CubCacheBoundTradesDriverTrafficForReservedPeak) {
+  // Caching holds freed blocks reserved, so the reserved peak with a cache
+  // dominates the uncached run — and in exchange saves driver mallocs.
+  const auto events = knob_sweep_stream();
+  std::int64_t uncached_peak = 0;
+  std::int64_t uncached_mallocs = 0;
+  {
+    SimulatedCudaDriver driver(kUnbounded);
+    CubConfig config;
+    config.max_cached_bytes = 0;  // caching disabled entirely
+    CubBinnedAllocator backend(driver, config);
+    const ReplayReport report = replay_with_invariants(backend, events);
+    ASSERT_TRUE(report.ok) << report.violation;
+    // With no cache every allocation is a fresh driver reservation.
+    EXPECT_EQ(backend.num_driver_mallocs(), report.final_stats.num_allocs);
+    EXPECT_EQ(backend.cached_bytes(), 0);
+    uncached_peak = report.peak_reserved;
+    uncached_mallocs = backend.num_driver_mallocs();
+  }
+  {
+    SimulatedCudaDriver driver(kUnbounded);
+    CubBinnedAllocator backend(driver, CubConfig{});  // 256 MiB cache
+    const ReplayReport report = replay_with_invariants(backend, events);
+    ASSERT_TRUE(report.ok) << report.violation;
+    EXPECT_GE(report.peak_reserved, uncached_peak);
+    EXPECT_LT(backend.num_driver_mallocs(), uncached_mallocs)
+        << "a 256 MiB cache must absorb some driver traffic on 10k events";
+    EXPECT_LE(backend.cached_bytes(), CubConfig{}.max_cached_bytes);
+  }
+}
+
+TEST(KnobSweeps, CubFinerBinsChargeNoMoreThanCoarserBins) {
+  // Every power of 4 is a power of 2, so pow-2 bins (growth=2) round every
+  // request to at most what pow-4 bins (growth=4) charge — pointwise on
+  // backend_round and therefore on the active peak of any shared stream.
+  SimulatedCudaDriver driver(kUnbounded);
+  const CubConfig pow2{/*bin_growth=*/2, /*min_bin=*/9, /*max_bin=*/25,
+                       /*max_cached_bytes=*/0};
+  const CubConfig pow4{/*bin_growth=*/4, /*min_bin=*/5, /*max_bin=*/13,
+                       /*max_cached_bytes=*/0};
+  CubBinnedAllocator fine(driver, pow2);
+  CubBinnedAllocator coarse(driver, pow4);
+  std::int64_t previous = 0;
+  for (const std::int64_t bytes :
+       {std::int64_t{1}, std::int64_t{512}, std::int64_t{513},
+        std::int64_t{100000}, 3 * kMiB, 33 * kMiB, 65 * kMiB, 200 * kMiB}) {
+    const std::int64_t rounded = fine.backend_round(bytes);
+    EXPECT_GE(rounded, bytes);
+    EXPECT_GE(rounded, previous) << "rounding must be monotone";
+    EXPECT_LE(rounded, coarse.backend_round(bytes)) << bytes << " bytes";
+    previous = rounded;
+  }
+  const auto events = knob_sweep_stream();
+  SimulatedCudaDriver fine_driver(kUnbounded);
+  SimulatedCudaDriver coarse_driver(kUnbounded);
+  CubBinnedAllocator fine_replay(fine_driver, pow2);
+  CubBinnedAllocator coarse_replay(coarse_driver, pow4);
+  const ReplayReport fine_report = replay_with_invariants(fine_replay, events);
+  const ReplayReport coarse_report =
+      replay_with_invariants(coarse_replay, events);
+  ASSERT_TRUE(fine_report.ok) << fine_report.violation;
+  ASSERT_TRUE(coarse_report.ok) << coarse_report.violation;
+  EXPECT_LE(fine_report.final_stats.peak_active_bytes,
+            coarse_report.final_stats.peak_active_bytes);
+}
+
+TEST(KnobSweeps, StreamPoolReleaseThresholdBoundsRetainedIdleMemory) {
+  // What release_threshold_bytes guarantees (and what it does not): the
+  // peak reserved is NOT monotone in the threshold — eager release forces
+  // re-growth with request-sized chunks that can overshoot what a retained
+  // chunk would have served. The contract is about idle memory held once
+  // the stream drains (every chunk wholly free), about whether threshold
+  // trimming fires at all, and about the driver traffic the cache saves.
+  const auto events = knob_sweep_stream();
+  std::int64_t eager_mallocs = 0;
+  for (const std::int64_t threshold :
+       {std::int64_t{0}, 64 * kMiB, 512 * kMiB, kUnbounded}) {
+    SimulatedCudaDriver driver(kUnbounded);
+    StreamPoolConfig config;
+    config.release_threshold_bytes = threshold;
+    StreamPoolAllocator backend(driver, config);
+    const ReplayReport report = replay_with_invariants(backend, events);
+    ASSERT_TRUE(report.ok)
+        << "threshold " << threshold << ": " << report.violation;
+    // After the drain every chunk is wholly free, so trimming can always
+    // get idle bytes under any finite bound.
+    if (threshold != kUnbounded) {
+      EXPECT_LE(report.final_stats.reserved_bytes, threshold)
+          << "drained pool retained more idle memory than its threshold";
+    }
+    if (threshold == 0) {
+      // CUDA's default: everything goes back at the first opportunity.
+      EXPECT_EQ(report.final_stats.reserved_bytes, 0);
+      EXPECT_GT(backend.num_threshold_releases(), 0)
+          << "10k events with interleaved frees never freed a whole chunk";
+      eager_mallocs = driver.stats().num_mallocs;
+    }
+    if (threshold == kUnbounded) {
+      // Nothing is ever released: reserved only grows, so the final
+      // footprint IS the peak, and an unbounded pool re-serves from cache
+      // instead of going back to the driver.
+      EXPECT_EQ(backend.num_threshold_releases(), 0);
+      EXPECT_EQ(report.final_stats.reserved_bytes, report.peak_reserved);
+      EXPECT_LT(driver.stats().num_mallocs, eager_mallocs)
+          << "retaining chunks must cut driver traffic vs eager release";
+    }
+  }
+}
+
 // ---------- failure debuggability: shrinking to a reproducer ----------
 
 /// A deliberately broken backend: the accounting bug every allocator
@@ -213,6 +370,14 @@ class LeakyCounterBackend final : public fw::AllocatorBackend {
   }
   std::int64_t backend_round(std::int64_t bytes) const override {
     return bytes;
+  }
+  void backend_reset() override {
+    live_.clear();
+    next_id_ = 1;
+    active_ = 0;
+    peak_active_ = 0;
+    num_allocs_ = 0;
+    num_frees_ = 0;
   }
 
  private:

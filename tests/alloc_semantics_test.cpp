@@ -164,8 +164,10 @@ TEST(AllocatorSemantics, DriverPagesExceedSegmentBytes) {
 
 TEST(BackendContract, RegistryExposesBuiltinsAndRejectsUnknown) {
   const auto names = backend_names();
-  EXPECT_EQ(names.size(), 3u);
-  for (const char* expected : {"basic-bfc", "pytorch", "tf-bfc"}) {
+  EXPECT_EQ(names.size(), 6u);
+  for (const char* expected :
+       {"basic-bfc", "cub-binned", "pytorch", "pytorch-expandable",
+        "stream-pool", "tf-bfc"}) {
     EXPECT_TRUE(is_known_backend(expected)) << expected;
     EXPECT_FALSE(backend_description(expected).empty()) << expected;
   }
@@ -174,7 +176,7 @@ TEST(BackendContract, RegistryExposesBuiltinsAndRejectsUnknown) {
   EXPECT_THROW(make_backend("jax", driver), std::invalid_argument);
   EXPECT_THROW(
       register_backend("pytorch", "duplicate",
-                       [](SimulatedCudaDriver& d) {
+                       [](SimulatedCudaDriver& d, const BackendKnobs&) {
                          return make_backend("pytorch", d);
                        }),
       std::invalid_argument);

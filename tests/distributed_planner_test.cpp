@@ -580,6 +580,107 @@ TEST(PlanRefine, RefineCountersAppearInTheReportJson) {
   EXPECT_FALSE(json.at("candidates")[3].at("replayed").as_bool());
 }
 
+TEST(PlanRefine, NewBackendsRefineTheStraddleFixtureDeterministically) {
+  // The CI whatif-2g straddle fixture, replayed through each of the three
+  // policy-variant backends: one profile total, threaded refinement
+  // byte-identical to serial, and the scratch-reuse replay path (second
+  // plan() on the same thread resets the pooled tower instead of
+  // rebuilding it) byte-identical to the rebuild path (first plan() after
+  // the backend switch, which misses the scratch key).
+  std::ifstream in(std::string(XMEM_FIXTURE_DIR) + "/plan_request.json");
+  ASSERT_TRUE(in) << "missing ci/fixtures/plan_request.json";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  core::PlanRequest request =
+      core::PlanRequest::from_json(util::Json::parse(buffer.str()));
+  ASSERT_GT(request.refine_top_k, 0);
+
+  core::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  core::ServiceOptions threaded_options;
+  threaded_options.threads = 4;
+
+  for (const char* backend :
+       {"pytorch-expandable", "cub-binned", "stream-pool"}) {
+    request.allocator = backend;
+    core::EstimationService serial(serial_options);
+    core::EstimationService threaded(threaded_options);
+    const core::PlanReport report = serial.plan(request);
+    EXPECT_EQ(report.profiles_run, 1u) << backend;
+    EXPECT_EQ(report.replayed_candidates,
+              static_cast<std::size_t>(request.refine_top_k))
+        << backend;
+    const std::string stable =
+        report.to_json(/*include_timings=*/false).dump(2);
+    EXPECT_EQ(stable,
+              threaded.plan(request).to_json(/*include_timings=*/false).dump(2))
+        << backend << ": threaded refine diverged from serial";
+    // Scratch reuse vs rebuild: the first plan() built each worker's tower
+    // from scratch, the repeat resets and reuses it (the stage counters
+    // legitimately differ — the repeat hits the profile/result caches —
+    // but every rank replay re-runs, and every candidate byte matches).
+    const core::PlanReport repeat = serial.plan(request);
+    EXPECT_EQ(repeat.rank_replays_run, report.rank_replays_run) << backend;
+    EXPECT_EQ(report.to_json(/*include_timings=*/false).at("candidates").dump(2),
+              repeat.to_json(/*include_timings=*/false).at("candidates").dump(2))
+        << backend << ": scratch-reuse replay diverged from rebuild";
+  }
+}
+
+TEST(PlanRefine, BackendSwitchesStillRunExactlyOneProfile) {
+  // The one-profile-per-job guarantee holds across the whole registry: a
+  // fleet service asked to refine the same job under every new backend
+  // profiles once and replays everything else from the cached profile.
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.refine_top_k = 2;
+  std::size_t profiles = 0;
+  for (const char* backend :
+       {"pytorch-expandable", "cub-binned", "stream-pool"}) {
+    request.allocator = backend;
+    const core::PlanReport report = service.plan(request);
+    profiles += report.profiles_run;
+    EXPECT_EQ(report.replayed_candidates, 2u) << backend;
+  }
+  EXPECT_EQ(profiles, 1u);
+}
+
+TEST(PlanRefine, AllocatorConfigKnobsReachTheReplayTower) {
+  // allocator_config must change what phase 2 replays — CTranslate2's
+  // coarser cub bins price the same ranks differently than the defaults —
+  // and an unknown knob must fail up front, naming itself.
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.refine_top_k = 2;
+  request.allocator = "cub-binned";
+  const core::PlanReport defaults = service.plan(request);
+  request.allocator_config["cub-binned"] = {{"bin_growth", 4},
+                                            {"min_bin", 3},
+                                            {"max_bin", 12},
+                                            {"max_cached_bytes", 200000000}};
+  const core::PlanReport tuned = service.plan(request);
+  // New knobs, same job: the cached profile serves the tuned pass.
+  EXPECT_EQ(defaults.profiles_run, 1u);
+  EXPECT_EQ(tuned.profiles_run, 0u);
+  ASSERT_TRUE(defaults.candidates.front().replayed);
+  ASSERT_TRUE(tuned.candidates.front().replayed);
+  EXPECT_NE(tuned.candidates.front().replayed_per_rank_peak,
+            defaults.candidates.front().replayed_per_rank_peak)
+      << "cub knobs did not reach the replay tower";
+  // Analytic phase 1 is allocator-free: its peaks must not move.
+  EXPECT_EQ(tuned.candidates.front().plan.per_rank_peak,
+            defaults.candidates.front().plan.per_rank_peak);
+
+  request.allocator_config["cub-binned"] = {{"bin_grow", 4}};
+  try {
+    service.plan(request);
+    FAIL() << "unknown knob accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bin_grow"), std::string::npos)
+        << error.what();
+  }
+}
+
 // ---------- DDP bucket knob ----------
 
 TEST(DataParallelPlan, BucketCountIsConfigurableWithTwoAsDefault) {

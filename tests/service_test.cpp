@@ -166,6 +166,60 @@ TEST(EstimateRequestJson, BadFixtureUnknownEstimatorNamesTheEstimator) {
   }
 }
 
+TEST(EstimateRequestJson, BadFixtureBackendConfigFailsWithActionableMessage) {
+  // Malformed backend knobs parse fine (knob semantics are a backend
+  // concern) but the sweep validates them up front by constructing a
+  // throwaway backend, surfacing the backend's own diagnostic.
+  const std::string text = read_fixture("bad_backend_config.json");
+  const core::EstimateRequest request =
+      core::EstimateRequest::from_json(util::Json::parse(text));
+  core::EstimationService service;
+  try {
+    service.sweep(request);
+    FAIL() << "sweep accepted min_bin > max_bin";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("malformed bin config"), std::string::npos) << what;
+    EXPECT_NE(what.find("min_bin"), std::string::npos)
+        << "error must name the offending knob: " << what;
+  }
+}
+
+TEST(EstimationServiceSweep, AllocatorConfigKnobsSeparateResultCacheEntries) {
+  // Two sweeps differing only in allocator_config must not alias in the
+  // result cache: the tuned pass reuses the profile but re-replays, and
+  // its estimates move with the knobs.
+  core::EstimateRequest request = sweep_request();
+  request.allocators = {"cub-binned"};
+  core::EstimationService service;
+  const core::EstimateReport defaults = service.sweep(request);
+  EXPECT_EQ(defaults.profiles_run, 1u);
+
+  request.allocator_config["cub-binned"] = {{"bin_growth", 4},
+                                            {"min_bin", 3},
+                                            {"max_bin", 12},
+                                            {"max_cached_bytes", 200000000}};
+  const core::EstimateReport tuned = service.sweep(request);
+  EXPECT_EQ(tuned.profiles_run, 0u);  // same job: cached profile serves it
+  EXPECT_EQ(tuned.result_cache_hits, 0u)
+      << "knob fingerprint missing from the result-cache key";
+  ASSERT_EQ(tuned.entries.size(), defaults.entries.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < tuned.entries.size(); ++i) {
+    any_differs |= tuned.entries[i].estimated_peak !=
+                   defaults.entries[i].estimated_peak;
+  }
+  EXPECT_TRUE(any_differs) << "cub knobs did not reach the replay tower";
+
+  // The exact tuned request repeated IS a result-cache hit.
+  const core::EstimateReport repeat = service.sweep(request);
+  EXPECT_EQ(repeat.result_cache_hits, repeat.entries.size());
+  // And the knobs survive the JSON round-trip the CLI uses.
+  const core::EstimateRequest parsed =
+      core::EstimateRequest::from_json(request.to_json());
+  EXPECT_EQ(parsed.allocator_config, request.allocator_config);
+}
+
 TEST(EstimationServiceSweep, RejectsUnknownNames) {
   core::EstimationService service;
   core::EstimateRequest request = sweep_request();
