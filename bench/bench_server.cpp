@@ -1,0 +1,163 @@
+// Load generator for the `xmem serve` daemon: sustained requests/sec and
+// p50/p99 latency over a mixed sweep/plan workload.
+//
+// An in-process server (in-process so CI needs no process management, but
+// over the REAL Unix socket + framing path every external client uses)
+// takes a fixed schedule from N client threads: a small set of distinct
+// requests, every duplicate of which must be absorbed by coalescing or the
+// reply cache. The printed counters pin the profile-once economy under
+// load — profiles_run == distinct jobs and executed == distinct keys no
+// matter how many clients ask — and are golden-diffed by
+// ci/build_and_test.sh; the wall-clock numbers (requests/sec, latency
+// percentiles) print with six decimals so the golden normalizer maps them
+// to <runtime>, pinning table structure without pinning timings.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/estimation_service.h"
+#include "gpu/device_model.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace xmem;
+
+core::TrainJob job_for_batch(int batch) {
+  core::TrainJob job;
+  job.model_name = "distilgpt2";
+  job.batch_size = batch;
+  job.optimizer = fw::OptimizerKind::kAdamW;
+  job.seed = 7;
+  return job;
+}
+
+std::string sweep_payload(int batch) {
+  core::EstimateRequest request;
+  request.job = job_for_batch(batch);
+  request.devices = {gpu::device_by_name("rtx3060")};
+  util::Json envelope = util::Json::object();
+  envelope["type"] = util::Json("sweep");
+  envelope["request"] = request.to_json();
+  return envelope.dump();
+}
+
+std::string plan_payload(int batch) {
+  core::PlanRequest request;
+  request.job = job_for_batch(batch);
+  request.devices = {gpu::device_by_name("rtx3060")};
+  request.max_gpus = 2;
+  request.refine_top_k = 0;
+  util::Json envelope = util::Json::object();
+  envelope["type"] = util::Json("plan");
+  envelope["request"] = request.to_json();
+  return envelope.dump();
+}
+
+double percentile_ms(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) / 100.0 + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = benchutil::has_flag(argc, argv, "--fast");
+  const int clients = fast ? 6 : 8;
+  const int requests_per_client = fast ? 40 : 250;
+
+  server::ServerConfig config;
+  config.socket_path =
+      "/tmp/xmem_bench_server_" + std::to_string(::getpid()) + ".sock";
+  config.workers = 4;
+  config.max_queue = 512;
+  server::Server daemon(config);
+  daemon.start();
+
+  // 4 sweeps + 2 plans on disjoint jobs: 6 distinct request keys, every
+  // other arrival is a duplicate the server must absorb without work.
+  std::vector<std::string> payloads;
+  for (int batch = 1; batch <= 4; ++batch) {
+    payloads.push_back(sweep_payload(batch));
+  }
+  for (int batch = 5; batch <= 6; ++batch) {
+    payloads.push_back(plan_payload(batch));
+  }
+
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(clients));
+  std::vector<int> ok_replies(static_cast<std::size_t>(clients), 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      server::Client client(config.socket_path, /*timeout_ms=*/120000);
+      auto& mine = latencies_ms[static_cast<std::size_t>(t)];
+      mine.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const std::string& payload =
+            payloads[static_cast<std::size_t>(t * 3 + i) % payloads.size()];
+        const auto start = std::chrono::steady_clock::now();
+        std::string reply;
+        if (!client.send_frame(payload) ||
+            client.read_reply(reply) != server::FrameStatus::kOk) {
+          continue;  // dropped reply: shows up as ok_replies < total
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+        if (reply.find("\"ok\":true") != std::string::npos) {
+          ++ok_replies[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all_ms;
+  int total_ok = 0;
+  for (int t = 0; t < clients; ++t) {
+    const auto& mine = latencies_ms[static_cast<std::size_t>(t)];
+    all_ms.insert(all_ms.end(), mine.begin(), mine.end());
+    total_ok += ok_replies[static_cast<std::size_t>(t)];
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+
+  const server::ServerStats stats = daemon.stats();
+  daemon.stop();
+
+  const int total = clients * requests_per_client;
+  std::printf("xmem serve load generator (unix socket, mixed sweep/plan)\n\n");
+  std::printf("clients %d x requests %d = %d requests\n", clients,
+              requests_per_client, total);
+  std::printf("distinct request keys: %zu\n", payloads.size());
+  std::printf("ok replies: %d  errors: %d\n", total_ok, total - total_ok);
+  std::printf("profiles_run: %llu  executed: %llu  coalesced: %llu\n",
+              static_cast<unsigned long long>(stats.profiles_run),
+              static_cast<unsigned long long>(stats.executed),
+              static_cast<unsigned long long>(stats.coalesced_total()));
+  std::printf("busy_rejections: %llu  protocol_errors: %llu\n",
+              static_cast<unsigned long long>(stats.busy_rejections),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("sustained requests/sec: %.6f\n",
+              static_cast<double>(total) / wall_seconds);
+  std::printf("latency ms: p50 %.6f  p99 %.6f  max %.6f\n",
+              percentile_ms(all_ms, 50.0), percentile_ms(all_ms, 99.0),
+              all_ms.empty() ? 0.0 : all_ms.back());
+  return 0;
+}

@@ -31,6 +31,14 @@
 # feeds every ci/fixtures/bad_*.json through `xmem sweep` — except the
 # plan-shaped bad_refine.json, which goes through `xmem plan` — and
 # requires a nonzero exit.
+#
+# The serve smoke (bottom of the file) boots the `xmem serve` daemon and
+# proves the process boundary is invisible: `xmem request` replies diff
+# byte-identical against the same offline goldens, twin requests coalesce,
+# the bad_frame.bin raw fixture is rejected without killing the daemon, and
+# both shutdown paths (SIGTERM, `xmem request --shutdown`) drain cleanly.
+# bench_server (in the golden loop above) pins the load-generator counters;
+# its requests/sec and latency numbers are normalized to <runtime>.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -65,7 +73,7 @@ for bench in table03_mcp table04_runtime \
              fig01_zero_grad_placement fig03_sequence_impact \
              fig06_simulator_validation fig07_mre_distributions \
              fig08_quadrant fig09_large_models fig_distributed_planner \
-             ablation_orchestrator; do
+             ablation_orchestrator bench_server; do
   golden="${GOLDEN_DIR}/${bench}.txt"
   actual="$(mktemp)"
   "${BUILD_DIR}/bench/${bench}" --fast | normalize > "${actual}"
@@ -157,5 +165,114 @@ for bad in "${FIXTURE_DIR}"/bad_*.json; do
     echo "negative smoke ok: $(basename "${bad}")"
   fi
 done
+
+# --- xmem serve smoke ------------------------------------------------------
+# The same request fixtures, through the daemon: start `xmem serve`, drive
+# sweep_request.json via `xmem request`, and require the reply to be
+# byte-identical to the offline golden (the server is a process boundary,
+# not a different estimator). Then: two concurrent identical requests must
+# show up as a nonzero coalesced count in `stats`, the bad_frame.bin raw
+# fixture (oversized length prefix) must exit nonzero while the daemon
+# survives it, and SIGTERM must drain gracefully (exit 0, socket unlinked).
+# The plan fixture goes through a SECOND fresh daemon because its golden
+# pins cold-cache stage counters and the two fixtures share a job.
+
+XMEM="${BUILD_DIR}/src/xmem_cli"
+SERVE_SOCK="$(mktemp -u /tmp/xmem_ci_serve_XXXXXX.sock)"
+
+wait_for_socket() {
+  for _ in $(seq 100); do
+    [[ -S "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "SERVE SMOKE: daemon never bound $1" >&2
+  return 1
+}
+
+"${XMEM}" serve --socket "${SERVE_SOCK}" &
+SERVE_PID=$!
+wait_for_socket "${SERVE_SOCK}"
+
+serve_actual="$(mktemp)"
+"${XMEM}" request --socket "${SERVE_SOCK}" \
+  --sweep "${FIXTURE_DIR}/sweep_request.json" --out "${serve_actual}"
+if ! diff -u "${sweep_golden}" "${serve_actual}" > /dev/null; then
+  echo "SERVE SMOKE MISMATCH: server sweep reply != offline golden" >&2
+  diff -u "${sweep_golden}" "${serve_actual}" >&2 || true
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: sweep reply byte-identical to offline golden"
+fi
+rm -f "${serve_actual}"
+
+# Two concurrent identical requests: one executes, the twin coalesces
+# (in-flight collapse or reply-cache hit — either increments `coalesced`).
+"${XMEM}" request --socket "${SERVE_SOCK}" \
+  --sweep "${FIXTURE_DIR}/sweep_request.json" > /dev/null &
+FIRST_PID=$!
+"${XMEM}" request --socket "${SERVE_SOCK}" \
+  --sweep "${FIXTURE_DIR}/sweep_request.json" > /dev/null &
+SECOND_PID=$!
+wait "${FIRST_PID}" "${SECOND_PID}"
+stats_out="$(mktemp)"
+"${XMEM}" request --socket "${SERVE_SOCK}" --stats > "${stats_out}"
+if ! grep -qE '"coalesced": [1-9]' "${stats_out}"; then
+  echo "SERVE SMOKE: expected nonzero coalesced count after twin requests" >&2
+  cat "${stats_out}" >&2
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: concurrent identical requests coalesced"
+fi
+rm -f "${stats_out}"
+
+# Negative: a raw byte blob with an oversized length prefix must exit
+# nonzero — and the daemon must still answer afterwards.
+if "${XMEM}" request --socket "${SERVE_SOCK}" \
+     --raw "${FIXTURE_DIR}/bad_frame.bin" > /dev/null 2>&1; then
+  echo "SERVE SMOKE: xmem request accepted bad_frame.bin" >&2
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: bad_frame.bin rejected"
+fi
+if ! "${XMEM}" request --socket "${SERVE_SOCK}" --ping > /dev/null; then
+  echo "SERVE SMOKE: daemon died after bad_frame.bin" >&2
+  GOLDEN_FAILED=1
+fi
+
+# Kill-and-verify: SIGTERM drains gracefully — exit 0, socket unlinked.
+kill -TERM "${SERVE_PID}"
+if ! wait "${SERVE_PID}"; then
+  echo "SERVE SMOKE: daemon exited nonzero on SIGTERM" >&2
+  GOLDEN_FAILED=1
+elif [[ -S "${SERVE_SOCK}" ]]; then
+  echo "SERVE SMOKE: daemon left its socket file behind" >&2
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: graceful SIGTERM shutdown"
+fi
+
+# Fresh daemon for the plan fixture (cold-cache counters), stopped via the
+# shutdown request instead of a signal so both stop paths stay covered.
+"${XMEM}" serve --socket "${SERVE_SOCK}" &
+SERVE_PID=$!
+wait_for_socket "${SERVE_SOCK}"
+serve_plan_actual="$(mktemp)"
+"${XMEM}" request --socket "${SERVE_SOCK}" \
+  --plan "${FIXTURE_DIR}/plan_request.json" --out "${serve_plan_actual}"
+if ! diff -u "${plan_golden}" "${serve_plan_actual}" > /dev/null; then
+  echo "SERVE SMOKE MISMATCH: server plan reply != offline golden" >&2
+  diff -u "${plan_golden}" "${serve_plan_actual}" >&2 || true
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: plan reply byte-identical to offline golden"
+fi
+rm -f "${serve_plan_actual}"
+"${XMEM}" request --socket "${SERVE_SOCK}" --shutdown > /dev/null
+if ! wait "${SERVE_PID}"; then
+  echo "SERVE SMOKE: daemon exited nonzero on shutdown request" >&2
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: shutdown request drained the daemon"
+fi
 
 exit "${GOLDEN_FAILED}"

@@ -197,6 +197,7 @@ EstimateRequest EstimateRequest::from_json(const util::Json& json) {
   request.profile_iterations =
       static_cast<int>(json.get_int_or("profile_iterations", 3));
   request.record_curve = json.contains("curve") && json.at("curve").as_bool();
+  request.tenant = json.get_string_or("tenant", "");
   return request;
 }
 
@@ -219,6 +220,7 @@ util::Json EstimateRequest::to_json() const {
   }
   json["profile_iterations"] = util::Json(profile_iterations);
   json["curve"] = util::Json(record_curve);
+  if (!tenant.empty()) json["tenant"] = util::Json(tenant);
   return json;
 }
 
@@ -365,6 +367,7 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
     throw std::invalid_argument(
         "plan request: \"refine_top_k\" must be >= 0");
   }
+  request.tenant = json.get_string_or("tenant", "");
   return request;
 }
 
@@ -388,6 +391,7 @@ util::Json PlanRequest::to_json() const {
   json["max_candidates"] =
       util::Json(static_cast<std::int64_t>(max_candidates));
   json["refine_top_k"] = util::Json(refine_top_k);
+  if (!tenant.empty()) json["tenant"] = util::Json(tenant);
   return json;
 }
 
@@ -513,7 +517,8 @@ EstimationService::EstimationService(ServiceOptions options)
       session_(options.session
                    ? options.session
                    : std::make_shared<ProfileSession>(
-                         options.profile_cache_capacity)),
+                         options.profile_cache_capacity,
+                         options.session_quota)),
       impl_(std::make_unique<Impl>()) {
   const std::size_t threads = options_.threads == 0
                                   ? util::ThreadPool::default_threads()
@@ -652,7 +657,8 @@ EstimateEntry EstimationService::run_entry(const EstimateRequest& request,
   if (spec.session_backed) {
     const ProfileSession::Lookup lookup = session_->get(
         profile_key_for(request.job, estimator_orchestrates(spec.estimator),
-                        request.profile_iterations));
+                        request.profile_iterations),
+        request.tenant);
     if (lookup.cache_hit) {
       counters.profile_cache_hits.fetch_add(1);
     } else {
@@ -801,6 +807,7 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
   baseline.estimators = {"xMem"};
   baseline.allocator_config = request.allocator_config;
   baseline.profile_iterations = request.profile_iterations;
+  baseline.tenant = request.tenant;
   std::vector<EntrySpec> specs;
   for (std::size_t d = 0; d < request.devices.size(); ++d) {
     specs.push_back(EntrySpec{"xMem", d, request.allocator, true});
@@ -814,9 +821,10 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
   // The per-layer attribution the whole candidate grid shares: by now the
   // profile is resident (or in the degenerate all-results-cached case this
   // lookup is the one that runs it), so the search costs ONE profile total.
-  const ProfileSession::Lookup lookup = session_->get(profile_key_for(
-      request.job, estimator_orchestrates("xMem"),
-      request.profile_iterations));
+  const ProfileSession::Lookup lookup = session_->get(
+      profile_key_for(request.job, estimator_orchestrates("xMem"),
+                      request.profile_iterations),
+      request.tenant);
   if (lookup.cache_hit) {
     counters.profile_cache_hits.fetch_add(1);
   } else {

@@ -60,6 +60,11 @@ struct EstimateRequest {
   int profile_iterations = 3;
   /// Record the reserved-bytes curve per entry (Fig. 6-style).
   bool record_curve = false;
+  /// Tenant this request's profile-cache footprint is attributed to (JSON
+  /// `"tenant"`; empty = untenanted, exempt from session quotas). The
+  /// `xmem serve` daemon enforces per-tenant LRU quotas on it
+  /// (docs/SERVER.md).
+  std::string tenant;
 
   /// Parse a request document; device entries may be alias strings
   /// ("rtx3060") or full custom objects with capacity/m_init/m_fm bytes.
@@ -148,6 +153,8 @@ struct PlanRequest {
   /// replay), yielding fragmentation-aware peaks and refined verdicts.
   /// 0 = analytic-only (the phase-1 ranking stands unrefined).
   int refine_top_k = 0;
+  /// Same semantics as EstimateRequest::tenant.
+  std::string tenant;
 
   /// Parse a plan document; throws std::invalid_argument /
   /// util::JsonParseError on bad input.
@@ -216,6 +223,9 @@ struct ServiceOptions {
   /// reports either way, which the service test asserts.
   std::size_t threads = 0;
   std::size_t profile_cache_capacity = ProfileSession::kDefaultCapacity;
+  /// Per-tenant bound on the profile LRU (only used when this service owns
+  /// its session — a shared `session` arrives with its own quota).
+  SessionQuota session_quota;
   std::size_t result_cache_capacity = 256;
   /// Orchestrator configuration for the "xMem" engine ("xMem-noOrch"
   /// always runs with every rule off).

@@ -64,15 +64,41 @@ ProfileArtifacts run_profile_pipeline(const ProfileKey& key) {
   return artifacts;
 }
 
-ProfileSession::ProfileSession(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ProfileSession::ProfileSession(std::size_t capacity, SessionQuota quota)
+    : capacity_(capacity == 0 ? 1 : capacity), quota_(quota) {}
 
 std::size_t ProfileSession::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
 }
 
-ProfileSession::Lookup ProfileSession::get(const ProfileKey& key) {
+std::size_t ProfileSession::tenant_resident(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenant_counts_.find(tenant);
+  return it == tenant_counts_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::size_t> ProfileSession::resident_by_tenant() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenant_counts_;
+}
+
+void ProfileSession::erase_entry_locked(
+    std::map<std::string, Entry>::iterator it) {
+  const auto count_it = tenant_counts_.find(it->second.tenant);
+  if (count_it != tenant_counts_.end()) {
+    if (count_it->second <= 1) {
+      tenant_counts_.erase(count_it);
+    } else {
+      --count_it->second;
+    }
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+ProfileSession::Lookup ProfileSession::get(const ProfileKey& key,
+                                           const std::string& tenant) {
   const std::string cache_key = key.cache_string();
   std::shared_future<ArtifactsPtr> future;
   std::promise<ArtifactsPtr> promise;
@@ -85,16 +111,39 @@ ProfileSession::Lookup ProfileSession::get(const ProfileKey& key) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       future = it->second.future;
     } else {
+      // Quota gate before the insert: the quota path only ever touches the
+      // requesting tenant's own entries, so tenant A saturating its share
+      // can never evict tenant B this way. The untenanted "" is exempt.
+      const bool quota_applies = quota_.max_resident_per_tenant > 0 &&
+                                 !tenant.empty();
+      const auto tenant_count_it = tenant_counts_.find(tenant);
+      if (quota_applies && tenant_count_it != tenant_counts_.end() &&
+          tenant_count_it->second >= quota_.max_resident_per_tenant) {
+        if (quota_.reject_over_quota) {
+          quota_rejections_.fetch_add(1);
+          throw QuotaExceededError(tenant, quota_.max_resident_per_tenant);
+        }
+        // Soft mode: make room with the tenant's own least-recently-used
+        // entry (scan the global LRU from the cold end).
+        for (auto victim = lru_.rbegin(); victim != lru_.rend(); ++victim) {
+          auto victim_it = entries_.find(*victim);
+          if (victim_it != entries_.end() &&
+              victim_it->second.tenant == tenant) {
+            erase_entry_locked(victim_it);
+            quota_evictions_.fetch_add(1);
+            break;
+          }
+        }
+      }
       miss = true;
       future = promise.get_future().share();
       lru_.push_front(cache_key);
-      entries_.emplace(cache_key, Entry{future, lru_.begin()});
+      entries_.emplace(cache_key, Entry{future, lru_.begin(), tenant});
+      ++tenant_counts_[tenant];
       // Evict least-recently-used entries beyond capacity. Waiters holding
       // their shared_future copies are unaffected by eviction.
       while (entries_.size() > capacity_) {
-        const std::string& victim = lru_.back();
-        entries_.erase(victim);
-        lru_.pop_back();
+        erase_entry_locked(entries_.find(lru_.back()));
       }
     }
   }
@@ -117,10 +166,7 @@ ProfileSession::Lookup ProfileSession::get(const ProfileKey& key) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = entries_.find(cache_key);
-      if (it != entries_.end()) {
-        lru_.erase(it->second.lru_it);
-        entries_.erase(it);
-      }
+      if (it != entries_.end()) erase_entry_locked(it);
     }
     throw;
   }

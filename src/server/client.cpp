@@ -1,0 +1,125 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace xmem::server {
+
+Client::Client(const std::string& socket_path, int timeout_ms) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(address.sun_path)) {
+    throw TransportError("client: bad socket path: '" + socket_path + "'");
+  }
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw TransportError(std::string("client: socket() failed: ") +
+                         std::strerror(errno));
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("client: cannot connect to " + socket_path + ": " +
+                         reason);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Json Client::call(const util::Json& envelope) {
+  if (!write_frame(fd_, envelope.dump())) {
+    throw TransportError("client: send failed: " +
+                         std::string(std::strerror(errno)));
+  }
+  std::string payload;
+  const FrameStatus status = read_frame(fd_, payload, max_frame_bytes_);
+  if (status != FrameStatus::kOk) {
+    throw TransportError(std::string("client: no reply (") +
+                         to_string(status) + ")");
+  }
+  return util::Json::parse(payload);
+}
+
+util::Json Client::request_envelope(const std::string& type,
+                                    const util::Json* request,
+                                    const std::string& tenant) {
+  util::Json envelope = util::Json::object();
+  envelope["type"] = util::Json(type);
+  envelope["id"] = util::Json(static_cast<std::int64_t>(next_id_++));
+  if (!tenant.empty()) envelope["tenant"] = util::Json(tenant);
+  if (request != nullptr) envelope["request"] = *request;
+  return envelope;
+}
+
+util::Json Client::call_checked(const util::Json& envelope) {
+  util::Json reply = call(envelope);
+  if (!reply.is_object() || !reply.contains("ok")) {
+    throw TransportError("client: malformed reply envelope: " + reply.dump());
+  }
+  if (!reply.at("ok").as_bool()) {
+    std::string code = "internal_error";
+    std::string message = "(no error document)";
+    if (reply.contains("error") && reply.at("error").is_object()) {
+      code = reply.at("error").get_string_or("code", code);
+      message = reply.at("error").get_string_or("message", message);
+    }
+    throw RequestError(code, message);
+  }
+  return reply;
+}
+
+util::Json Client::sweep(const util::Json& request, const std::string& tenant) {
+  return call_checked(request_envelope("sweep", &request, tenant))
+      .at("report");
+}
+
+util::Json Client::plan(const util::Json& request, const std::string& tenant) {
+  return call_checked(request_envelope("plan", &request, tenant)).at("report");
+}
+
+util::Json Client::stats() {
+  return call_checked(request_envelope("stats", nullptr, std::string()))
+      .at("stats");
+}
+
+void Client::ping() {
+  call_checked(request_envelope("ping", nullptr, std::string()));
+}
+
+void Client::shutdown_server() {
+  call_checked(request_envelope("shutdown", nullptr, std::string()));
+}
+
+bool Client::send_bytes(const std::string& bytes) {
+  return write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool Client::send_frame(std::string_view payload) {
+  return write_frame(fd_, payload);
+}
+
+void Client::half_close() { ::shutdown(fd_, SHUT_WR); }
+
+FrameStatus Client::read_reply(std::string& payload) {
+  return read_frame(fd_, payload, max_frame_bytes_);
+}
+
+}  // namespace xmem::server

@@ -1,0 +1,96 @@
+// Client side of the `xmem serve` wire protocol (server/protocol.h).
+//
+// Two layers:
+//   * typed calls — sweep()/plan()/stats()/ping()/shutdown_server() frame an
+//     envelope, send it, and unwrap the reply; an `ok: false` reply raises a
+//     RequestError carrying the server's stable error code and message.
+//   * raw access — send_bytes()/half_close()/read_reply() for tests that
+//     must put arbitrary (malformed) bytes on the wire and observe exactly
+//     how the server answers. The fuzz suite lives on this layer.
+//
+// A Client owns one connected socket; it is NOT thread-safe (one client per
+// thread — they are cheap). Receive and send timeouts default to 30 s so a
+// wedged server fails a test instead of hanging it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/json.h"
+
+namespace xmem::server {
+
+/// Socket-level failure: connect refused, timeout, server closed mid-frame.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The server answered with an `ok: false` envelope.
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(std::string code, const std::string& message)
+      : std::runtime_error(code + ": " + message), code_(std::move(code)) {}
+  /// Stable error code (protocol.h kErr* constants).
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class Client {
+ public:
+  /// Connect to the daemon's Unix-domain socket. Throws TransportError if
+  /// the connect fails. `timeout_ms` bounds every send and receive.
+  explicit Client(const std::string& socket_path, int timeout_ms = 30000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send `envelope` as one frame and return the parsed reply envelope
+  /// (ok or error alike). Throws TransportError on socket/frame failure.
+  util::Json call(const util::Json& envelope);
+
+  /// Typed helpers: build the envelope, call(), unwrap. An `ok: false`
+  /// reply raises RequestError{code, message}; the ok replies return the
+  /// `report` / `stats` payload.
+  util::Json sweep(const util::Json& request,
+                   const std::string& tenant = std::string());
+  util::Json plan(const util::Json& request,
+                  const std::string& tenant = std::string());
+  util::Json stats();
+  void ping();
+  /// Ask the daemon to drain and exit. Returns once the server acknowledged.
+  void shutdown_server();
+
+  // --- raw layer (protocol tests / fuzzing) ---------------------------------
+
+  /// Put arbitrary bytes on the wire, unframed. False on transport error.
+  bool send_bytes(const std::string& bytes);
+  /// Send a correctly framed payload. False on transport error.
+  bool send_frame(std::string_view payload);
+  /// Half-close the write side (SHUT_WR): tells the server "no more input"
+  /// while leaving the read side open for its remaining replies.
+  void half_close();
+  /// Read one reply frame; kClosed on server close. kError covers receive
+  /// timeouts (EAGAIN) as well as hard socket errors.
+  FrameStatus read_reply(std::string& payload);
+
+  int fd() const { return fd_; }
+
+ private:
+  util::Json request_envelope(const std::string& type,
+                              const util::Json* request,
+                              const std::string& tenant);
+  /// call() + raise RequestError on ok:false; returns the ok envelope.
+  util::Json call_checked(const util::Json& envelope);
+
+  int fd_ = -1;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace xmem::server

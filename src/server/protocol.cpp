@@ -1,0 +1,130 @@
+#include "server/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace xmem::server {
+
+namespace {
+
+/// Read exactly `size` bytes. Returns the byte count actually read: `size`
+/// on success, less on EOF, and -1 on transport error.
+std::ptrdiff_t read_exact(int fd, void* data, std::size_t size) {
+  auto* out = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n == 0) break;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return static_cast<std::ptrdiff_t>(done);
+}
+
+}  // namespace
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(std::string_view payload) {
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((size >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(size & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const auto* in = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_frame_bytes,
+                       std::uint64_t* announced_bytes) {
+  payload.clear();
+  unsigned char header[kFrameHeaderBytes];
+  const std::ptrdiff_t header_read = read_exact(fd, header, sizeof(header));
+  if (header_read < 0) return FrameStatus::kError;
+  if (header_read == 0) return FrameStatus::kClosed;
+  if (header_read < static_cast<std::ptrdiff_t>(sizeof(header))) {
+    return FrameStatus::kTruncated;
+  }
+
+  const std::uint64_t size = (std::uint64_t{header[0]} << 24) |
+                             (std::uint64_t{header[1]} << 16) |
+                             (std::uint64_t{header[2]} << 8) |
+                             std::uint64_t{header[3]};
+  if (announced_bytes != nullptr) *announced_bytes = size;
+  if (size > max_frame_bytes) return FrameStatus::kOversized;
+
+  payload.resize(static_cast<std::size_t>(size));
+  if (size == 0) return FrameStatus::kOk;
+  const std::ptrdiff_t body_read = read_exact(fd, payload.data(),
+                                              payload.size());
+  if (body_read < 0) {
+    payload.clear();
+    return FrameStatus::kError;
+  }
+  if (body_read < static_cast<std::ptrdiff_t>(size)) {
+    payload.clear();
+    return FrameStatus::kTruncated;
+  }
+  return FrameStatus::kOk;
+}
+
+util::Json make_ok_envelope(const util::Json* id, const std::string& type) {
+  util::Json envelope = util::Json::object();
+  if (id != nullptr) envelope["id"] = *id;
+  envelope["ok"] = util::Json(true);
+  envelope["type"] = util::Json(type);
+  return envelope;
+}
+
+util::Json make_error_envelope(const util::Json* id, const std::string& code,
+                               const std::string& message) {
+  util::Json envelope = util::Json::object();
+  if (id != nullptr) envelope["id"] = *id;
+  envelope["ok"] = util::Json(false);
+  util::Json error = util::Json::object();
+  error["code"] = util::Json(code);
+  error["message"] = util::Json(message);
+  envelope["error"] = std::move(error);
+  return envelope;
+}
+
+}  // namespace xmem::server

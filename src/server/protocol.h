@@ -1,0 +1,86 @@
+// Wire protocol for `xmem serve`: length-prefixed JSON frames over a local
+// stream socket (docs/SERVER.md).
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON. The payload is an *envelope* object:
+//
+//   request:  {"type": "sweep"|"plan"|"stats"|"ping"|"shutdown",
+//              "id": <any JSON, echoed back>, "tenant": "name",
+//              "request": {...sweep/plan document...}}
+//   reply:    {"id": ..., "ok": true,  "type": ..., "report"/"stats": {...}}
+//   error:    {"id": ..., "ok": false, "error": {"code": "...",
+//                                                "message": "..."}}
+//
+// The framing layer is deliberately dumb: it never inspects the payload, it
+// bounds the length prefix (an oversized prefix is an attack or a bug, not
+// a request), and it reports EOF precisely enough for the server to tell a
+// clean close (between frames) from a truncated one (mid-frame). Every
+// malformed input maps to an actionable error frame or a clean close —
+// never a crash or a hang — which tests/server_protocol_test.cpp fuzzes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace xmem::server {
+
+/// Length-prefix width. The prefix is big-endian (network order).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default ceiling on a single frame's payload (requests and reports are
+/// a few KiB; 16 MiB leaves room for curve-laden reports).
+inline constexpr std::size_t kDefaultMaxFrameBytes =
+    std::size_t{16} * 1024 * 1024;
+
+/// Outcome of reading one frame from a blocking socket.
+enum class FrameStatus {
+  kOk,         ///< payload filled
+  kClosed,     ///< clean EOF on a frame boundary
+  kTruncated,  ///< EOF mid-header or mid-payload
+  kOversized,  ///< length prefix exceeds the configured maximum
+  kError,      ///< transport error (errno-level, including timeouts)
+};
+
+const char* to_string(FrameStatus status);
+
+/// Serialize `payload` as header + bytes.
+std::string encode_frame(std::string_view payload);
+
+/// Write the whole buffer, retrying short writes and EINTR. False on error.
+bool write_all(int fd, const void* data, std::size_t size);
+
+/// Frame `payload` and write it. False on transport error.
+bool write_frame(int fd, std::string_view payload);
+
+/// Blocking read of one frame into `payload` (cleared first). On
+/// kOversized, `payload` is left empty and the oversized length is stored
+/// in `announced_bytes` if non-null; the connection is no longer framed
+/// and must be closed after an error frame.
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                       std::uint64_t* announced_bytes = nullptr);
+
+// --- envelope helpers -------------------------------------------------------
+
+/// Error codes a reply envelope can carry. Stable strings: clients branch
+/// on them (docs/SERVER.md documents the full table).
+inline constexpr const char* kErrParse = "parse_error";
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnsupportedType = "unsupported_type";
+inline constexpr const char* kErrBusy = "server_busy";
+inline constexpr const char* kErrQuota = "quota_exceeded";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrFrameTooLarge = "frame_too_large";
+inline constexpr const char* kErrInternal = "internal_error";
+
+/// Reply skeletons. `id` may be null (no echo — e.g. the request never
+/// parsed far enough to have one).
+util::Json make_ok_envelope(const util::Json* id, const std::string& type);
+util::Json make_error_envelope(const util::Json* id, const std::string& code,
+                               const std::string& message);
+
+}  // namespace xmem::server

@@ -16,6 +16,18 @@
 //                  GPU budget; the top-K candidates are re-simulated per
 //                  rank through the allocator tower; one CPU profile for
 //                  the whole two-phase search)
+//   xmem serve    --socket PATH [--workers N] [--queue N]
+//                 [--service-threads N] [--profile-cache N]
+//                 [--tenant-quota N] [--reject-over-quota] [--max-frame N]
+//                 (long-running estimation daemon on a Unix socket;
+//                  length-prefixed JSON frames, request coalescing,
+//                  per-tenant quotas, graceful SIGTERM/SIGINT shutdown —
+//                  docs/SERVER.md)
+//   xmem request  --socket PATH (--sweep FILE | --plan FILE | --stats |
+//                 --ping | --shutdown | --raw FILE)
+//                 [--tenant NAME] [--out FILE] [--timeout MS]
+//                 (one request against a running daemon; sweep/plan print
+//                  the same report JSON as the offline subcommands)
 //   xmem models
 //   xmem devices
 //   xmem backends
@@ -25,6 +37,9 @@
 // OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
 // `sweep`/`plan`: 0 on success (per-device verdicts live in the report),
 // 1 on usage/config error (including malformed request JSON).
+// `request`: 0 on an ok reply, 2 when the server answered with an error
+// frame (code + message on stderr), 1 on usage/transport error.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +54,8 @@
 #include "gpu/ground_truth.h"
 #include "models/workload.h"
 #include "models/zoo.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/bytes.h"
 #include "util/json.h"
 
@@ -60,6 +77,13 @@ int usage() {
                "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
                "                [--refine-top-k N | --no-refine]\n"
+               "  xmem serve    --socket PATH [--workers N] [--queue N]\n"
+               "                [--service-threads N] [--profile-cache N]\n"
+               "                [--tenant-quota N] [--reject-over-quota]\n"
+               "                [--max-frame BYTES]\n"
+               "  xmem request  --socket PATH (--sweep FILE | --plan FILE |\n"
+               "                --stats | --ping | --shutdown | --raw FILE)\n"
+               "                [--tenant NAME] [--out FILE] [--timeout MS]\n"
                "  xmem models\n"
                "  xmem devices\n"
                "  xmem backends   (allocator models for --allocator; knobbed\n"
@@ -87,6 +111,24 @@ struct Cli {
   bool no_refine = false;
   int refine_top_k = -1;  ///< -1: keep the request document's value
   int iterations = 3;
+
+  // serve / request
+  std::string socket_path;
+  std::string tenant;
+  std::string sweep_file;
+  std::string plan_file;
+  std::string raw_file;
+  bool stats = false;
+  bool ping = false;
+  bool shutdown = false;
+  int timeout_ms = 30000;
+  std::size_t workers = 4;
+  std::size_t queue = 64;
+  std::size_t service_threads = 1;
+  std::size_t profile_cache = core::ProfileSession::kDefaultCapacity;
+  std::size_t tenant_quota = 0;
+  bool reject_over_quota = false;
+  std::size_t max_frame = server::kDefaultMaxFrameBytes;
 };
 
 bool parse_args(int argc, char** argv, Cli& cli) {
@@ -145,6 +187,62 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.serial = true;
     } else if (arg == "--no-refine") {
       cli.no_refine = true;
+    } else if (arg == "--socket") {
+      const char* v = next("--socket");
+      if (v == nullptr) return false;
+      cli.socket_path = v;
+    } else if (arg == "--tenant") {
+      const char* v = next("--tenant");
+      if (v == nullptr) return false;
+      cli.tenant = v;
+    } else if (arg == "--sweep") {
+      const char* v = next("--sweep");
+      if (v == nullptr) return false;
+      cli.sweep_file = v;
+    } else if (arg == "--plan") {
+      const char* v = next("--plan");
+      if (v == nullptr) return false;
+      cli.plan_file = v;
+    } else if (arg == "--raw") {
+      const char* v = next("--raw");
+      if (v == nullptr) return false;
+      cli.raw_file = v;
+    } else if (arg == "--stats") {
+      cli.stats = true;
+    } else if (arg == "--ping") {
+      cli.ping = true;
+    } else if (arg == "--shutdown") {
+      cli.shutdown = true;
+    } else if (arg == "--timeout") {
+      const char* v = next("--timeout");
+      if (v == nullptr) return false;
+      cli.timeout_ms = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next("--workers");
+      if (v == nullptr) return false;
+      cli.workers = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--queue") {
+      const char* v = next("--queue");
+      if (v == nullptr) return false;
+      cli.queue = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--service-threads") {
+      const char* v = next("--service-threads");
+      if (v == nullptr) return false;
+      cli.service_threads = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--profile-cache") {
+      const char* v = next("--profile-cache");
+      if (v == nullptr) return false;
+      cli.profile_cache = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--tenant-quota") {
+      const char* v = next("--tenant-quota");
+      if (v == nullptr) return false;
+      cli.tenant_quota = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--reject-over-quota") {
+      cli.reject_over_quota = true;
+    } else if (arg == "--max-frame") {
+      const char* v = next("--max-frame");
+      if (v == nullptr) return false;
+      cli.max_frame = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--refine-top-k") {
       const char* v = next("--refine-top-k");
       if (v == nullptr) return false;
@@ -372,6 +470,163 @@ util::Json respond_plan(const Cli& cli, const util::Json& document) {
   return service.plan(request).to_json(/*include_timings=*/!cli.no_timings);
 }
 
+// --- serve ------------------------------------------------------------------
+
+server::Server* g_server = nullptr;  ///< signal handler target
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // async-signal-safe
+}
+
+int run_serve(const Cli& cli) {
+  if (cli.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    return 1;
+  }
+  server::ServerConfig config;
+  config.socket_path = cli.socket_path;
+  config.workers = cli.workers;
+  config.max_queue = cli.queue;
+  config.service_threads = cli.service_threads;
+  config.profile_cache_capacity = cli.profile_cache;
+  config.session_quota.max_resident_per_tenant = cli.tenant_quota;
+  config.session_quota.reject_over_quota = cli.reject_over_quota;
+  config.max_frame_bytes = cli.max_frame;
+
+  server::Server daemon(config);
+  daemon.start();
+  g_server = &daemon;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  std::printf("xmem serve: listening on %s\n", cli.socket_path.c_str());
+  std::fflush(stdout);
+
+  daemon.run();  // blocks on the stop latch, then drains and stops
+  g_server = nullptr;
+  std::printf("xmem serve: drained and stopped\n");
+  return 0;
+}
+
+// --- request ----------------------------------------------------------------
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int emit_result(const Cli& cli, const std::string& rendered) {
+  if (cli.out_file.empty()) {
+    std::printf("%s\n", rendered.c_str());
+  } else {
+    std::ofstream out(cli.out_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write: %s\n", cli.out_file.c_str());
+      return 1;
+    }
+    out << rendered << "\n";
+  }
+  return 0;
+}
+
+/// Put a file's bytes on the wire verbatim (no framing), half-close, and
+/// report what came back. Exit 0 only if some reply parsed as ok:true —
+/// the CI negative fixture (bad_frame.bin) must exit nonzero while the
+/// server survives.
+int run_raw_request(const Cli& cli) {
+  std::string bytes;
+  if (!read_file(cli.raw_file, bytes)) {
+    std::fprintf(stderr, "cannot open raw file: %s\n", cli.raw_file.c_str());
+    return 1;
+  }
+  server::Client client(cli.socket_path, cli.timeout_ms);
+  if (!client.send_bytes(bytes)) {
+    std::fprintf(stderr, "raw send failed\n");
+    return 1;
+  }
+  client.half_close();
+  bool saw_ok = false;
+  std::string payload;
+  while (true) {
+    const server::FrameStatus status = client.read_reply(payload);
+    if (status != server::FrameStatus::kOk) {
+      std::fprintf(stderr, "connection ended: %s\n",
+                   server::to_string(status));
+      break;
+    }
+    std::printf("%s\n", payload.c_str());
+    try {
+      const util::Json reply = util::Json::parse(payload);
+      if (reply.is_object() && reply.contains("ok") &&
+          reply.at("ok").as_bool()) {
+        saw_ok = true;
+      }
+    } catch (const std::exception&) {
+      // Not JSON: still not an ok reply.
+    }
+  }
+  return saw_ok ? 0 : 2;
+}
+
+int run_request(const Cli& cli) {
+  if (cli.socket_path.empty()) {
+    std::fprintf(stderr, "request requires --socket PATH\n");
+    return 1;
+  }
+  const int kinds = (cli.sweep_file.empty() ? 0 : 1) +
+                    (cli.plan_file.empty() ? 0 : 1) +
+                    (cli.raw_file.empty() ? 0 : 1) + (cli.stats ? 1 : 0) +
+                    (cli.ping ? 1 : 0) + (cli.shutdown ? 1 : 0);
+  if (kinds != 1) {
+    std::fprintf(stderr,
+                 "request needs exactly one of --sweep/--plan/--stats/"
+                 "--ping/--shutdown/--raw\n");
+    return 1;
+  }
+  if (!cli.raw_file.empty()) return run_raw_request(cli);
+
+  try {
+    server::Client client(cli.socket_path, cli.timeout_ms);
+    if (cli.ping) {
+      client.ping();
+      std::printf("pong\n");
+      return 0;
+    }
+    if (cli.shutdown) {
+      client.shutdown_server();
+      std::printf("shutdown acknowledged (server draining)\n");
+      return 0;
+    }
+    if (cli.stats) {
+      return emit_result(cli, client.stats().dump(2));
+    }
+    const bool is_plan = !cli.plan_file.empty();
+    const std::string& path = is_plan ? cli.plan_file : cli.sweep_file;
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "cannot open request file: %s\n", path.c_str());
+      return 1;
+    }
+    const util::Json request = util::Json::parse(text);
+    // Same rendering as the offline sweep/plan subcommands with
+    // --no-timings (the server always strips timings), so both paths diff
+    // against the same golden reports.
+    const util::Json report = is_plan ? client.plan(request, cli.tenant)
+                                      : client.sweep(request, cli.tenant);
+    return emit_result(cli, report.dump(2));
+  } catch (const server::RequestError& error) {
+    std::fprintf(stderr, "server error: %s\n", error.what());
+    return 2;
+  } catch (const server::TransportError& error) {
+    std::fprintf(stderr, "transport error: %s\n", error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -386,6 +641,8 @@ int main(int argc, char** argv) {
     if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
     if (cli.command == "sweep") return run_request_command(cli, respond_sweep);
     if (cli.command == "plan") return run_request_command(cli, respond_plan);
+    if (cli.command == "serve") return run_serve(cli);
+    if (cli.command == "request") return run_request(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

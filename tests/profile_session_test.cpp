@@ -7,7 +7,11 @@
 //     profile and all observe the same artifacts;
 //   * distinct keys do not dedup against each other;
 //   * cache keys distinguish every field that changes the orchestrated
-//     sequence.
+//     sequence;
+//   * per-tenant quotas (SessionQuota): a tenant saturating its share
+//     self-evicts its own entries (soft) or is rejected with an actionable
+//     QuotaExceededError (hard) — and can never evict another tenant's
+//     entries through the quota path.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -166,6 +170,94 @@ TEST(ProfileSessionLru, HitsServeTheIdenticalArtifacts) {
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(first.artifacts.get(), second.artifacts.get());
+}
+
+TEST(ProfileSessionQuota, SoftQuotaEvictsTheTenantsOwnEntriesOnly) {
+  core::SessionQuota quota;
+  quota.max_resident_per_tenant = 2;
+  core::ProfileSession session(/*capacity=*/8, quota);
+
+  session.get(key_for_batch(1), "alice");
+  session.get(key_for_batch(2), "alice");
+  session.get(key_for_batch(3), "bob");
+  EXPECT_EQ(session.tenant_resident("alice"), 2u);
+  EXPECT_EQ(session.tenant_resident("bob"), 1u);
+
+  // Alice is at her limit: her next cold key evicts HER least-recently-used
+  // entry (batch 1), never Bob's — even though the global LRU has room.
+  session.get(key_for_batch(4), "alice");
+  EXPECT_EQ(session.tenant_resident("alice"), 2u);
+  EXPECT_EQ(session.tenant_resident("bob"), 1u);
+  EXPECT_EQ(session.quota_evictions(), 1u);
+  EXPECT_EQ(session.size(), 3u);
+
+  // Bob's entry survived Alice's saturation: re-asking is a hit.
+  const std::uint64_t hits_before = session.hits();
+  EXPECT_TRUE(session.get(key_for_batch(3), "bob").cache_hit);
+  EXPECT_EQ(session.hits(), hits_before + 1);
+
+  // Alice's evicted key is cold again; her resident keys are hits.
+  EXPECT_TRUE(session.get(key_for_batch(2), "alice").cache_hit);
+  EXPECT_FALSE(session.get(key_for_batch(1), "alice").cache_hit);
+}
+
+TEST(ProfileSessionQuota, HardQuotaRejectsNamingTenantAndLimit) {
+  core::SessionQuota quota;
+  quota.max_resident_per_tenant = 1;
+  quota.reject_over_quota = true;
+  core::ProfileSession session(/*capacity=*/8, quota);
+
+  session.get(key_for_batch(1), "alice");
+  try {
+    session.get(key_for_batch(2), "alice");
+    FAIL() << "expected QuotaExceededError";
+  } catch (const core::QuotaExceededError& error) {
+    EXPECT_EQ(error.tenant(), "alice");
+    EXPECT_EQ(error.limit(), 1u);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("alice"), std::string::npos) << message;
+    EXPECT_NE(message.find('1'), std::string::npos) << message;
+  }
+  EXPECT_EQ(session.quota_rejections(), 1u);
+
+  // The rejection left no residue: Alice's resident entry still serves
+  // hits, and another tenant profiles the rejected key unimpeded.
+  EXPECT_TRUE(session.get(key_for_batch(1), "alice").cache_hit);
+  EXPECT_FALSE(session.get(key_for_batch(2), "bob").cache_hit);
+  EXPECT_EQ(session.tenant_resident("alice"), 1u);
+  EXPECT_EQ(session.tenant_resident("bob"), 1u);
+}
+
+TEST(ProfileSessionQuota, HitsOnAnotherTenantsEntryAreFreeAtTheLimit) {
+  core::SessionQuota quota;
+  quota.max_resident_per_tenant = 1;
+  quota.reject_over_quota = true;
+  core::ProfileSession session(/*capacity=*/8, quota);
+
+  session.get(key_for_batch(1), "alice");
+  session.get(key_for_batch(2), "bob");  // bob now at his limit
+  // A hit costs no residency, so bob reading alice's entry must not throw.
+  EXPECT_TRUE(session.get(key_for_batch(1), "bob").cache_hit);
+  EXPECT_EQ(session.quota_rejections(), 0u);
+  EXPECT_EQ(session.tenant_resident("bob"), 1u);
+}
+
+TEST(ProfileSessionQuota, UntenantedRequestsAreExempt) {
+  core::SessionQuota quota;
+  quota.max_resident_per_tenant = 1;
+  quota.reject_over_quota = true;
+  core::ProfileSession session(/*capacity=*/8, quota);
+
+  // No tenant name: the quota never applies, hard mode or not.
+  session.get(key_for_batch(1));
+  session.get(key_for_batch(2));
+  session.get(key_for_batch(3));
+  EXPECT_EQ(session.quota_rejections(), 0u);
+  EXPECT_EQ(session.quota_evictions(), 0u);
+  EXPECT_EQ(session.size(), 3u);
+  const auto by_tenant = session.resident_by_tenant();
+  ASSERT_EQ(by_tenant.size(), 1u);
+  EXPECT_EQ(by_tenant.at(""), 3u);
 }
 
 }  // namespace

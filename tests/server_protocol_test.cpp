@@ -1,0 +1,389 @@
+// Protocol-fuzz suite for the `xmem serve` wire layer (server/protocol.h).
+//
+// The daemon's framing contract: for ANY byte stream a client puts on the
+// wire, the server either answers an actionable error frame or closes the
+// connection cleanly — it never crashes, never hangs, and never wedges the
+// listener for other clients. The suite pins that three ways:
+//
+//   * targeted malformations — truncated headers and payloads, oversized
+//     length prefixes, garbage JSON, non-object envelopes, unknown types,
+//     unknown fields, zero-length frames — each with its exact expected
+//     error code (protocol.h kErr* constants) or close behavior;
+//   * a seeded random frame mutator (util::Rng, the alloc_parity_test
+//     recipe): 10,000 mutations of a small corpus — bit flips, truncations,
+//     header corruption, garbage injection, frame duplication — against ONE
+//     server; every connection must resolve (reply frames or clean close)
+//     before a receive timeout, and the server must still answer a clean
+//     ping afterwards;
+//   * the shrinker pattern from alloc_parity_test: when a mutated byte
+//     string misbehaves, shrink_failing_bytes() reduces it to a minimal
+//     reproducer before reporting, so a fuzz failure arrives debuggable.
+//
+// Requests in the corpus are cheap by construction (control-plane types and
+// a fast-failing sweep), so the 10k campaign exercises admission + framing,
+// not the estimation pipeline.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace xmem {
+namespace {
+
+std::string socket_path_for(const std::string& name) {
+  return "/tmp/xmem_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+server::ServerConfig protocol_config(const std::string& name) {
+  server::ServerConfig config;
+  config.socket_path = socket_path_for(name);
+  config.workers = 2;
+  // Small enough that the oversized path is cheap to trip, large enough
+  // for every legitimate frame in this suite.
+  config.max_frame_bytes = 1 << 20;
+  return config;
+}
+
+/// Drain one connection: read frames until the server closes. Returns the
+/// terminal status (kClosed for a clean close) and appends every payload
+/// received on the way.
+server::FrameStatus drain_replies(server::Client& client,
+                                  std::vector<std::string>* replies = nullptr) {
+  std::string payload;
+  while (true) {
+    const server::FrameStatus status = client.read_reply(payload);
+    if (status != server::FrameStatus::kOk) return status;
+    if (replies != nullptr) replies->push_back(payload);
+  }
+}
+
+/// True when the error envelope carries `code` (and parses at all).
+bool has_error_code(const std::string& payload, const std::string& code) {
+  try {
+    const util::Json reply = util::Json::parse(payload);
+    return reply.is_object() && reply.contains("error") &&
+           reply.at("error").get_string_or("code", "") == code;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// --- shrinker (the alloc_parity_test pattern, on raw bytes) -----------------
+
+/// Greedy chunk-removal shrinker: while any removal of a chunk (halving
+/// sizes down to one byte) still fails the predicate, keep the smaller
+/// string. Returns the minimal failing byte string, or "" if `bytes`
+/// does not fail to begin with.
+std::string shrink_failing_bytes(
+    std::string bytes, const std::function<bool(const std::string&)>& fails) {
+  if (!fails(bytes)) return std::string();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t chunk = bytes.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= bytes.size();) {
+        std::string candidate = bytes.substr(0, start) +
+                                bytes.substr(start + chunk);
+        if (fails(candidate)) {
+          bytes = std::move(candidate);
+          progress = true;
+          // Retry the same offset: the next chunk slid into place.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return bytes;
+}
+
+std::string hex_dump(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+    out.push_back(' ');
+  }
+  return out;
+}
+
+// --- targeted malformations -------------------------------------------------
+
+TEST(ServerProtocol, TruncatedHeaderClosesCleanly) {
+  server::Server daemon(protocol_config("trunc_header"));
+  daemon.start();
+  {
+    server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+    ASSERT_TRUE(client.send_bytes(std::string("\x00\x00", 2)));
+    client.half_close();
+    EXPECT_EQ(drain_replies(client), server::FrameStatus::kClosed);
+  }
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  // The listener survived: a fresh client gets real service.
+  server::Client after(daemon.config().socket_path, /*timeout_ms=*/15000);
+  EXPECT_NO_THROW(after.ping());
+  daemon.stop();
+}
+
+TEST(ServerProtocol, TruncatedPayloadClosesCleanly) {
+  server::Server daemon(protocol_config("trunc_payload"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  // Announce 100 bytes, deliver 3, hang up. The server must treat the EOF
+  // as a truncation and close — not wait forever for the missing 97.
+  const std::string frame = server::encode_frame(std::string(100, 'x'));
+  ASSERT_TRUE(client.send_bytes(frame.substr(0, 4 + 3)));
+  client.half_close();
+  EXPECT_EQ(drain_replies(client), server::FrameStatus::kClosed);
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  daemon.stop();
+}
+
+TEST(ServerProtocol, OversizedLengthPrefixGetsErrorFrameThenClose) {
+  server::Server daemon(protocol_config("oversized"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  // 0xFFFFFFFF announced bytes: answer, do not allocate, do not wait.
+  ASSERT_TRUE(client.send_bytes(std::string("\xFF\xFF\xFF\xFF", 4)));
+  std::vector<std::string> replies;
+  EXPECT_EQ(drain_replies(client, &replies), server::FrameStatus::kClosed);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(has_error_code(replies[0], server::kErrFrameTooLarge))
+      << replies[0];
+  // The message names both the announced size and the limit.
+  EXPECT_NE(replies[0].find("4294967295"), std::string::npos) << replies[0];
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  daemon.stop();
+}
+
+TEST(ServerProtocol, GarbageJsonGetsParseErrorAndConnectionSurvives) {
+  server::Server daemon(protocol_config("garbage"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.send_frame("{\"type\": \"sweep\", oops"));
+  std::string reply;
+  ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+  EXPECT_TRUE(has_error_code(reply, server::kErrParse)) << reply;
+  // Framing is intact after a payload-level error: the SAME connection
+  // still serves a valid request.
+  EXPECT_NO_THROW(client.ping());
+  EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+  daemon.stop();
+}
+
+TEST(ServerProtocol, NonObjectEnvelopeRejected) {
+  server::Server daemon(protocol_config("nonobject"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  for (const char* payload : {"[1, 2, 3]", "42", "\"hello\"", "null"}) {
+    ASSERT_TRUE(client.send_frame(payload));
+    std::string reply;
+    ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+    EXPECT_TRUE(has_error_code(reply, server::kErrBadRequest)) << reply;
+  }
+  daemon.stop();
+}
+
+TEST(ServerProtocol, ZeroLengthFrameIsParseError) {
+  server::Server daemon(protocol_config("zerolen"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.send_frame(""));
+  std::string reply;
+  ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+  EXPECT_TRUE(has_error_code(reply, server::kErrParse)) << reply;
+  daemon.stop();
+}
+
+TEST(ServerProtocol, UnknownTypeNamesTheExpectedTypes) {
+  server::Server daemon(protocol_config("unknown_type"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.send_frame("{\"type\": \"teleport\", \"id\": 9}"));
+  std::string reply;
+  ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+  EXPECT_TRUE(has_error_code(reply, server::kErrUnsupportedType)) << reply;
+  const util::Json parsed = util::Json::parse(reply);
+  // The id echoes back and the message lists what WOULD have worked.
+  EXPECT_EQ(parsed.at("id").as_int(), 9);
+  EXPECT_NE(reply.find("teleport"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("sweep|plan|stats|ping|shutdown"), std::string::npos)
+      << reply;
+  daemon.stop();
+}
+
+TEST(ServerProtocol, UnknownEnvelopeFieldsAreIgnored) {
+  server::Server daemon(protocol_config("unknown_fields"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.send_frame(
+      "{\"type\": \"ping\", \"id\": 1, \"x-trace\": \"abc\", "
+      "\"priority\": 99}"));
+  std::string reply;
+  ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+  const util::Json parsed = util::Json::parse(reply);
+  EXPECT_TRUE(parsed.at("ok").as_bool()) << reply;
+  daemon.stop();
+}
+
+TEST(ServerProtocol, MissingRequestDocumentIsActionable) {
+  server::Server daemon(protocol_config("no_request"));
+  daemon.start();
+  server::Client client(daemon.config().socket_path, /*timeout_ms=*/15000);
+  ASSERT_TRUE(client.send_frame("{\"type\": \"sweep\", \"id\": 2}"));
+  std::string reply;
+  ASSERT_EQ(client.read_reply(reply), server::FrameStatus::kOk);
+  EXPECT_TRUE(has_error_code(reply, server::kErrBadRequest)) << reply;
+  EXPECT_NE(reply.find("request"), std::string::npos) << reply;
+  daemon.stop();
+}
+
+// --- seeded frame mutator ---------------------------------------------------
+
+/// Small corpus the mutator starts from. Everything here is cheap for the
+/// server to answer: control-plane types, malformed documents, and one
+/// sweep whose job fails validation long before any profiling.
+std::vector<std::string> fuzz_corpus() {
+  return {
+      "{\"type\": \"ping\", \"id\": 1}",
+      "{\"type\": \"stats\", \"id\": 2}",
+      "{\"type\": \"sweep\", \"id\": 3, \"tenant\": \"fuzz\", \"request\": "
+      "{\"job\": {\"model\": \"no-such-model\"}, \"devices\": [\"rtx3060\"]}}",
+      "{\"type\": \"sweep\", \"id\": 4}",
+      "{\"type\": \"warp\", \"id\": 5}",
+      "{\"type\": \"sweep\", oops",
+      "[]",
+      "",
+  };
+}
+
+/// One mutation of a correctly framed corpus payload: returns the raw
+/// bytes to put on the wire.
+std::string mutate_frame(util::Rng& rng, const std::string& payload) {
+  std::string bytes = server::encode_frame(payload);
+  switch (rng.next_below(5)) {
+    case 0: {  // flip 1..8 random bytes anywhere (header or payload)
+      const std::uint64_t flips = 1 + rng.next_below(8);
+      for (std::uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.next_below(bytes.size()));
+        bytes[pos] = static_cast<char>(
+            static_cast<unsigned char>(bytes[pos]) ^
+            static_cast<unsigned char>(1 + rng.next_below(255)));
+      }
+      break;
+    }
+    case 1:  // truncate mid-header or mid-payload
+      bytes.resize(static_cast<std::size_t>(rng.next_below(bytes.size())));
+      break;
+    case 2: {  // replace the header with four random bytes
+      for (std::size_t i = 0; i < server::kFrameHeaderBytes; ++i) {
+        bytes[i] = static_cast<char>(rng.next_below(256));
+      }
+      break;
+    }
+    case 3: {  // pure garbage, no framing at all
+      const std::uint64_t size = rng.next_below(64);
+      bytes.clear();
+      for (std::uint64_t i = 0; i < size; ++i) {
+        bytes.push_back(static_cast<char>(rng.next_below(256)));
+      }
+      break;
+    }
+    default: {  // two frames back to back, one byte corrupted
+      bytes += bytes;
+      const auto pos = static_cast<std::size_t>(rng.next_below(bytes.size()));
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^ 0x20);
+      break;
+    }
+  }
+  return bytes;
+}
+
+/// Fire `bytes` at the server on a fresh connection and require the
+/// connection to RESOLVE: any number of reply frames followed by a clean
+/// close. Returns true on misbehavior (receive timeout / transport error —
+/// i.e. the server hung or died mid-frame).
+bool server_misbehaves(const std::string& socket_path,
+                       const std::string& bytes) {
+  try {
+    server::Client client(socket_path, /*timeout_ms=*/15000);
+    client.send_bytes(bytes);  // a send error just means an early close
+    client.half_close();
+    return drain_replies(client) == server::FrameStatus::kError;
+  } catch (const server::TransportError&) {
+    return true;  // connect refused: the listener is gone
+  }
+}
+
+TEST(ServerProtocolFuzz, TenThousandMutatedFramesNoCrashNoHang) {
+  server::Server daemon(protocol_config("fuzz"));
+  daemon.start();
+  const std::vector<std::string> corpus = fuzz_corpus();
+
+  constexpr int kIterations = 10000;
+  util::Rng rng(0xF0221);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string& base =
+        corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+    const std::string bytes = mutate_frame(rng, base);
+    if (server_misbehaves(daemon.config().socket_path, bytes)) {
+      // Debuggability: shrink before reporting, the parity-suite way.
+      const std::string reproducer = shrink_failing_bytes(
+          bytes, [&](const std::string& candidate) {
+            return server_misbehaves(daemon.config().socket_path, candidate);
+          });
+      FAIL() << "iteration " << i << ": server hung or died on "
+             << bytes.size() << " bytes; shrunk reproducer ("
+             << reproducer.size() << " bytes): " << hex_dump(reproducer);
+    }
+  }
+
+  // The server took the whole campaign and still answers like new.
+  server::Client survivor(daemon.config().socket_path, /*timeout_ms=*/15000);
+  EXPECT_NO_THROW(survivor.ping());
+  const server::ServerStats stats = daemon.stats();
+  EXPECT_GE(stats.connections_accepted,
+            static_cast<std::uint64_t>(kIterations));
+  EXPECT_GT(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.active_connections, 1u);  // only the survivor remains
+  daemon.stop();
+}
+
+// --- shrinker self-test (mirrors AllocatorParity.ShrinksFailingStream) ------
+
+TEST(ServerProtocolFuzz, ShrinkerReducesToMinimalReproducer) {
+  util::Rng rng(99);
+  std::string bytes;
+  for (int i = 0; i < 512; ++i) {
+    bytes.push_back(static_cast<char>(rng.next_below(255)));  // never 0xFF
+  }
+  bytes[300] = static_cast<char>(0xFF);
+
+  const auto contains_ff = [](const std::string& candidate) {
+    return candidate.find(static_cast<char>(0xFF)) != std::string::npos;
+  };
+  const std::string reproducer = shrink_failing_bytes(bytes, contains_ff);
+  ASSERT_EQ(reproducer.size(), 1u) << hex_dump(reproducer);
+  EXPECT_EQ(static_cast<unsigned char>(reproducer[0]), 0xFF);
+}
+
+TEST(ServerProtocolFuzz, ShrinkerReturnsEmptyForPassingBytes) {
+  const auto never_fails = [](const std::string&) { return false; };
+  EXPECT_TRUE(shrink_failing_bytes("abcdef", never_fails).empty());
+}
+
+}  // namespace
+}  // namespace xmem

@@ -1,0 +1,275 @@
+// Concurrency stress for the `xmem serve` daemon (server/server.h).
+//
+// The server's contract is that concurrency is INVISIBLE in the replies:
+// admission, coalescing, and the reply cache may collapse duplicate work,
+// but every client must receive exactly the bytes a cold serial execution
+// of its request would have produced. The suite pins that contract:
+//
+//   * a serial pass on a fresh server records the reference reply for every
+//     distinct request (sweeps, plans, and one malformed frame);
+//   * 8 client threads then fire a deterministic mixed schedule of the same
+//     traffic at a second fresh server; every reply must be byte-identical
+//     to the serial reference;
+//   * the stats endpoint must prove the profile-once economy survived the
+//     stampede: profiles_run == distinct jobs, executed == distinct request
+//     keys, and every duplicate shows up in coalesced_total;
+//   * graceful shutdown drains in-flight work — clients blocked on a slow
+//     request still get real replies;
+//   * per-tenant hard quotas surface end-to-end as actionable
+//     `quota_exceeded` error frames naming the tenant and the limit.
+//
+// Requests use DISJOINT jobs (distilgpt2 batches 1..6) so per-report stage
+// counters are order-independent: each report runs exactly one profile no
+// matter which request executed first.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimation_service.h"
+#include "gpu/device_model.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/json.h"
+
+namespace xmem {
+namespace {
+
+std::string socket_path_for(const std::string& name) {
+  return "/tmp/xmem_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+core::TrainJob job_for_batch(int batch) {
+  core::TrainJob job;
+  job.model_name = "distilgpt2";
+  job.batch_size = batch;
+  job.optimizer = fw::OptimizerKind::kAdamW;
+  job.seed = 7;
+  return job;
+}
+
+/// Envelope payload for a sweep of one job against one device. No "id"
+/// field: replies then depend only on the request, so byte-identical
+/// comparison across passes is direct.
+std::string sweep_payload(int batch) {
+  core::EstimateRequest request;
+  request.job = job_for_batch(batch);
+  request.devices = {gpu::device_by_name("rtx3060")};
+  util::Json envelope = util::Json::object();
+  envelope["type"] = util::Json("sweep");
+  envelope["request"] = request.to_json();
+  return envelope.dump();
+}
+
+/// Envelope payload for a small analytic-only plan search.
+std::string plan_payload(int batch) {
+  core::PlanRequest request;
+  request.job = job_for_batch(batch);
+  request.devices = {gpu::device_by_name("rtx3060")};
+  request.max_gpus = 2;
+  request.refine_top_k = 0;
+  util::Json envelope = util::Json::object();
+  envelope["type"] = util::Json("plan");
+  envelope["request"] = request.to_json();
+  return envelope.dump();
+}
+
+constexpr const char* kMalformedPayload = "{\"type\": \"sweep\", oops";
+
+/// Send one already-serialized payload and return the reply payload.
+std::string roundtrip(server::Client& client, const std::string& payload) {
+  EXPECT_TRUE(client.send_frame(payload));
+  std::string reply;
+  const server::FrameStatus status = client.read_reply(reply);
+  EXPECT_EQ(status, server::FrameStatus::kOk)
+      << "no reply to: " << payload.substr(0, 80);
+  return reply;
+}
+
+class ServerStressTest : public ::testing::Test {
+ protected:
+  /// The 6 distinct valid requests (disjoint jobs) + 1 malformed frame.
+  std::vector<std::string> distinct_payloads() {
+    std::vector<std::string> payloads;
+    for (int batch = 1; batch <= 4; ++batch) {
+      payloads.push_back(sweep_payload(batch));
+    }
+    for (int batch = 5; batch <= 6; ++batch) {
+      payloads.push_back(plan_payload(batch));
+    }
+    return payloads;
+  }
+};
+
+TEST_F(ServerStressTest, MixedConcurrentTrafficIsByteIdenticalToSerial) {
+  const std::vector<std::string> valid = distinct_payloads();
+
+  // --- serial reference pass ----------------------------------------------
+  std::map<std::string, std::string> expected;
+  {
+    server::ServerConfig config;
+    config.socket_path = socket_path_for("serial");
+    config.workers = 2;
+    server::Server serial_server(config);
+    serial_server.start();
+    server::Client client(config.socket_path, /*timeout_ms=*/120000);
+    for (const std::string& payload : valid) {
+      expected[payload] = roundtrip(client, payload);
+    }
+    expected[kMalformedPayload] = roundtrip(client, kMalformedPayload);
+    serial_server.stop();
+  }
+  ASSERT_EQ(expected.size(), valid.size() + 1);
+  for (const std::string& payload : valid) {
+    ASSERT_NE(expected[payload].find("\"ok\":true"), std::string::npos);
+  }
+  ASSERT_NE(expected[kMalformedPayload].find("parse_error"),
+            std::string::npos);
+
+  // --- concurrent pass -----------------------------------------------------
+  server::ServerConfig config;
+  config.socket_path = socket_path_for("stress");
+  config.workers = 4;
+  config.max_queue = 256;
+  server::Server stress_server(config);
+  stress_server.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 14;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> valid_sent{0};
+  std::atomic<int> malformed_sent{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      server::Client client(config.socket_path, /*timeout_ms=*/120000);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        // Deterministic schedule: every thread mixes sweeps, plans, and
+        // malformed frames, with duplicates across threads by design.
+        const std::size_t pick =
+            static_cast<std::size_t>(t * 5 + i) % (valid.size() + 1);
+        const std::string& payload =
+            pick < valid.size() ? valid[pick] : kMalformedPayload;
+        if (pick < valid.size()) {
+          valid_sent.fetch_add(1);
+        } else {
+          malformed_sent.fetch_add(1);
+        }
+        const std::string reply = roundtrip(client, payload);
+        if (reply != expected[payload]) {
+          mismatches.fetch_add(1);
+          ADD_FAILURE() << "reply diverged from serial execution for: "
+                        << payload.substr(0, 80) << "\n got: " << reply;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // --- stats: the profile-once economy survived the stampede ---------------
+  const server::ServerStats stats = stress_server.stats();
+  EXPECT_EQ(stats.profiles_run, 6u);  // one CPU profile per distinct job
+  EXPECT_EQ(stats.executed, 6u);      // one execution per distinct key
+  EXPECT_EQ(stats.data_requests, static_cast<std::uint64_t>(valid_sent));
+  // Every duplicate of an already-asked question was coalesced (in-flight
+  // collapse or reply-cache hit — the split depends on timing; the sum
+  // does not).
+  EXPECT_EQ(stats.coalesced_total(),
+            static_cast<std::uint64_t>(valid_sent) - 6u);
+  EXPECT_EQ(stats.protocol_errors,
+            static_cast<std::uint64_t>(malformed_sent));
+  EXPECT_EQ(stats.busy_rejections, 0u);
+  EXPECT_EQ(stats.request_errors, 0u);
+
+  stress_server.stop();
+  EXPECT_FALSE(stress_server.started());
+}
+
+TEST_F(ServerStressTest, GracefulShutdownDrainsInFlightClients) {
+  server::ServerConfig config;
+  config.socket_path = socket_path_for("drain");
+  config.workers = 2;
+  config.handler_delay_ms = 300;  // keep requests in flight while we stop
+  server::Server daemon(config);
+  daemon.start();
+
+  std::atomic<int> ok_replies{0};
+  std::vector<std::thread> clients;
+  for (int batch = 1; batch <= 2; ++batch) {
+    clients.emplace_back([&, batch] {
+      server::Client client(config.socket_path, /*timeout_ms=*/120000);
+      const std::string reply = roundtrip(client, sweep_payload(batch));
+      if (reply.find("\"ok\":true") != std::string::npos) {
+        ok_replies.fetch_add(1);
+      }
+    });
+  }
+
+  // Wait until both requests are admitted and executing, then stop the
+  // server underneath them. stop() must drain: both clients still get
+  // real reports, not resets or shutting_down errors.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (daemon.stats().executing + daemon.stats().queue_depth < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "requests never reached the work queue";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  daemon.stop();
+
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(ok_replies.load(), 2);
+  EXPECT_EQ(daemon.stats().executed, 2u);
+}
+
+TEST_F(ServerStressTest, HardTenantQuotaSurfacesAsActionableErrorFrame) {
+  server::ServerConfig config;
+  config.socket_path = socket_path_for("quota");
+  config.workers = 2;
+  config.session_quota.max_resident_per_tenant = 1;
+  config.session_quota.reject_over_quota = true;
+  server::Server daemon(config);
+  daemon.start();
+
+  server::Client client(config.socket_path, /*timeout_ms=*/120000);
+  core::EstimateRequest request;
+  request.job = job_for_batch(1);
+  request.devices = {gpu::device_by_name("rtx3060")};
+
+  // First job fits alice's quota of one resident profile.
+  EXPECT_NO_THROW(client.sweep(request.to_json(), "alice"));
+
+  // Her second distinct job must be rejected with the tenant and the limit
+  // in the message — the client can act on it.
+  request.job = job_for_batch(2);
+  try {
+    client.sweep(request.to_json(), "alice");
+    FAIL() << "expected quota_exceeded";
+  } catch (const server::RequestError& error) {
+    EXPECT_EQ(error.code(), server::kErrQuota);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("alice"), std::string::npos) << message;
+    EXPECT_NE(message.find('1'), std::string::npos) << message;
+  }
+
+  // Untenanted and other-tenant traffic is unaffected.
+  EXPECT_NO_THROW(client.sweep(request.to_json()));
+  EXPECT_NO_THROW(client.sweep(request.to_json(), "bob"));
+
+  const server::ServerStats stats = daemon.stats();
+  EXPECT_EQ(stats.quota_rejections, 1u);
+  EXPECT_EQ(stats.tenants.at("alice"), 1u);
+
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace xmem
