@@ -1,0 +1,180 @@
+// Fleet packing at scale: 1000 jobs drawn from 5 archetypes onto a
+// 48-GPU heterogeneous fleet, once per packing policy.
+//
+// The printed counters pin the subsystem's two promises and are
+// golden-diffed by ci/build_and_test.sh:
+//   * profile-once at fleet scale — the whole 1000-job run costs exactly
+//     5 CPU profiles (one per archetype), every later pack reuses them;
+//   * estimate-driven packing beats whole-GPU reservation — admitted
+//     jobs, utilization, and true-peak waste per policy, audited against
+//     simulated ground truth (whole-gpu must show strictly lower
+//     utilization than best-fit-decreasing).
+// Pack wall-clock (jobs/sec) prints with six decimals so the golden
+// normalizer maps it to <runtime>: structure and counters are pinned,
+// timings are not.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/estimation_service.h"
+#include "gpu/ground_truth.h"
+#include "models/zoo.h"
+#include "sched/fleet_planner.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace xmem;
+
+core::TrainJob archetype(const std::string& model, int batch,
+                         fw::OptimizerKind optimizer) {
+  core::TrainJob job;
+  job.model_name = model;
+  job.batch_size = batch;
+  job.optimizer = optimizer;
+  job.seed = 1;  // xMem bounds the seed-1 truth on every archetype here,
+                 // so a zero OOM column is the estimates' doing, not luck
+  return job;
+}
+
+/// True peak per archetype x device model, memoized (15 simulator runs
+/// serve every audit below).
+class TruthOracle {
+ public:
+  std::int64_t peak(const core::TrainJob& job, const gpu::DeviceModel& device) {
+    const std::string key = job.label() + "|" + device.name;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const fw::ModelDescriptor model =
+        models::build_model(job.model_name, job.batch_size);
+    gpu::GroundTruthOptions options;
+    options.placement = job.placement;
+    options.seed = job.seed;
+    const auto truth = runner_.run(model, job.optimizer, device, options);
+    const std::int64_t peak =
+        truth.oom ? device.job_budget() : truth.peak_job_bytes;
+    return cache_.emplace(key, peak).first->second;
+  }
+
+ private:
+  gpu::GroundTruthRunner runner_;
+  std::map<std::string, std::int64_t> cache_;
+};
+
+/// Replay admitted placements with true peaks: GPUs that would really OOM,
+/// and budget bytes the policy left idle on the healthy ones.
+void audit(const sched::FleetRequest& request,
+           const sched::FleetReport& report, TruthOracle& oracle,
+           int& oom_gpus, std::int64_t& wasted_bytes) {
+  std::map<std::pair<std::size_t, int>, std::int64_t> true_used;
+  for (const sched::JobVerdict& verdict : report.verdicts) {
+    if (verdict.verdict != sched::Verdict::kAdmit) continue;
+    const std::size_t index =
+        static_cast<std::size_t>(&verdict - report.verdicts.data());
+    const core::TrainJob& job = request.jobs[index].job;
+    for (const sched::Placement& placement : verdict.placements) {
+      const std::int64_t true_peak =
+          oracle.peak(job, request.pools[placement.pool].device);
+      true_used[{placement.pool, placement.index}] +=
+          verdict.gpus > 1 ? true_peak / verdict.gpus : true_peak;
+    }
+  }
+  oom_gpus = 0;
+  wasted_bytes = 0;
+  for (const sched::GpuState& gpu : report.gpus) {
+    const auto it = true_used.find({gpu.pool, gpu.index});
+    const std::int64_t used = it == true_used.end() ? 0 : it->second;
+    if (used > gpu.budget_bytes) {
+      oom_gpus += 1;
+    } else {
+      wasted_bytes += gpu.budget_bytes - used;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)benchutil::has_flag(argc, argv, "--fast");  // same scope either way
+
+  const std::vector<core::TrainJob> archetypes = {
+      archetype("distilgpt2", 5, fw::OptimizerKind::kAdamW),
+      archetype("distilgpt2", 10, fw::OptimizerKind::kSgd),
+      archetype("gpt2", 5, fw::OptimizerKind::kAdamW),
+      archetype("MobileNetV2", 200, fw::OptimizerKind::kSgd),
+      archetype("T5-small", 5, fw::OptimizerKind::kAdamW),
+  };
+  constexpr int kJobs = 1000;
+
+  sched::FleetRequest request;
+  for (int i = 0; i < kJobs; ++i) {
+    sched::FleetJob fleet_job;
+    fleet_job.id = "job-" + std::to_string(i);
+    fleet_job.job = archetypes[static_cast<std::size_t>(i) %
+                               archetypes.size()];
+    // A sprinkle of priorities exercises the priority-major ordering.
+    fleet_job.priority = i % 7 == 0 ? 1 : 0;
+    request.jobs.push_back(fleet_job);
+  }
+  request.pools = {{gpu::rtx3060(), 24},
+                   {gpu::rtx4060(), 16},
+                   {gpu::a100_40gb(), 8}};
+  request.headroom.base.percent = 5;
+  request.max_gpus_per_job = 1;
+
+  std::printf("fleet packing bench: %d jobs (%zu archetypes) -> 48 GPUs\n\n",
+              kJobs, archetypes.size());
+
+  // ONE service across every policy: the first pack profiles each
+  // archetype once, the rest run on cached estimates.
+  core::EstimationService service;
+  TruthOracle oracle;
+
+  std::printf("%-22s %9s %9s %9s %6s %9s %11s %10s\n", "policy", "admitted",
+              "deferred", "rejected", "util", "OOM GPUs", "true waste",
+              "jobs/sec");
+  std::map<std::string, sched::FleetStats> stats_by_policy;
+  std::size_t first_pack_profiles = 0;
+  bool first = true;
+  for (const std::string& policy : sched::packing_policy_names()) {
+    sched::FleetRequest variant = request;
+    variant.policy = policy;
+    const auto start = std::chrono::steady_clock::now();
+    const sched::FleetReport report = service.fleet(variant);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (first) {
+      first_pack_profiles = report.counters.profiles_run;
+      first = false;
+    }
+    int oom_gpus = 0;
+    std::int64_t wasted = 0;
+    audit(variant, report, oracle, oom_gpus, wasted);
+    stats_by_policy[policy] = report.stats;
+    std::printf("%-22s %9d %9d %9d %5d%% %9d %11s %10.6f\n", policy.c_str(),
+                report.stats.admitted, report.stats.deferred,
+                report.stats.rejected, report.stats.utilization_pct, oom_gpus,
+                util::format_bytes(wasted).c_str(),
+                static_cast<double>(kJobs) / seconds);
+  }
+
+  const sched::FleetStats& bfd = stats_by_policy["best-fit-decreasing"];
+  const sched::FleetStats& whole = stats_by_policy["whole-gpu"];
+  std::printf(
+      "\nprofile-once: first pack ran %llu CPU profiles for %d jobs "
+      "(distinct archetypes: %d)\n",
+      static_cast<unsigned long long>(first_pack_profiles), kJobs,
+      bfd.distinct_jobs);
+  std::printf("whole-gpu vs best-fit-decreasing utilization: %d%% vs %d%% "
+              "(%s)\n",
+              whole.utilization_pct, bfd.utilization_pct,
+              whole.utilization_pct < bfd.utilization_pct
+                  ? "estimates beat reservation"
+                  : "UNEXPECTED");
+  return 0;
+}

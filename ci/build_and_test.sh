@@ -73,7 +73,7 @@ for bench in table03_mcp table04_runtime \
              fig01_zero_grad_placement fig03_sequence_impact \
              fig06_simulator_validation fig07_mre_distributions \
              fig08_quadrant fig09_large_models fig_distributed_planner \
-             ablation_orchestrator bench_server; do
+             ablation_orchestrator bench_server bench_fleet; do
   golden="${GOLDEN_DIR}/${bench}.txt"
   actual="$(mktemp)"
   "${BUILD_DIR}/bench/${bench}" --fast | normalize > "${actual}"
@@ -150,13 +150,50 @@ else
 fi
 rm -f "${plan_actual}"
 
+# --- xmem fleet smoke ------------------------------------------------------
+# Fleet packing end to end: 6 jobs from 2 archetypes onto one 3060 with a
+# what-if pool. The golden pins verdicts/placements/stats/delta; the greps
+# pin the profile-once contract at fleet scale (profiles_run equals the
+# queue's 2 distinct archetypes, not its 6 jobs) and a nonzero what-if gain.
+
+fleet_golden="${FIXTURE_DIR}/fleet_report.json"
+fleet_actual="$(mktemp)"
+"${BUILD_DIR}/src/xmem_cli" fleet "${FIXTURE_DIR}/fleet_request.json" \
+  --no-timings > "${fleet_actual}"
+if ! grep -q '"profiles_run": 2,' "${fleet_actual}"; then
+  echo "FLEET SMOKE: expected profiles_run == 2 (one per distinct archetype)" >&2
+  GOLDEN_FAILED=1
+fi
+if ! grep -q '"distinct_jobs": 2,' "${fleet_actual}"; then
+  echo "FLEET SMOKE: expected distinct_jobs == 2 in the fleet stats" >&2
+  GOLDEN_FAILED=1
+fi
+if ! grep -qE '"admitted_delta": [1-9]' "${fleet_actual}"; then
+  echo "FLEET SMOKE: the what-if pools must admit extra jobs" >&2
+  GOLDEN_FAILED=1
+fi
+if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
+  cp "${fleet_actual}" "${fleet_golden}"
+  echo "updated ${fleet_golden}"
+elif ! diff -u "${fleet_golden}" "${fleet_actual}" > /dev/null; then
+  echo "FLEET SMOKE MISMATCH: fleet report schema or payload changed" >&2
+  diff -u "${fleet_golden}" "${fleet_actual}" >&2 || true
+  echo "If intentional, regenerate: ci/build_and_test.sh --update-goldens" >&2
+  GOLDEN_FAILED=1
+else
+  echo "fleet smoke ok"
+fi
+rm -f "${fleet_actual}"
+
 # --- negative smoke: malformed requests must exit nonzero ------------------
 
 for bad in "${FIXTURE_DIR}"/bad_*.json; do
-  # Plan-shaped fixtures (refine knobs) only fail through the plan parser.
+  # Plan-shaped fixtures (refine knobs) only fail through the plan parser;
+  # fleet-shaped ones (jobs/pools) only through the fleet parser.
   subcommand=sweep
   case "$(basename "${bad}")" in
     bad_refine*) subcommand=plan ;;
+    bad_fleet*) subcommand=fleet ;;
   esac
   if "${BUILD_DIR}/src/xmem_cli" "${subcommand}" "${bad}" > /dev/null 2>&1; then
     echo "NEGATIVE SMOKE: xmem ${subcommand} accepted $(basename "${bad}")" >&2
@@ -273,6 +310,31 @@ if ! wait "${SERVE_PID}"; then
   GOLDEN_FAILED=1
 else
   echo "serve smoke ok: shutdown request drained the daemon"
+fi
+
+# Third fresh daemon for the fleet fixture: its golden pins cold-cache
+# packing counters (profiles_run == distinct archetypes), which a warm
+# profile session from the earlier fixtures would turn into cache hits.
+"${XMEM}" serve --socket "${SERVE_SOCK}" &
+SERVE_PID=$!
+wait_for_socket "${SERVE_SOCK}"
+serve_fleet_actual="$(mktemp)"
+"${XMEM}" request --socket "${SERVE_SOCK}" \
+  --fleet "${FIXTURE_DIR}/fleet_request.json" --out "${serve_fleet_actual}"
+if ! diff -u "${fleet_golden}" "${serve_fleet_actual}" > /dev/null; then
+  echo "SERVE SMOKE MISMATCH: server fleet reply != offline golden" >&2
+  diff -u "${fleet_golden}" "${serve_fleet_actual}" >&2 || true
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: fleet reply byte-identical to offline golden"
+fi
+rm -f "${serve_fleet_actual}"
+"${XMEM}" request --socket "${SERVE_SOCK}" --shutdown > /dev/null
+if ! wait "${SERVE_PID}"; then
+  echo "SERVE SMOKE: fleet daemon exited nonzero on shutdown request" >&2
+  GOLDEN_FAILED=1
+else
+  echo "serve smoke ok: fleet daemon drained on shutdown request"
 fi
 
 exit "${GOLDEN_FAILED}"

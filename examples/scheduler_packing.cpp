@@ -1,77 +1,107 @@
 // Scheduler-integration example: the downstream use case the paper's
-// introduction motivates. A queue of training jobs arrives at a small GPU
-// cluster; the scheduler admits a job onto a GPU only if the predicted
-// memory fits the GPU's remaining budget. We compare three admission
-// policies:
+// introduction motivates, now on the sched::FleetPlanner subsystem. A
+// queue of training jobs arrives at a small GPU fleet; `xmem fleet` packs
+// it under three admission policies:
 //
 //   whole-GPU   — one job per GPU (no sharing; today's conservative default)
-//   xMem        — admit while sum of xMem estimates fits
-//   DNNMem      — admit while sum of DNNMem estimates fits
+//   xMem        — first-fit while the sum of xMem estimates fits
+//   DNNMem      — first-fit while the sum of DNNMem estimates fits
 //
-// and verify each packing against ground truth: a co-located set is
-// feasible iff the sum of the jobs' true peaks fits the budget. The paper's
-// MCP metric is exactly the headroom this example turns into throughput.
+// and audits every packing against ground truth: a co-located set is
+// feasible iff the sum of the jobs' true peaks fits the GPU's budget. The
+// paper's MCP metric is exactly the headroom this example turns into
+// throughput; an underestimating estimator overpacks and crashes
+// co-located jobs instead.
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/estimation_service.h"
 #include "gpu/ground_truth.h"
 #include "models/zoo.h"
+#include "sched/fleet_planner.h"
 #include "util/bytes.h"
 
 namespace {
 
 using namespace xmem;
 
-struct JobArrival {
-  core::TrainJob job;
-  std::int64_t true_peak = 0;  // measured after the fact
-  bool oom_alone = false;
+/// True peak of one job on one device model, memoized: the audit asks per
+/// placement, but only |queue| x |device models| distinct runs exist.
+class TruthOracle {
+ public:
+  std::int64_t peak(const core::TrainJob& job, const gpu::DeviceModel& device) {
+    const std::string key = job.label() + "|" + device.name;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const fw::ModelDescriptor model =
+        models::build_model(job.model_name, job.batch_size);
+    gpu::GroundTruthOptions options;
+    options.placement = job.placement;
+    options.seed = job.seed;
+    const auto truth = runner_.run(model, job.optimizer, device, options);
+    // An OOM-alone job "uses" the whole budget for audit purposes.
+    const std::int64_t peak =
+        truth.oom ? device.job_budget() : truth.peak_job_bytes;
+    return cache_.emplace(key, peak).first->second;
+  }
+
+ private:
+  gpu::GroundTruthRunner runner_;
+  std::map<std::string, std::int64_t> cache_;
 };
 
-struct PackingResult {
-  int admitted = 0;
-  int oom_events = 0;  // a GPU whose co-located set exceeded its budget
-  std::int64_t wasted_bytes = 0;
+struct Audit {
+  int oom_gpus = 0;
+  std::int64_t wasted_bytes = 0;  ///< budget minus true usage, admitted GPUs
 };
 
-PackingResult pack(const std::vector<JobArrival>& arrivals,
-                   const std::vector<std::int64_t>& predictions,
-                   const std::vector<gpu::DeviceModel>& cluster) {
-  PackingResult result;
-  std::vector<std::int64_t> used(cluster.size(), 0);
-  std::vector<std::int64_t> true_used(cluster.size(), 0);
-  for (std::size_t j = 0; j < arrivals.size(); ++j) {
-    // First fit.
-    for (std::size_t g = 0; g < cluster.size(); ++g) {
-      if (used[g] + predictions[j] <= cluster[g].job_budget()) {
-        used[g] += predictions[j];
-        true_used[g] += arrivals[j].true_peak;
-        ++result.admitted;
-        break;
-      }
+/// Replay the report's placements with TRUE peaks: which GPUs would really
+/// have blown up, and how much memory the policy left idle?
+Audit audit_against_truth(const sched::FleetRequest& request,
+                          const sched::FleetReport& report,
+                          TruthOracle& oracle) {
+  std::map<std::pair<std::size_t, int>, std::int64_t> true_used;
+  for (const sched::JobVerdict& verdict : report.verdicts) {
+    if (verdict.verdict != sched::Verdict::kAdmit) continue;
+    const core::TrainJob* job = nullptr;
+    for (const sched::FleetJob& fleet_job : request.jobs) {
+      if (fleet_job.id == verdict.id) job = &fleet_job.job;
+    }
+    for (const sched::Placement& placement : verdict.placements) {
+      // Multi-rank splits shard the job; charge the per-rank prediction's
+      // share of the true single-device peak.
+      const std::int64_t true_peak =
+          oracle.peak(*job, request.pools[placement.pool].device);
+      true_used[{placement.pool, placement.index}] +=
+          verdict.gpus > 1 ? true_peak / verdict.gpus : true_peak;
     }
   }
-  for (std::size_t g = 0; g < cluster.size(); ++g) {
-    if (true_used[g] > cluster[g].job_budget()) ++result.oom_events;
-    result.wasted_bytes +=
-        std::max<std::int64_t>(0, cluster[g].job_budget() - true_used[g]);
+  Audit audit;
+  for (const sched::GpuState& gpu : report.gpus) {
+    const auto it = true_used.find({gpu.pool, gpu.index});
+    const std::int64_t used = it == true_used.end() ? 0 : it->second;
+    if (used > gpu.budget_bytes) {
+      audit.oom_gpus += 1;
+    } else {
+      audit.wasted_bytes += gpu.budget_bytes - used;
+    }
   }
-  return result;
+  return audit;
 }
 
 }  // namespace
 
 int main() {
-  // A mixed queue of eight real workloads.
+  // A mixed queue of six real workloads onto a two-GPU fleet.
   struct QueueEntry {
     const char* model;
     int batch;
     fw::OptimizerKind optimizer;
   };
-  const QueueEntry queue[] = {
+  const QueueEntry entries[] = {
       {"distilgpt2", 10, fw::OptimizerKind::kAdamW},
       {"ResNet101", 300, fw::OptimizerKind::kAdam},
       {"T5-small", 5, fw::OptimizerKind::kAdam},
@@ -79,68 +109,77 @@ int main() {
       {"ConvNeXtBase", 300, fw::OptimizerKind::kAdamW},
       {"MnasNet", 500, fw::OptimizerKind::kRmsprop},
   };
-  const std::vector<gpu::DeviceModel> cluster = {gpu::rtx3060(),
-                                                 gpu::rtx4060()};
 
-  std::printf("Scheduler packing example: 6 jobs -> {3060, 4060}\n\n");
+  sched::FleetRequest request;
+  int index = 0;
+  for (const QueueEntry& entry : entries) {
+    sched::FleetJob fleet_job;
+    fleet_job.id = "job-" + std::to_string(index++);
+    fleet_job.job.model_name = entry.model;
+    fleet_job.job.batch_size = entry.batch;
+    fleet_job.job.optimizer = entry.optimizer;
+    fleet_job.job.seed = 1234;
+    request.jobs.push_back(fleet_job);
+  }
+  request.pools = {{gpu::rtx3060(), 1}, {gpu::rtx4060(), 1}};
+  request.max_gpus_per_job = 1;
 
-  std::vector<JobArrival> arrivals;
-  // One service answers every policy's questions: each job is profiled
-  // once, then both estimators (and any future what-if) reuse the session.
+  std::printf("Fleet packing example: 6 jobs -> {1x 3060, 1x 4060}\n\n");
+
+  // One service answers every policy's questions: each distinct job is
+  // profiled once, then every estimator and every pack reuses the session.
   core::EstimationService service;
-  std::vector<std::int64_t> xmem_pred, dnnmem_pred, whole_gpu_pred;
+  TruthOracle oracle;
 
-  gpu::GroundTruthRunner runner;
-  for (const QueueEntry& entry : queue) {
-    JobArrival arrival;
-    arrival.job.model_name = entry.model;
-    arrival.job.batch_size = entry.batch;
-    arrival.job.optimizer = entry.optimizer;
-    arrival.job.seed = 1234;
-
-    const fw::ModelDescriptor model =
-        models::build_model(entry.model, entry.batch);
-    gpu::GroundTruthOptions options;
-    options.seed = 1234;
-    const auto truth = runner.run(model, entry.optimizer, cluster[0], options);
-    arrival.true_peak = truth.peak_job_bytes;
-    arrival.oom_alone = truth.oom;
-
-    core::EstimateRequest request;
-    request.job = arrival.job;
-    request.devices = {cluster[0]};
-    request.estimators = {"xMem", "DNNMem"};
-    const core::EstimateReport report = service.sweep(request);
-    const std::int64_t xmem_peak = report.entries[0].estimated_peak;
-    const std::int64_t dnnmem_peak = report.entries[1].estimated_peak;
-    xmem_pred.push_back(xmem_peak);
-    dnnmem_pred.push_back(dnnmem_peak);
-    whole_gpu_pred.push_back(cluster[0].job_budget());  // claim whole card
-
-    std::printf("  %-14s b%-4d %-9s true peak %-11s xMem %-11s DNNMem %s\n",
-                entry.model, entry.batch, to_string(entry.optimizer),
-                util::format_bytes(arrival.true_peak).c_str(),
-                util::format_bytes(xmem_peak).c_str(),
-                util::format_bytes(dnnmem_peak).c_str());
-    arrivals.push_back(arrival);
-  }
-
-  std::printf("\n%-12s %10s %12s %16s\n", "policy", "admitted", "OOM GPUs",
-              "wasted memory");
-  struct Policy {
-    const char* name;
-    const std::vector<std::int64_t>* predictions;
+  struct PolicyRun {
+    const char* display;
+    const char* policy;
+    const char* estimator;
   };
-  for (const Policy& policy :
-       {Policy{"whole-GPU", &whole_gpu_pred}, Policy{"xMem", &xmem_pred},
-        Policy{"DNNMem", &dnnmem_pred}}) {
-    const PackingResult result = pack(arrivals, *policy.predictions, cluster);
-    std::printf("%-12s %10d %12d %16s\n", policy.name, result.admitted,
-                result.oom_events,
-                util::format_bytes(result.wasted_bytes).c_str());
+  const PolicyRun runs[] = {
+      {"whole-GPU", "whole-gpu", "xMem"},
+      {"xMem", "first-fit", "xMem"},
+      {"DNNMem", "first-fit", "DNNMem"},
+  };
+
+  std::vector<sched::FleetReport> reports;
+  for (const PolicyRun& run : runs) {
+    sched::FleetRequest variant = request;
+    variant.policy = run.policy;
+    variant.estimator = run.estimator;
+    reports.push_back(service.fleet(variant));
   }
-  std::printf("\nAccurate estimates admit more jobs with zero OOM events; "
-              "underestimates (DNNMem on stateful optimizers) overpack and "
-              "crash co-located jobs.\n");
+
+  // Per-job view: both estimators' predictions vs the truth on the 3060.
+  std::printf("  %-14s %-6s %-9s %-12s %-12s %s\n", "job", "batch",
+              "optimizer", "xMem", "DNNMem", "true peak (3060)");
+  for (std::size_t j = 0; j < request.jobs.size(); ++j) {
+    const core::TrainJob& job = request.jobs[j].job;
+    // reports[1] packed with xMem estimates, reports[2] with DNNMem.
+    std::printf("  %-14s %-6d %-9s %-12s %-12s %s\n", job.model_name.c_str(),
+                job.batch_size, to_string(job.optimizer),
+                util::format_bytes(reports[1].verdicts[j].predicted_peak)
+                    .c_str(),
+                util::format_bytes(reports[2].verdicts[j].predicted_peak)
+                    .c_str(),
+                util::format_bytes(oracle.peak(job, gpu::rtx3060())).c_str());
+  }
+
+  std::printf("\n%-12s %10s %10s %12s %16s %12s\n", "policy", "admitted",
+              "deferred", "OOM GPUs", "wasted memory", "utilization");
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const sched::FleetReport& report = reports[r];
+    const Audit audit = audit_against_truth(request, report, oracle);
+    std::printf("%-12s %10d %10d %12d %16s %11d%%\n", runs[r].display,
+                report.stats.admitted, report.stats.deferred, audit.oom_gpus,
+                util::format_bytes(audit.wasted_bytes).c_str(),
+                report.stats.utilization_pct);
+  }
+  std::printf(
+      "\nAccurate estimates admit more jobs with zero OOM events; the\n"
+      "whole-GPU baseline is safe but idles most of each card, and\n"
+      "underestimates (DNNMem on stateful optimizers) overpack and crash\n"
+      "co-located jobs. Same packs, as JSON: `xmem fleet REQUEST.json`\n"
+      "(docs/SCHEDULER.md).\n");
   return 0;
 }

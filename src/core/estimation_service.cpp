@@ -17,8 +17,8 @@
 
 namespace xmem::core {
 
-namespace {
-
+// job/device JSON helpers are public (declared in estimation_service.h):
+// the sweep, plan, and fleet request schemas all share them.
 TrainJob job_from_json(const util::Json& json) {
   TrainJob job;
   job.model_name = json.get_string_or("model", "");
@@ -77,6 +77,21 @@ gpu::DeviceModel device_from_json(const util::Json& json) {
   return device;
 }
 
+util::Json devices_to_json(const std::vector<gpu::DeviceModel>& devices) {
+  util::Json device_array = util::Json::array();
+  for (const gpu::DeviceModel& device : devices) {
+    util::Json entry = util::Json::object();
+    entry["name"] = util::Json(device.name);
+    entry["capacity_bytes"] = util::Json(device.capacity);
+    entry["m_init_bytes"] = util::Json(device.m_init);
+    entry["m_fm_bytes"] = util::Json(device.m_fm);
+    device_array.push_back(std::move(entry));
+  }
+  return device_array;
+}
+
+namespace {
+
 util::Json timings_to_json(const StageTimings& timings) {
   util::Json json = util::Json::object();
   json["profile_seconds"] = util::Json(timings.profile_seconds);
@@ -94,18 +109,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-util::Json devices_to_json(const std::vector<gpu::DeviceModel>& devices) {
-  util::Json device_array = util::Json::array();
-  for (const gpu::DeviceModel& device : devices) {
-    util::Json entry = util::Json::object();
-    entry["name"] = util::Json(device.name);
-    entry["capacity_bytes"] = util::Json(device.capacity);
-    entry["m_init_bytes"] = util::Json(device.m_init);
-    entry["m_fm_bytes"] = util::Json(device.m_fm);
-    device_array.push_back(std::move(entry));
-  }
-  return device_array;
-}
+}  // namespace
 
 std::map<std::string, alloc::BackendKnobs> allocator_config_from_json(
     const util::Json& json, const std::string& context) {
@@ -152,6 +156,8 @@ void validate_allocator_config(
     alloc::make_backend(name, probe, knobs);
   }
 }
+
+namespace {
 
 const alloc::BackendKnobs& knobs_for(
     const std::map<std::string, alloc::BackendKnobs>& config,

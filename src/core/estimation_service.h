@@ -38,7 +38,29 @@ namespace xmem::util {
 class ThreadPool;
 }
 
+namespace xmem::sched {
+struct FleetRequest;
+struct FleetReport;
+}  // namespace xmem::sched
+
 namespace xmem::core {
+
+/// Shared request-schema JSON helpers — the sweep, plan, and fleet request
+/// documents all spell jobs, devices, and allocator knobs the same way.
+/// All parsers throw std::invalid_argument on bad input.
+TrainJob job_from_json(const util::Json& json);
+util::Json job_to_json(const TrainJob& job);
+gpu::DeviceModel device_from_json(const util::Json& json);
+util::Json devices_to_json(const std::vector<gpu::DeviceModel>& devices);
+std::map<std::string, alloc::BackendKnobs> allocator_config_from_json(
+    const util::Json& json, const std::string& context);
+util::Json allocator_config_to_json(
+    const std::map<std::string, alloc::BackendKnobs>& config);
+/// Fail fast on unknown backend names / knob names / out-of-range values,
+/// surfacing the backend's own actionable message.
+void validate_allocator_config(
+    const std::map<std::string, alloc::BackendKnobs>& config,
+    const std::string& context);
 
 /// One structured what-if question: a job crossed with candidate devices,
 /// allocator backends, and estimators. JSON round-trips through
@@ -151,8 +173,10 @@ struct PlanRequest {
   /// Phase-2 refinement: re-simulate the top K ranked candidates per rank
   /// through the allocator tower (rank-sequence transform + simulator
   /// replay), yielding fragmentation-aware peaks and refined verdicts.
-  /// 0 = analytic-only (the phase-1 ranking stands unrefined).
-  int refine_top_k = 0;
+  /// 0 = analytic-only (the phase-1 ranking stands unrefined). Defaults to
+  /// 4 since the reset-based replay path costs ~0.93 ms/candidate
+  /// (docs/PLANNER.md); `xmem plan --no-refine` forces 0.
+  int refine_top_k = 4;
   /// Same semantics as EstimateRequest::tenant.
   std::string tenant;
 
@@ -259,6 +283,12 @@ class EstimationService {
   /// fan out on the pool. Deterministic: serial and threaded searches
   /// produce byte-identical reports.
   PlanReport plan(const PlanRequest& request);
+
+  /// Pack a job queue onto a GPU fleet (sched::FleetPlanner over this
+  /// service — one profile per distinct job archetype, docs/SCHEDULER.md).
+  /// Each call uses a fresh planner; hold a FleetPlanner directly for the
+  /// incremental apply() loop. Defined in src/sched/service_fleet.cpp.
+  sched::FleetReport fleet(const sched::FleetRequest& request);
 
   /// Single-question convenience: one estimator, one device, one allocator.
   /// Same caching, gating, and uniform timing as a sweep entry.

@@ -1,0 +1,1166 @@
+#include "sched/fleet_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "core/estimator_registry.h"
+#include "util/thread_pool.h"
+
+namespace xmem::sched {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Queue-level archetype identity: two jobs with the same label + seed
+/// share one CPU profile (and one planner cache entry).
+std::string job_key(const core::TrainJob& job) {
+  return job.label() + "|seed" + std::to_string(job.seed);
+}
+
+HeadroomRule headroom_rule_from_json(const util::Json& json,
+                                     const std::string& context) {
+  if (!json.is_object()) {
+    throw std::invalid_argument(context + ": headroom rules must be objects");
+  }
+  HeadroomRule rule;
+  rule.absolute_bytes = json.get_int_or("absolute_bytes", 0);
+  rule.percent = static_cast<int>(json.get_int_or("percent", 0));
+  if (rule.absolute_bytes < 0) {
+    throw std::invalid_argument(context +
+                                ": headroom \"absolute_bytes\" must be >= 0");
+  }
+  if (rule.percent < 0) {
+    throw std::invalid_argument(context +
+                                ": headroom \"percent\" must be >= 0");
+  }
+  return rule;
+}
+
+util::Json headroom_rule_to_json(const HeadroomRule& rule) {
+  util::Json json = util::Json::object();
+  json["absolute_bytes"] = util::Json(rule.absolute_bytes);
+  json["percent"] = util::Json(rule.percent);
+  return json;
+}
+
+util::Json device_to_json(const gpu::DeviceModel& device) {
+  return core::devices_to_json({device}).as_array().front();
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAdmit:
+      return "admit";
+    case Verdict::kDefer:
+      return "defer";
+    case Verdict::kReject:
+      return "reject";
+  }
+  return "reject";
+}
+
+FleetJob FleetJob::from_json(const util::Json& json, std::size_t index) {
+  const std::string context = "fleet request jobs[" + std::to_string(index) +
+                              "]";
+  if (!json.is_object()) {
+    throw std::invalid_argument(context + ": entries must be objects");
+  }
+  if (!json.contains("job")) {
+    throw std::invalid_argument(context + ": missing \"job\" object");
+  }
+  FleetJob fleet_job;
+  fleet_job.job = core::job_from_json(json.at("job"));
+  fleet_job.id = json.get_string_or("id", "job-" + std::to_string(index));
+  fleet_job.priority = static_cast<int>(json.get_int_or("priority", 0));
+  return fleet_job;
+}
+
+util::Json FleetJob::to_json() const {
+  util::Json json = util::Json::object();
+  json["id"] = util::Json(id);
+  json["job"] = core::job_to_json(job);
+  json["priority"] = util::Json(priority);
+  return json;
+}
+
+GpuPool GpuPool::from_json(const util::Json& json,
+                           const std::string& context) {
+  if (!json.is_object()) {
+    throw std::invalid_argument(context + ": pool entries must be objects");
+  }
+  if (!json.contains("device")) {
+    throw std::invalid_argument(context + ": missing \"device\"");
+  }
+  GpuPool pool;
+  pool.device = core::device_from_json(json.at("device"));
+  pool.count = static_cast<int>(json.get_int_or("count", 0));
+  if (pool.count <= 0) {
+    throw std::invalid_argument(context + ": \"count\" must be > 0");
+  }
+  return pool;
+}
+
+util::Json GpuPool::to_json() const {
+  util::Json json = util::Json::object();
+  json["device"] = device_to_json(device);
+  json["count"] = util::Json(count);
+  return json;
+}
+
+std::int64_t HeadroomPolicy::bytes_for(const std::string& device_name,
+                                       std::int64_t predicted_peak) const {
+  const auto it = per_device.find(device_name);
+  const HeadroomRule& rule = it == per_device.end() ? base : it->second;
+  return rule.absolute_bytes + predicted_peak * rule.percent / 100;
+}
+
+HeadroomPolicy HeadroomPolicy::from_json(const util::Json& json) {
+  HeadroomPolicy policy;
+  policy.base = headroom_rule_from_json(json, "fleet request");
+  if (json.contains("per_device")) {
+    const util::Json& overrides = json.at("per_device");
+    if (!overrides.is_object()) {
+      throw std::invalid_argument(
+          "fleet request: headroom \"per_device\" must be an object keyed by "
+          "device name");
+    }
+    for (const auto& [name, rule] : overrides.as_object()) {
+      policy.per_device[name] = headroom_rule_from_json(
+          rule, "fleet request: headroom per_device." + name);
+    }
+  }
+  return policy;
+}
+
+util::Json HeadroomPolicy::to_json() const {
+  util::Json json = headroom_rule_to_json(base);
+  if (!per_device.empty()) {
+    util::Json overrides = util::Json::object();
+    for (const auto& [name, rule] : per_device) {
+      overrides[name] = headroom_rule_to_json(rule);
+    }
+    json["per_device"] = std::move(overrides);
+  }
+  return json;
+}
+
+FleetRequest FleetRequest::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("fleet request: top level must be an object");
+  }
+  FleetRequest request;
+  if (!json.contains("jobs") || !json.at("jobs").is_array() ||
+      json.at("jobs").size() == 0) {
+    throw std::invalid_argument(
+        "fleet request: \"jobs\" must be a non-empty array");
+  }
+  const util::JsonArray& jobs = json.at("jobs").as_array();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    request.jobs.push_back(FleetJob::from_json(jobs[i], i));
+  }
+  if (!json.contains("pools") || !json.at("pools").is_array() ||
+      json.at("pools").size() == 0) {
+    throw std::invalid_argument(
+        "fleet request: \"pools\" must be a non-empty array");
+  }
+  const util::JsonArray& pools = json.at("pools").as_array();
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    request.pools.push_back(GpuPool::from_json(
+        pools[i], "fleet request pools[" + std::to_string(i) + "]"));
+  }
+  request.policy = json.get_string_or("policy", "first-fit");
+  if (json.contains("headroom")) {
+    request.headroom = HeadroomPolicy::from_json(json.at("headroom"));
+  }
+  request.estimator = json.get_string_or("estimator", "xMem");
+  request.allocator =
+      json.get_string_or("allocator", alloc::kDefaultBackendName);
+  if (json.contains("allocator_config")) {
+    request.allocator_config = core::allocator_config_from_json(
+        json.at("allocator_config"), "fleet request");
+  }
+  request.profile_iterations =
+      static_cast<int>(json.get_int_or("profile_iterations", 3));
+  request.max_gpus_per_job =
+      static_cast<int>(json.get_int_or("max_gpus_per_job", 8));
+  request.tenant = json.get_string_or("tenant", "");
+  if (json.contains("what_if")) {
+    if (!json.at("what_if").is_array()) {
+      throw std::invalid_argument(
+          "fleet request: \"what_if\" must be an array of pools");
+    }
+    const util::JsonArray& added = json.at("what_if").as_array();
+    for (std::size_t i = 0; i < added.size(); ++i) {
+      request.what_if.push_back(GpuPool::from_json(
+          added[i], "fleet request what_if[" + std::to_string(i) + "]"));
+    }
+  }
+  return request;
+}
+
+util::Json FleetRequest::to_json() const {
+  util::Json json = util::Json::object();
+  util::Json job_array = util::Json::array();
+  for (const FleetJob& fleet_job : jobs) job_array.push_back(fleet_job.to_json());
+  json["jobs"] = std::move(job_array);
+  util::Json pool_array = util::Json::array();
+  for (const GpuPool& pool : pools) pool_array.push_back(pool.to_json());
+  json["pools"] = std::move(pool_array);
+  json["policy"] = util::Json(policy);
+  json["headroom"] = headroom.to_json();
+  json["estimator"] = util::Json(estimator);
+  json["allocator"] = util::Json(allocator);
+  if (!allocator_config.empty()) {
+    json["allocator_config"] = core::allocator_config_to_json(allocator_config);
+  }
+  json["profile_iterations"] = util::Json(profile_iterations);
+  json["max_gpus_per_job"] = util::Json(max_gpus_per_job);
+  if (!tenant.empty()) json["tenant"] = util::Json(tenant);
+  if (!what_if.empty()) {
+    util::Json added = util::Json::array();
+    for (const GpuPool& pool : what_if) added.push_back(pool.to_json());
+    json["what_if"] = std::move(added);
+  }
+  return json;
+}
+
+util::Json JobVerdict::to_json() const {
+  util::Json json = util::Json::object();
+  json["id"] = util::Json(id);
+  json["label"] = util::Json(label);
+  json["priority"] = util::Json(priority);
+  json["verdict"] = util::Json(to_string(verdict));
+  json["supported"] = util::Json(supported);
+  if (supported) {
+    json["predicted_peak_bytes"] = util::Json(predicted_peak);
+    json["headroom_bytes"] = util::Json(headroom_bytes);
+    json["demand_bytes"] = util::Json(demand_bytes);
+    json["gpus"] = util::Json(gpus);
+    if (!split.empty()) json["split"] = util::Json(split);
+  }
+  if (!placements.empty()) {
+    util::Json placed = util::Json::array();
+    for (const Placement& placement : placements) {
+      util::Json entry = util::Json::object();
+      entry["pool"] = util::Json(static_cast<std::int64_t>(placement.pool));
+      entry["index"] = util::Json(placement.index);
+      entry["device"] = util::Json(placement.device);
+      entry["committed_bytes"] = util::Json(placement.committed_bytes);
+      placed.push_back(std::move(entry));
+    }
+    json["placements"] = std::move(placed);
+  }
+  if (!reason.empty()) json["reason"] = util::Json(reason);
+  return json;
+}
+
+util::Json GpuState::to_json() const {
+  util::Json json = util::Json::object();
+  json["pool"] = util::Json(static_cast<std::int64_t>(pool));
+  json["index"] = util::Json(index);
+  json["device"] = util::Json(device);
+  json["budget_bytes"] = util::Json(budget_bytes);
+  json["committed_bytes"] = util::Json(committed_bytes);
+  json["predicted_bytes"] = util::Json(predicted_bytes);
+  json["jobs"] = util::Json(jobs);
+  return json;
+}
+
+util::Json FleetStats::to_json() const {
+  util::Json json = util::Json::object();
+  json["gpus_total"] = util::Json(gpus_total);
+  json["gpus_used"] = util::Json(gpus_used);
+  json["jobs"] = util::Json(jobs);
+  json["admitted"] = util::Json(admitted);
+  json["deferred"] = util::Json(deferred);
+  json["rejected"] = util::Json(rejected);
+  json["distinct_jobs"] = util::Json(distinct_jobs);
+  json["total_budget_bytes"] = util::Json(total_budget_bytes);
+  json["committed_bytes"] = util::Json(committed_bytes);
+  json["predicted_bytes"] = util::Json(predicted_bytes);
+  json["waste_bytes"] = util::Json(waste_bytes);
+  json["utilization_pct"] = util::Json(utilization_pct);
+  json["committed_pct"] = util::Json(committed_pct);
+  json["fragmentation_pct"] = util::Json(fragmentation_pct);
+  return json;
+}
+
+util::Json FleetCounters::to_json() const {
+  util::Json json = util::Json::object();
+  json["profiles_run"] = util::Json(static_cast<std::int64_t>(profiles_run));
+  json["profile_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(profile_cache_hits));
+  json["replays_run"] = util::Json(static_cast<std::int64_t>(replays_run));
+  json["result_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(result_cache_hits));
+  json["plans_run"] = util::Json(static_cast<std::int64_t>(plans_run));
+  json["estimates_reused"] =
+      util::Json(static_cast<std::int64_t>(estimates_reused));
+  json["pools_repacked"] =
+      util::Json(static_cast<std::int64_t>(pools_repacked));
+  return json;
+}
+
+util::Json WhatIfDelta::to_json() const {
+  util::Json json = util::Json::object();
+  util::Json added = util::Json::array();
+  for (const GpuPool& pool : added_pools) added.push_back(pool.to_json());
+  json["added_pools"] = std::move(added);
+  json["admitted_delta"] = util::Json(admitted_delta);
+  json["deferred_delta"] = util::Json(deferred_delta);
+  json["rejected_delta"] = util::Json(rejected_delta);
+  json["utilization_pct_delta"] = util::Json(utilization_pct_delta);
+  util::Json ids = util::Json::array();
+  for (const std::string& id : newly_admitted) ids.push_back(util::Json(id));
+  json["newly_admitted"] = std::move(ids);
+  json["stats_after"] = stats_after.to_json();
+  return json;
+}
+
+util::Json FleetReport::to_json(bool include_timings) const {
+  util::Json json = util::Json::object();
+  json["policy"] = util::Json(policy);
+  util::Json pool_array = util::Json::array();
+  for (const GpuPool& pool : pools) pool_array.push_back(pool.to_json());
+  json["pools"] = std::move(pool_array);
+  util::Json verdict_array = util::Json::array();
+  for (const JobVerdict& verdict : verdicts) {
+    verdict_array.push_back(verdict.to_json());
+  }
+  json["verdicts"] = std::move(verdict_array);
+  util::Json gpu_array = util::Json::array();
+  for (const GpuState& gpu : gpus) gpu_array.push_back(gpu.to_json());
+  json["gpus"] = std::move(gpu_array);
+  json["stats"] = stats.to_json();
+  json["counters"] = counters.to_json();
+  if (what_if.has_value()) json["what_if"] = what_if->to_json();
+  if (include_timings) json["wall_seconds"] = util::Json(wall_seconds);
+  return json;
+}
+
+// ---------------------------------------------------------------------------
+// FleetPlanner internals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A DistributedPlanner candidate reduced to what packing needs. Rank peaks
+/// are device-independent (component arithmetic / unbounded replay), so one
+/// number per candidate serves every pool.
+struct PlanCandidateLite {
+  int data_parallel = 1;
+  int tensor_parallel = 1;
+  int pipeline_stages = 1;
+  int gpus = 1;
+  std::int64_t rank_peak = 0;
+};
+
+struct Archetype {
+  bool supported = true;
+  std::map<std::string, std::int64_t> peak_by_device;
+  /// Plan-fallback candidates keyed by the request's max_gpus_per_job.
+  std::map<int, std::vector<PlanCandidateLite>> plans;
+};
+
+struct PackResult {
+  std::vector<SlotState> slots;
+  std::vector<std::int64_t> slot_predicted;  ///< parallel to slots
+  std::vector<JobVerdict> verdicts;          ///< parallel to request.jobs
+  FleetStats stats;
+};
+
+}  // namespace
+
+struct FleetPlanner::Impl {
+  core::EstimationService& service;
+  FleetPlannerOptions options;
+  std::unique_ptr<util::ThreadPool> pool;  ///< null when serial
+
+  /// Archetype cache, keyed by estimation scope + job identity. Shared by
+  /// pack/apply/what_if — the what-if second pack costs zero profiles.
+  std::map<std::string, Archetype> cache;
+
+  bool has_state = false;
+  FleetRequest state_request;  ///< jobs hold materialized unique ids
+  PackResult state_result;
+  std::size_t next_auto_id = 0;
+
+  Impl(core::EstimationService& service_in, FleetPlannerOptions options_in)
+      : service(service_in), options(options_in) {
+    const std::size_t threads = options.threads == 0
+                                    ? util::ThreadPool::default_threads()
+                                    : options.threads;
+    if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  }
+
+  /// Estimation knobs that change what an estimate means — part of the
+  /// cache key so a planner reused across requests never serves stale peaks.
+  static std::string request_scope(const FleetRequest& request) {
+    return request.estimator + "|" + request.allocator + "|" +
+           core::allocator_config_to_json(request.allocator_config).dump() +
+           "|i" + std::to_string(request.profile_iterations);
+  }
+
+  static std::string archetype_key(const FleetRequest& request,
+                                   const core::TrainJob& job) {
+    return request_scope(request) + "|" + job_key(job);
+  }
+
+  void materialize_ids(FleetRequest& request) const {
+    for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+      if (request.jobs[i].id.empty()) {
+        request.jobs[i].id = "job-" + std::to_string(i);
+      }
+    }
+  }
+
+  static void validate(const FleetRequest& request) {
+    if (request.jobs.empty()) {
+      throw std::invalid_argument(
+          "fleet request: \"jobs\" must be a non-empty array");
+    }
+    if (request.pools.empty()) {
+      throw std::invalid_argument(
+          "fleet request: \"pools\" must be a non-empty array");
+    }
+    std::set<std::string> ids;
+    for (const FleetJob& fleet_job : request.jobs) {
+      if (!ids.insert(fleet_job.id).second) {
+        throw std::invalid_argument("fleet request: duplicate job id '" +
+                                    fleet_job.id + "'");
+      }
+    }
+    auto check_pool = [](const GpuPool& gpu_pool) {
+      if (gpu_pool.count <= 0) {
+        throw std::invalid_argument("fleet request: pool \"count\" must be "
+                                    "> 0");
+      }
+      if (gpu_pool.device.job_budget() <= 0) {
+        throw std::invalid_argument("fleet request: device '" +
+                                    gpu_pool.device.name +
+                                    "' has a non-positive job budget");
+      }
+    };
+    for (const GpuPool& gpu_pool : request.pools) check_pool(gpu_pool);
+    for (const GpuPool& gpu_pool : request.what_if) check_pool(gpu_pool);
+    // A device name is the estimate-cache key, so one name must mean one
+    // geometry across the fleet (and the what-if pools).
+    std::map<std::string, gpu::DeviceModel> by_name;
+    auto check_geometry = [&by_name](const gpu::DeviceModel& device) {
+      const auto [it, inserted] = by_name.emplace(device.name, device);
+      if (!inserted && (it->second.capacity != device.capacity ||
+                        it->second.m_init != device.m_init ||
+                        it->second.m_fm != device.m_fm)) {
+        throw std::invalid_argument("fleet request: device name '" +
+                                    device.name +
+                                    "' appears with conflicting geometry");
+      }
+    };
+    for (const GpuPool& gpu_pool : request.pools) check_geometry(gpu_pool.device);
+    for (const GpuPool& gpu_pool : request.what_if) check_geometry(gpu_pool.device);
+    if (!core::is_known_estimator(request.estimator)) {
+      std::string names;
+      for (const std::string& name : core::estimator_names()) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      throw std::invalid_argument("fleet request: unknown estimator '" +
+                                  request.estimator + "' (known: " + names +
+                                  ")");
+    }
+    make_packing_policy(request.policy);  // throws listing known policies
+    if (!alloc::is_known_backend(request.allocator)) {
+      throw std::invalid_argument("fleet request: unknown allocator '" +
+                                  request.allocator + "'");
+    }
+    core::validate_allocator_config(request.allocator_config, "fleet request");
+    if (request.profile_iterations <= 0) {
+      throw std::invalid_argument(
+          "fleet request: \"profile_iterations\" must be > 0");
+    }
+    if (request.max_gpus_per_job < 1) {
+      throw std::invalid_argument(
+          "fleet request: \"max_gpus_per_job\" must be >= 1");
+    }
+  }
+
+  /// Distinct device models across the given pool lists, sorted by name.
+  static std::vector<gpu::DeviceModel> distinct_devices(
+      const std::vector<const std::vector<GpuPool>*>& pool_lists) {
+    std::map<std::string, gpu::DeviceModel> by_name;
+    for (const std::vector<GpuPool>* pools : pool_lists) {
+      for (const GpuPool& gpu_pool : *pools) {
+        by_name.emplace(gpu_pool.device.name, gpu_pool.device);
+      }
+    }
+    std::vector<gpu::DeviceModel> devices;
+    devices.reserve(by_name.size());
+    for (const auto& [name, device] : by_name) devices.push_back(device);
+    return devices;
+  }
+
+  /// Compute per-device peaks for every archetype in the queue that the
+  /// cache does not already cover, fanning the sweeps on the pool. One
+  /// sweep (== one CPU profile, cold) per fresh archetype.
+  void ensure_archetypes(const FleetRequest& request,
+                         const std::vector<gpu::DeviceModel>& devices,
+                         FleetCounters& counters) {
+    struct Need {
+      std::string key;
+      core::TrainJob job;
+      std::vector<gpu::DeviceModel> missing;
+    };
+    std::vector<Need> needs;
+    std::set<std::string> seen;
+    for (const FleetJob& fleet_job : request.jobs) {
+      const std::string key = archetype_key(request, fleet_job.job);
+      if (!seen.insert(key).second) continue;
+      std::vector<gpu::DeviceModel> missing;
+      const auto it = cache.find(key);
+      if (it == cache.end()) {
+        missing = devices;
+      } else {
+        for (const gpu::DeviceModel& device : devices) {
+          if (it->second.peak_by_device.count(device.name) == 0) {
+            missing.push_back(device);
+          }
+        }
+      }
+      if (!missing.empty()) needs.push_back({key, fleet_job.job, missing});
+    }
+    counters.estimates_reused += request.jobs.size() - needs.size();
+
+    auto run_one = [this, &request](const Need& need) {
+      core::EstimateRequest estimate;
+      estimate.job = need.job;
+      estimate.devices = need.missing;
+      estimate.allocators = {request.allocator};
+      estimate.estimators = {request.estimator};
+      estimate.allocator_config = request.allocator_config;
+      estimate.profile_iterations = request.profile_iterations;
+      estimate.tenant = request.tenant;
+      return service.sweep(estimate);
+    };
+
+    std::vector<core::EstimateReport> reports(needs.size());
+    if (pool && needs.size() > 1) {
+      std::vector<std::future<core::EstimateReport>> futures;
+      futures.reserve(needs.size());
+      for (const Need& need : needs) {
+        futures.push_back(pool->submit([&run_one, &need] {
+          return run_one(need);
+        }));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        reports[i] = futures[i].get();
+      }
+    } else {
+      for (std::size_t i = 0; i < needs.size(); ++i) {
+        reports[i] = run_one(needs[i]);
+      }
+    }
+
+    // Merge in need order so counter totals are thread-count-independent.
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+      Archetype& archetype = cache[needs[i].key];
+      for (const core::EstimateEntry& entry : reports[i].entries) {
+        if (!entry.supported) archetype.supported = false;
+        archetype.peak_by_device[entry.device] = entry.estimated_peak;
+      }
+      counters.profiles_run += reports[i].profiles_run;
+      counters.profile_cache_hits += reports[i].profile_cache_hits;
+      counters.replays_run += reports[i].replays_run;
+      counters.result_cache_hits += reports[i].result_cache_hits;
+    }
+  }
+
+  /// Multi-GPU fallback candidates for one archetype, cached per GPU
+  /// budget. The search shares the archetype's profile through the session
+  /// (profiles_run stays == distinct_jobs).
+  const std::vector<PlanCandidateLite>& plan_for(
+      const FleetRequest& request, const core::TrainJob& job,
+      const std::vector<gpu::DeviceModel>& devices, FleetCounters& counters) {
+    Archetype& archetype = cache[archetype_key(request, job)];
+    const auto it = archetype.plans.find(request.max_gpus_per_job);
+    if (it != archetype.plans.end()) return it->second;
+
+    core::PlanRequest plan;
+    plan.job = job;
+    plan.devices = devices;
+    plan.max_gpus = request.max_gpus_per_job;
+    plan.allocator = request.allocator;
+    plan.allocator_config = request.allocator_config;
+    plan.profile_iterations = request.profile_iterations;
+    plan.max_candidates = 16;
+    plan.tenant = request.tenant;
+    const core::PlanReport report = service.plan(plan);
+    counters.plans_run += 1;
+    counters.profiles_run += report.profiles_run;
+    counters.profile_cache_hits += report.profile_cache_hits;
+    counters.replays_run += report.replays_run;
+    counters.result_cache_hits += report.result_cache_hits;
+
+    std::vector<PlanCandidateLite> candidates;
+    for (const core::PlanCandidate& candidate : report.candidates) {
+      if (candidate.plan.gpus <= 1) continue;
+      PlanCandidateLite lite;
+      lite.data_parallel = candidate.plan.data_parallel;
+      lite.tensor_parallel = candidate.plan.tensor_parallel;
+      lite.pipeline_stages = candidate.plan.pipeline_stages;
+      lite.gpus = candidate.plan.gpus;
+      lite.rank_peak = candidate.replayed ? candidate.replayed_per_rank_peak
+                                          : candidate.plan.per_rank_peak;
+      candidates.push_back(lite);
+    }
+    return archetype.plans.emplace(request.max_gpus_per_job,
+                                   std::move(candidates))
+        .first->second;
+  }
+
+  static std::vector<std::size_t> pool_starts(
+      const std::vector<GpuPool>& pools) {
+    std::vector<std::size_t> starts(pools.size(), 0);
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+      starts[p] = next;
+      next += static_cast<std::size_t>(pools[p].count);
+    }
+    return starts;
+  }
+
+  /// Report fields for a job that was not placed: the cheapest-to-host
+  /// fleet device (minimum demand; pool order breaks ties).
+  static void fill_best_single(JobVerdict& verdict,
+                               const std::vector<GpuPool>& pools,
+                               const Archetype& archetype,
+                               const HeadroomPolicy& headroom) {
+    std::int64_t best_demand = -1;
+    std::set<std::string> seen;
+    for (const GpuPool& gpu_pool : pools) {
+      const std::string& name = gpu_pool.device.name;
+      if (!seen.insert(name).second) continue;
+      const std::int64_t peak = archetype.peak_by_device.at(name);
+      const std::int64_t demand = peak + headroom.bytes_for(name, peak);
+      if (best_demand < 0 || demand < best_demand) {
+        best_demand = demand;
+        verdict.predicted_peak = peak;
+        verdict.headroom_bytes = demand - peak;
+        verdict.demand_bytes = demand;
+      }
+    }
+  }
+
+  /// Place one job against the current slots (the shared packing step of
+  /// batch packs and incremental arrivals). Fills `verdict` and commits
+  /// into `result` on admit.
+  void place_job(const FleetRequest& request,
+                 const std::vector<GpuPool>& pools,
+                 const std::vector<std::size_t>& pool_start,
+                 const std::vector<gpu::DeviceModel>& plan_devices,
+                 const FleetJob& fleet_job, PackingPolicy& policy,
+                 PackResult& result, FleetCounters& counters,
+                 JobVerdict& verdict) {
+    const core::TrainJob& job = fleet_job.job;
+    verdict.id = fleet_job.id;
+    verdict.label = job.label();
+    verdict.priority = fleet_job.priority;
+    const Archetype& archetype = cache.at(archetype_key(request, job));
+    if (!archetype.supported) {
+      verdict.supported = false;
+      verdict.verdict = Verdict::kReject;
+      verdict.reason = "estimator '" + request.estimator +
+                       "' does not support this job";
+      return;
+    }
+
+    std::vector<SlotState>& slots = result.slots;
+    std::vector<std::int64_t> demands(slots.size(), 0);
+    std::vector<std::int64_t> peaks(slots.size(), 0);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::string& name = pools[slots[i].pool].device.name;
+      peaks[i] = archetype.peak_by_device.at(name);
+      demands[i] = peaks[i] + request.headroom.bytes_for(name, peaks[i]);
+    }
+
+    // Would any fleet device host this job on an empty fleet? That line
+    // separates defer (load problem) from the multi-GPU fallback.
+    bool single_feasible_empty = false;
+    for (std::size_t p = 0; p < pools.size() && !single_feasible_empty; ++p) {
+      const std::size_t slot = pool_start[p];
+      SlotState empty;
+      empty.pool = p;
+      empty.budget = slots[slot].budget;
+      if (policy.commit_bytes(demands[slot], empty) <= empty.budget) {
+        single_feasible_empty = true;
+      }
+    }
+
+    if (single_feasible_empty) {
+      const int chosen = policy.choose(slots, demands);
+      if (chosen >= 0) {
+        const std::int64_t commit =
+            policy.commit_bytes(demands[chosen], slots[chosen]);
+        slots[chosen].committed += commit;
+        slots[chosen].jobs += 1;
+        result.slot_predicted[chosen] += peaks[chosen];
+        verdict.verdict = Verdict::kAdmit;
+        verdict.gpus = 1;
+        verdict.predicted_peak = peaks[chosen];
+        verdict.headroom_bytes = demands[chosen] - peaks[chosen];
+        verdict.demand_bytes = demands[chosen];
+        Placement placement;
+        placement.pool = slots[chosen].pool;
+        placement.index = slots[chosen].index;
+        placement.device = pools[slots[chosen].pool].device.name;
+        placement.committed_bytes = commit;
+        verdict.placements.push_back(placement);
+      } else {
+        fill_best_single(verdict, pools, archetype, request.headroom);
+        verdict.verdict = Verdict::kDefer;
+        verdict.reason = "no GPU fits demand " +
+                         std::to_string(verdict.demand_bytes) +
+                         " bytes under current load";
+      }
+      return;
+    }
+
+    // Multi-GPU fallback: DistributedPlanner candidates, ranks co-located
+    // on one pool.
+    fill_best_single(verdict, pools, archetype, request.headroom);
+    if (request.max_gpus_per_job <= 1) {
+      verdict.verdict = Verdict::kReject;
+      verdict.reason = "fits no single GPU (min demand " +
+                       std::to_string(verdict.demand_bytes) +
+                       " bytes) and max_gpus_per_job=1 disables splitting";
+      return;
+    }
+    const std::vector<PlanCandidateLite>& candidates =
+        plan_for(request, job, plan_devices, counters);
+    bool any_feasible_empty = false;
+    for (const PlanCandidateLite& candidate : candidates) {
+      for (std::size_t p = 0; p < pools.size(); ++p) {
+        if (pools[p].count < candidate.gpus) continue;
+        const std::string& name = pools[p].device.name;
+        const std::int64_t budget = pools[p].device.job_budget();
+        const std::int64_t demand =
+            candidate.rank_peak +
+            request.headroom.bytes_for(name, candidate.rank_peak);
+        SlotState empty;
+        empty.pool = p;
+        empty.budget = budget;
+        if (policy.commit_bytes(demand, empty) > budget) continue;
+        any_feasible_empty = true;
+
+        const std::size_t start = pool_start[p];
+        const std::size_t count = static_cast<std::size_t>(pools[p].count);
+        std::vector<SlotState> slice(slots.begin() + start,
+                                     slots.begin() + start + count);
+        std::vector<std::int64_t> slice_demands(count, demand);
+        std::vector<int> chosen_local;
+        std::vector<std::int64_t> commits;
+        bool placed = true;
+        for (int rank = 0; rank < candidate.gpus; ++rank) {
+          const int chosen = policy.choose(slice, slice_demands);
+          if (chosen < 0) {
+            placed = false;
+            break;
+          }
+          const std::int64_t commit =
+              policy.commit_bytes(demand, slice[chosen]);
+          slice[chosen].committed += commit;
+          slice[chosen].jobs += 1;
+          // Ranks need distinct GPUs: poison the chosen slot's demand so
+          // the next rank cannot land on it again.
+          slice_demands[chosen] = std::numeric_limits<std::int64_t>::max() / 2;
+          chosen_local.push_back(chosen);
+          commits.push_back(commit);
+        }
+        if (!placed) continue;
+
+        std::copy(slice.begin(), slice.end(), slots.begin() + start);
+        verdict.verdict = Verdict::kAdmit;
+        verdict.gpus = candidate.gpus;
+        verdict.predicted_peak = candidate.rank_peak;
+        verdict.headroom_bytes = demand - candidate.rank_peak;
+        verdict.demand_bytes = demand;
+        verdict.split = "d" + std::to_string(candidate.data_parallel) + ",t" +
+                        std::to_string(candidate.tensor_parallel) + ",p" +
+                        std::to_string(candidate.pipeline_stages);
+        for (std::size_t rank = 0; rank < chosen_local.size(); ++rank) {
+          const std::size_t global = start + chosen_local[rank];
+          result.slot_predicted[global] += candidate.rank_peak;
+          Placement placement;
+          placement.pool = p;
+          placement.index = slots[global].index;
+          placement.device = name;
+          placement.committed_bytes = commits[rank];
+          verdict.placements.push_back(placement);
+        }
+        return;
+      }
+    }
+    if (any_feasible_empty) {
+      verdict.verdict = Verdict::kDefer;
+      verdict.reason =
+          "no pool has enough free GPUs for a multi-GPU split under current "
+          "load";
+    } else {
+      verdict.verdict = Verdict::kReject;
+      verdict.reason = "fits no single GPU (min demand " +
+                       std::to_string(verdict.demand_bytes) +
+                       " bytes) and no split within " +
+                       std::to_string(request.max_gpus_per_job) +
+                       " GPUs fits any pool";
+    }
+  }
+
+  static void compute_stats(const FleetRequest& request, PackResult& result) {
+    FleetStats stats;
+    stats.gpus_total = static_cast<int>(result.slots.size());
+    std::int64_t total_free = 0;
+    std::int64_t largest_free = 0;
+    for (std::size_t i = 0; i < result.slots.size(); ++i) {
+      const SlotState& slot = result.slots[i];
+      stats.total_budget_bytes += slot.budget;
+      stats.committed_bytes += slot.committed;
+      stats.predicted_bytes += result.slot_predicted[i];
+      if (slot.jobs > 0) stats.gpus_used += 1;
+      total_free += slot.free_bytes();
+      largest_free = std::max(largest_free, slot.free_bytes());
+    }
+    stats.jobs = static_cast<int>(result.verdicts.size());
+    for (const JobVerdict& verdict : result.verdicts) {
+      switch (verdict.verdict) {
+        case Verdict::kAdmit:
+          stats.admitted += 1;
+          break;
+        case Verdict::kDefer:
+          stats.deferred += 1;
+          break;
+        case Verdict::kReject:
+          stats.rejected += 1;
+          break;
+      }
+    }
+    std::set<std::string> distinct;
+    for (const FleetJob& fleet_job : request.jobs) {
+      distinct.insert(job_key(fleet_job.job));
+    }
+    stats.distinct_jobs = static_cast<int>(distinct.size());
+    stats.waste_bytes = stats.committed_bytes - stats.predicted_bytes;
+    if (stats.total_budget_bytes > 0) {
+      stats.utilization_pct = static_cast<int>(
+          100 * stats.predicted_bytes / stats.total_budget_bytes);
+      stats.committed_pct = static_cast<int>(
+          100 * stats.committed_bytes / stats.total_budget_bytes);
+    }
+    if (total_free > 0) {
+      stats.fragmentation_pct =
+          static_cast<int>(100 - 100 * largest_free / total_free);
+    }
+    result.stats = stats;
+  }
+
+  /// Pack the whole queue onto `pools`, mint-condition slots. Deterministic
+  /// given the archetype cache: ordered integer arithmetic only.
+  PackResult run_pack(const FleetRequest& request,
+                      const std::vector<GpuPool>& pools,
+                      const std::vector<gpu::DeviceModel>& plan_devices,
+                      PackingPolicy& policy, FleetCounters& counters) {
+    PackResult result;
+    const std::vector<std::size_t> starts = pool_starts(pools);
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+      for (int i = 0; i < pools[p].count; ++i) {
+        SlotState slot;
+        slot.pool = p;
+        slot.index = i;
+        slot.budget = pools[p].device.job_budget();
+        result.slots.push_back(slot);
+      }
+    }
+    result.slot_predicted.assign(result.slots.size(), 0);
+    result.verdicts.resize(request.jobs.size());
+
+    // Queue order: priority-major (higher first), arrival-minor; the policy
+    // then reorders within each priority class (BFD sorts by bytes).
+    std::vector<std::size_t> order(request.jobs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&request](std::size_t a, std::size_t b) {
+                       return request.jobs[a].priority >
+                              request.jobs[b].priority;
+                     });
+    std::vector<std::int64_t> reference(request.jobs.size(), 0);
+    for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+      const Archetype& archetype =
+          cache.at(archetype_key(request, request.jobs[i].job));
+      if (!archetype.supported) continue;
+      std::set<std::string> seen;
+      for (const GpuPool& gpu_pool : pools) {
+        if (!seen.insert(gpu_pool.device.name).second) continue;
+        reference[i] = std::max(
+            reference[i], archetype.peak_by_device.at(gpu_pool.device.name));
+      }
+    }
+    std::size_t seg = 0;
+    while (seg < order.size()) {
+      std::size_t end = seg + 1;
+      while (end < order.size() && request.jobs[order[end]].priority ==
+                                       request.jobs[order[seg]].priority) {
+        ++end;
+      }
+      std::vector<std::size_t> segment(order.begin() + seg,
+                                       order.begin() + end);
+      policy.reorder(segment, reference);
+      std::copy(segment.begin(), segment.end(), order.begin() + seg);
+      seg = end;
+    }
+
+    for (const std::size_t index : order) {
+      place_job(request, pools, starts, plan_devices, request.jobs[index],
+                policy, result, counters, result.verdicts[index]);
+    }
+    compute_stats(request, result);
+    return result;
+  }
+
+  FleetReport make_report(const FleetRequest& request,
+                          const std::vector<GpuPool>& pools,
+                          const PackResult& result,
+                          const FleetCounters& counters) const {
+    FleetReport report;
+    report.policy = request.policy;
+    report.pools = pools;
+    report.verdicts = result.verdicts;
+    for (std::size_t i = 0; i < result.slots.size(); ++i) {
+      const SlotState& slot = result.slots[i];
+      GpuState gpu;
+      gpu.pool = slot.pool;
+      gpu.index = slot.index;
+      gpu.device = pools[slot.pool].device.name;
+      gpu.budget_bytes = slot.budget;
+      gpu.committed_bytes = slot.committed;
+      gpu.predicted_bytes = result.slot_predicted[i];
+      gpu.jobs = slot.jobs;
+      report.gpus.push_back(gpu);
+    }
+    report.stats = result.stats;
+    report.counters = counters;
+    return report;
+  }
+
+  static WhatIfDelta make_delta(const std::vector<GpuPool>& added,
+                                const PackResult& base,
+                                const PackResult& after) {
+    WhatIfDelta delta;
+    delta.added_pools = added;
+    delta.admitted_delta = after.stats.admitted - base.stats.admitted;
+    delta.deferred_delta = after.stats.deferred - base.stats.deferred;
+    delta.rejected_delta = after.stats.rejected - base.stats.rejected;
+    delta.utilization_pct_delta =
+        after.stats.utilization_pct - base.stats.utilization_pct;
+    for (std::size_t i = 0; i < base.verdicts.size(); ++i) {
+      if (base.verdicts[i].verdict != Verdict::kAdmit &&
+          after.verdicts[i].verdict == Verdict::kAdmit) {
+        delta.newly_admitted.push_back(base.verdicts[i].id);
+      }
+    }
+    delta.stats_after = after.stats;
+    return delta;
+  }
+};
+
+FleetPlanner::FleetPlanner(core::EstimationService& service,
+                           FleetPlannerOptions options)
+    : impl_(std::make_unique<Impl>(service, options)) {}
+
+FleetPlanner::~FleetPlanner() = default;
+
+FleetReport FleetPlanner::pack(const FleetRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  FleetRequest materialized = request;
+  impl_->materialize_ids(materialized);
+  Impl::validate(materialized);
+  const std::unique_ptr<PackingPolicy> policy =
+      make_packing_policy(materialized.policy);
+  FleetCounters counters;
+  const std::vector<gpu::DeviceModel> devices =
+      Impl::distinct_devices({&materialized.pools, &materialized.what_if});
+  impl_->ensure_archetypes(materialized, devices, counters);
+  PackResult base = impl_->run_pack(materialized, materialized.pools, devices,
+                                    *policy, counters);
+  counters.pools_repacked = materialized.pools.size();
+  FleetReport report =
+      impl_->make_report(materialized, materialized.pools, base, counters);
+  if (!materialized.what_if.empty()) {
+    std::vector<GpuPool> augmented = materialized.pools;
+    augmented.insert(augmented.end(), materialized.what_if.begin(),
+                     materialized.what_if.end());
+    // The second pack reuses the archetype cache end to end, so its
+    // estimation cost is zero; report counters describe the base pack.
+    FleetCounters what_if_counters;
+    const PackResult after = impl_->run_pack(materialized, augmented, devices,
+                                             *policy, what_if_counters);
+    report.what_if = Impl::make_delta(materialized.what_if, base, after);
+  }
+  impl_->has_state = true;
+  impl_->state_request = materialized;
+  impl_->state_request.what_if.clear();
+  impl_->state_result = std::move(base);
+  impl_->next_auto_id = materialized.jobs.size();
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+FleetReport FleetPlanner::apply(const JobArrival& event) {
+  const auto start = std::chrono::steady_clock::now();
+  Impl& impl = *impl_;
+  if (!impl.has_state) {
+    throw std::logic_error("FleetPlanner::apply before pack()");
+  }
+  FleetJob job = event.job;
+  auto id_taken = [&impl](const std::string& id) {
+    for (const FleetJob& existing : impl.state_request.jobs) {
+      if (existing.id == id) return true;
+    }
+    return false;
+  };
+  if (job.id.empty()) {
+    do {
+      job.id = "job-" + std::to_string(impl.next_auto_id);
+      impl.next_auto_id += 1;
+    } while (id_taken(job.id));
+  } else if (id_taken(job.id)) {
+    throw std::invalid_argument("fleet apply: duplicate job id '" + job.id +
+                                "'");
+  }
+
+  const std::unique_ptr<PackingPolicy> policy =
+      make_packing_policy(impl.state_request.policy);
+  // Fast path: an order-preserving policy packs in queue order, so a new
+  // job that sorts last (priority <= everything pending) is placed against
+  // the existing state — provably equal to a full repack.
+  bool sorts_last = true;
+  for (const FleetJob& existing : impl.state_request.jobs) {
+    if (existing.priority < job.priority) {
+      sorts_last = false;
+      break;
+    }
+  }
+  const bool fast = policy->order_preserving() && sorts_last;
+
+  impl.state_request.jobs.push_back(job);
+  FleetCounters counters;
+  const std::vector<gpu::DeviceModel> devices =
+      Impl::distinct_devices({&impl.state_request.pools});
+  impl.ensure_archetypes(impl.state_request, devices, counters);
+
+  if (fast) {
+    const std::vector<std::size_t> starts =
+        Impl::pool_starts(impl.state_request.pools);
+    impl.state_result.verdicts.emplace_back();
+    impl.place_job(impl.state_request, impl.state_request.pools, starts,
+                   devices, job, *policy, impl.state_result, counters,
+                   impl.state_result.verdicts.back());
+    Impl::compute_stats(impl.state_request, impl.state_result);
+    counters.pools_repacked =
+        impl.state_result.verdicts.back().verdict == Verdict::kAdmit ? 1 : 0;
+  } else {
+    impl.state_result = impl.run_pack(
+        impl.state_request, impl.state_request.pools, devices, *policy,
+        counters);
+    counters.pools_repacked = impl.state_request.pools.size();
+  }
+  FleetReport report = impl.make_report(
+      impl.state_request, impl.state_request.pools, impl.state_result,
+      counters);
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+FleetReport FleetPlanner::apply(const JobFinish& event) {
+  const auto start = std::chrono::steady_clock::now();
+  Impl& impl = *impl_;
+  if (!impl.has_state) {
+    throw std::logic_error("FleetPlanner::apply before pack()");
+  }
+  std::size_t index = impl.state_request.jobs.size();
+  for (std::size_t i = 0; i < impl.state_request.jobs.size(); ++i) {
+    if (impl.state_request.jobs[i].id == event.id) {
+      index = i;
+      break;
+    }
+  }
+  if (index == impl.state_request.jobs.size()) {
+    throw std::invalid_argument("fleet apply: unknown job id '" + event.id +
+                                "'");
+  }
+  const bool was_admitted =
+      impl.state_result.verdicts[index].verdict == Verdict::kAdmit;
+  impl.state_request.jobs.erase(impl.state_request.jobs.begin() +
+                                static_cast<std::ptrdiff_t>(index));
+  impl.state_result.verdicts.erase(impl.state_result.verdicts.begin() +
+                                   static_cast<std::ptrdiff_t>(index));
+
+  FleetCounters counters;
+  if (was_admitted) {
+    // Freed capacity can cascade (a deferred job may now fit), so repack —
+    // pure integer arithmetic, every estimate served from the cache.
+    const std::unique_ptr<PackingPolicy> policy =
+        make_packing_policy(impl.state_request.policy);
+    const std::vector<gpu::DeviceModel> devices =
+        Impl::distinct_devices({&impl.state_request.pools});
+    counters.estimates_reused = impl.state_request.jobs.size();
+    impl.state_result = impl.run_pack(
+        impl.state_request, impl.state_request.pools, devices, *policy,
+        counters);
+    counters.pools_repacked = impl.state_request.pools.size();
+  } else {
+    // A deferred/rejected job never held capacity: placements stand.
+    Impl::compute_stats(impl.state_request, impl.state_result);
+  }
+  FleetReport report = impl.make_report(
+      impl.state_request, impl.state_request.pools, impl.state_result,
+      counters);
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+WhatIfDelta FleetPlanner::what_if(const FleetRequest& request,
+                                  const std::vector<GpuPool>& added_pools) {
+  if (added_pools.empty()) {
+    throw std::invalid_argument(
+        "fleet what-if: added pools must be non-empty");
+  }
+  FleetRequest materialized = request;
+  materialized.what_if = added_pools;
+  impl_->materialize_ids(materialized);
+  Impl::validate(materialized);
+  const std::unique_ptr<PackingPolicy> policy =
+      make_packing_policy(materialized.policy);
+  FleetCounters counters;
+  const std::vector<gpu::DeviceModel> devices =
+      Impl::distinct_devices({&materialized.pools, &materialized.what_if});
+  impl_->ensure_archetypes(materialized, devices, counters);
+  const PackResult base = impl_->run_pack(materialized, materialized.pools,
+                                          devices, *policy, counters);
+  std::vector<GpuPool> augmented = materialized.pools;
+  augmented.insert(augmented.end(), added_pools.begin(), added_pools.end());
+  const PackResult after = impl_->run_pack(materialized, augmented, devices,
+                                           *policy, counters);
+  return Impl::make_delta(added_pools, base, after);
+}
+
+}  // namespace xmem::sched

@@ -1,0 +1,277 @@
+// Fleet packing: plan a queue of heterogeneous training jobs onto a
+// heterogeneous GPU fleet from CPU-side estimates.
+//
+// The paper's motivation (§1) is cluster admission control: schedulers
+// reserve whole GPUs because they cannot trust memory estimates. The
+// FleetPlanner closes that loop — per-job peaks come through
+// core::EstimationService (ONE CPU profile per *distinct* job archetype,
+// however long the queue; `profiles_run == distinct_jobs` is the
+// acceptance proof), a pluggable PackingPolicy turns those peaks plus a
+// configurable headroom into placements, and jobs too big for any single
+// card fall back to DistributedPlanner candidates consuming multiple
+// slots of one pool.
+//
+// Three layers on top of the batch pack:
+//   * pack(FleetRequest) -> FleetReport — placements, per-job
+//     admit/defer/reject verdicts, fleet utilization/fragmentation stats;
+//   * apply(JobArrival | JobFinish) — incremental re-planning against the
+//     cached estimates (a trailing arrival under an order-preserving
+//     policy touches at most one pool; everything else repacks with pure
+//     integer arithmetic, zero new profiles);
+//   * what_if(request, added_pools) — diff two packs of the same queue
+//     ("what does adding 8xA100 buy?") sharing one archetype cache.
+//
+// Determinism contract matches sweep/plan: serial and ThreadPool-fanned
+// packs produce byte-identical FleetReports (the fan-out only computes
+// per-archetype estimates; packing itself is ordered integer arithmetic).
+//
+// Surfaces: EstimationService::fleet(), `xmem fleet REQUEST.json`, and the
+// server's `fleet` data-plane method (docs/SCHEDULER.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimation_service.h"
+#include "sched/packing_policy.h"
+
+namespace xmem::sched {
+
+/// One queue entry: a training job with an admission priority. Queue order
+/// is priority-major (higher first), arrival-minor.
+struct FleetJob {
+  std::string id;  ///< unique; from_json fills "job-<index>" when absent
+  core::TrainJob job;
+  int priority = 0;
+
+  static FleetJob from_json(const util::Json& json, std::size_t index);
+  util::Json to_json() const;
+};
+
+/// `count` identical devices. The fleet is a list of pools; slot order —
+/// the order first-fit scans — is pool-major, index-minor.
+struct GpuPool {
+  gpu::DeviceModel device;
+  int count = 0;
+
+  static GpuPool from_json(const util::Json& json, const std::string& context);
+  util::Json to_json() const;
+};
+
+/// Safety margin added on top of the predicted peak before packing:
+/// absolute bytes plus a percent of the prediction.
+struct HeadroomRule {
+  std::int64_t absolute_bytes = 0;
+  int percent = 0;
+};
+
+/// Fleet headroom: one base rule, optionally overridden per device name.
+struct HeadroomPolicy {
+  HeadroomRule base;
+  std::map<std::string, HeadroomRule> per_device;  ///< keyed by device name
+
+  std::int64_t bytes_for(const std::string& device_name,
+                         std::int64_t predicted_peak) const;
+
+  static HeadroomPolicy from_json(const util::Json& json);
+  util::Json to_json() const;
+};
+
+/// The full packing question: queue + fleet + policy knobs. JSON
+/// round-trips through from_json/to_json — the schema `xmem fleet` and the
+/// server's `fleet` method consume (docs/SCHEDULER.md).
+struct FleetRequest {
+  std::vector<FleetJob> jobs;
+  std::vector<GpuPool> pools;
+  /// Packing policy registry name (packing_policy.h).
+  std::string policy = "first-fit";
+  HeadroomPolicy headroom;
+  std::string estimator = "xMem";
+  std::string allocator = alloc::kDefaultBackendName;
+  std::map<std::string, alloc::BackendKnobs> allocator_config;
+  int profile_iterations = 3;
+  /// GPU budget for the DistributedPlanner fallback when a job fits no
+  /// single device. 1 disables multi-GPU placement.
+  int max_gpus_per_job = 8;
+  /// Same semantics as EstimateRequest::tenant.
+  std::string tenant;
+  /// Extra pools to diff against: non-empty asks pack() to attach a
+  /// WhatIfDelta for "this fleet plus these pools".
+  std::vector<GpuPool> what_if;
+
+  static FleetRequest from_json(const util::Json& json);
+  util::Json to_json() const;
+};
+
+enum class Verdict : std::uint8_t { kAdmit, kDefer, kReject };
+const char* to_string(Verdict verdict);
+
+/// One GPU slot granted to a job (one per rank for multi-GPU jobs).
+struct Placement {
+  std::size_t pool = 0;
+  int index = 0;           ///< device index within the pool
+  std::string device;      ///< pool's device name (for self-contained JSON)
+  std::int64_t committed_bytes = 0;
+};
+
+/// Per-job answer. admit = placed; defer = feasible on an empty fleet but
+/// not under the current load; reject = infeasible even empty (no single
+/// device fits and no <= max_gpus_per_job split of any pool does either).
+struct JobVerdict {
+  std::string id;
+  std::string label;
+  int priority = 0;
+  Verdict verdict = Verdict::kReject;
+  bool supported = true;
+  /// Predicted peak on the chosen (or best) device; per rank when gpus > 1.
+  std::int64_t predicted_peak = 0;
+  std::int64_t headroom_bytes = 0;
+  std::int64_t demand_bytes = 0;  ///< predicted_peak + headroom
+  int gpus = 0;                   ///< slots consumed (0 unless admitted)
+  std::string split;              ///< "d2,t1,p2" when a plan fallback placed it
+  std::vector<Placement> placements;
+  std::string reason;  ///< set for defer/reject
+
+  util::Json to_json() const;
+};
+
+/// Post-pack state of one GPU slot.
+struct GpuState {
+  std::size_t pool = 0;
+  int index = 0;
+  std::string device;
+  std::int64_t budget_bytes = 0;
+  std::int64_t committed_bytes = 0;
+  std::int64_t predicted_bytes = 0;  ///< sum of placed jobs' predicted peaks
+  int jobs = 0;
+
+  util::Json to_json() const;
+};
+
+/// Fleet-level outcome. All percents are integer-truncated so reports stay
+/// byte-identical across platforms. `utilization_pct` is predicted job
+/// bytes over total budget — the number the whole-gpu baseline loses on;
+/// `committed_pct` counts demand + headroom as committed by the policy;
+/// `fragmentation_pct` is how scattered the free bytes are
+/// (100 - 100 * largest_free / total_free).
+struct FleetStats {
+  int gpus_total = 0;
+  int gpus_used = 0;
+  int jobs = 0;
+  int admitted = 0;
+  int deferred = 0;
+  int rejected = 0;
+  int distinct_jobs = 0;  ///< distinct archetypes in the queue
+  std::int64_t total_budget_bytes = 0;
+  std::int64_t committed_bytes = 0;
+  std::int64_t predicted_bytes = 0;  ///< admitted jobs' predicted peaks
+  std::int64_t waste_bytes = 0;      ///< committed - predicted
+  int utilization_pct = 0;
+  int committed_pct = 0;
+  int fragmentation_pct = 0;
+
+  util::Json to_json() const;
+};
+
+/// Diff of two packs of the same queue: the base fleet vs base + added
+/// pools. Shares the archetype cache, so the second pack costs zero
+/// profiles.
+struct WhatIfDelta {
+  std::vector<GpuPool> added_pools;
+  int admitted_delta = 0;
+  int deferred_delta = 0;
+  int rejected_delta = 0;
+  int utilization_pct_delta = 0;
+  /// Job ids whose verdict improved to admit with the added pools.
+  std::vector<std::string> newly_admitted;
+  FleetStats stats_after;
+
+  util::Json to_json() const;
+};
+
+/// Estimation / packing work performed, proving the profile-once win:
+/// `profiles_run == distinct_jobs` on a cold session, regardless of queue
+/// length; incremental applies show `estimates_reused` instead.
+struct FleetCounters {
+  std::size_t profiles_run = 0;
+  std::size_t profile_cache_hits = 0;
+  std::size_t replays_run = 0;
+  std::size_t result_cache_hits = 0;
+  std::size_t plans_run = 0;        ///< DistributedPlanner fallback searches
+  std::size_t estimates_reused = 0; ///< jobs served from the archetype cache
+  std::size_t pools_repacked = 0;   ///< pools the last pack/apply touched
+
+  util::Json to_json() const;
+};
+
+struct FleetReport {
+  std::string policy;
+  std::vector<GpuPool> pools;
+  std::vector<JobVerdict> verdicts;  ///< arrival order (not packing order)
+  std::vector<GpuState> gpus;        ///< slot order
+  FleetStats stats;
+  FleetCounters counters;
+  std::optional<WhatIfDelta> what_if;
+  double wall_seconds = 0.0;
+
+  /// `include_timings=false` omits wall_seconds, leaving the deterministic
+  /// payload (golden diffs, serial-vs-threaded identity, server replies).
+  util::Json to_json(bool include_timings = true) const;
+};
+
+/// Incremental events. Arrival ids must be unique (empty = auto-assigned);
+/// finishing an unknown id throws std::invalid_argument.
+struct JobArrival {
+  FleetJob job;
+};
+struct JobFinish {
+  std::string id;
+};
+
+struct FleetPlannerOptions {
+  /// Worker threads for the per-archetype estimate fan-out. 0 = hardware
+  /// default (capped at 8); 1 = fully serial on the caller's thread —
+  /// byte-identical reports either way.
+  std::size_t threads = 0;
+};
+
+/// Packs fleets through an EstimationService. Holds the archetype cache
+/// and the last pack's state for incremental apply(); not thread-safe —
+/// one planner per caller (the service's sweep/plan it calls into are).
+class FleetPlanner {
+ public:
+  explicit FleetPlanner(core::EstimationService& service,
+                        FleetPlannerOptions options = {});
+  ~FleetPlanner();
+
+  FleetPlanner(const FleetPlanner&) = delete;
+  FleetPlanner& operator=(const FleetPlanner&) = delete;
+
+  /// Batch-pack the request and seed the incremental state. Attaches a
+  /// WhatIfDelta when request.what_if is non-empty.
+  FleetReport pack(const FleetRequest& request);
+
+  /// Incremental re-plan after pack(): a trailing-priority arrival under
+  /// an order-preserving policy places only the new job (provably equal to
+  /// a full repack); anything else repacks from cached estimates. The
+  /// returned report's verdicts/gpus/stats equal a fresh pack of the same
+  /// final queue; counters expose the reuse. Throws std::logic_error
+  /// before any pack(), std::invalid_argument on duplicate/unknown ids.
+  FleetReport apply(const JobArrival& event);
+  FleetReport apply(const JobFinish& event);
+
+  /// Diff request.pools vs request.pools + added_pools for the same queue.
+  /// Does not disturb the incremental state.
+  WhatIfDelta what_if(const FleetRequest& request,
+                      const std::vector<GpuPool>& added_pools);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xmem::sched

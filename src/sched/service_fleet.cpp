@@ -1,0 +1,17 @@
+// EstimationService::fleet lives here (not estimation_service.cpp) so the
+// core service header only forward-declares the sched types — sched depends
+// on core, never the other way around.
+#include "core/estimation_service.h"
+#include "sched/fleet_planner.h"
+
+namespace xmem::core {
+
+sched::FleetReport EstimationService::fleet(
+    const sched::FleetRequest& request) {
+  sched::FleetPlannerOptions options;
+  options.threads = options_.threads;
+  sched::FleetPlanner planner(*this, options);
+  return planner.pack(request);
+}
+
+}  // namespace xmem::core

@@ -95,6 +95,10 @@ util::Json Client::plan(const util::Json& request, const std::string& tenant) {
   return call_checked(request_envelope("plan", &request, tenant)).at("report");
 }
 
+util::Json Client::fleet(const util::Json& request, const std::string& tenant) {
+  return call_checked(request_envelope("fleet", &request, tenant)).at("report");
+}
+
 util::Json Client::stats() {
   return call_checked(request_envelope("stats", nullptr, std::string()))
       .at("stats");

@@ -1,7 +1,8 @@
 // Client side of the `xmem serve` wire protocol (server/protocol.h).
 //
 // Two layers:
-//   * typed calls — sweep()/plan()/stats()/ping()/shutdown_server() frame an
+//   * typed calls — sweep()/plan()/fleet()/stats()/ping()/shutdown_server()
+//     frame an
 //     envelope, send it, and unwrap the reply; an `ok: false` reply raises a
 //     RequestError carrying the server's stable error code and message.
 //   * raw access — send_bytes()/half_close()/read_reply() for tests that
@@ -61,6 +62,8 @@ class Client {
                    const std::string& tenant = std::string());
   util::Json plan(const util::Json& request,
                   const std::string& tenant = std::string());
+  util::Json fleet(const util::Json& request,
+                   const std::string& tenant = std::string());
   util::Json stats();
   void ping();
   /// Ask the daemon to drain and exit. Returns once the server acknowledged.

@@ -6,7 +6,7 @@
 //
 //   request:  {"type": "sweep"|"plan"|"stats"|"ping"|"shutdown",
 //              "id": <any JSON, echoed back>, "tenant": "name",
-//              "request": {...sweep/plan document...}}
+//              "request": {...sweep/plan/fleet document...}}
 //   reply:    {"id": ..., "ok": true,  "type": ..., "report"/"stats": {...}}
 //   error:    {"id": ..., "ok": false, "error": {"code": "...",
 //                                                "message": "..."}}

@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include "sched/fleet_planner.h"
+
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -29,7 +31,7 @@ namespace {
 /// reply bytes apart from being faster.
 struct Outcome {
   bool ok = true;
-  std::string type;     ///< "sweep" | "plan"
+  std::string type;     ///< "sweep" | "plan" | "fleet"
   util::Json payload;   ///< the report (include_timings=false)
   std::string code;     ///< error code when !ok
   std::string message;  ///< error message when !ok
@@ -38,9 +40,10 @@ using OutcomePtr = std::shared_ptr<const Outcome>;
 
 struct Job {
   std::string key;
-  bool is_plan = false;
+  std::string type;  ///< "sweep" | "plan" | "fleet"
   core::EstimateRequest sweep;
   core::PlanRequest plan;
+  sched::FleetRequest fleet;
   std::promise<OutcomePtr> promise;
 };
 
@@ -505,14 +508,14 @@ std::string Server::Impl::handle_payload(const std::string& payload,
     reply["draining"] = util::Json(true);
     return reply.dump();
   }
-  if (type == "sweep" || type == "plan") {
+  if (type == "sweep" || type == "plan" || type == "fleet") {
     return dispatch_data_request(envelope, id, type).dump();
   }
   request_errors.fetch_add(1);
   return make_error_envelope(
              id, kErrUnsupportedType,
              "unknown request type '" + type +
-                 "'; expected sweep|plan|stats|ping|shutdown")
+                 "'; expected sweep|plan|fleet|stats|ping|shutdown")
       .dump();
 }
 
@@ -527,17 +530,21 @@ util::Json Server::Impl::dispatch_data_request(const util::Json& envelope,
   // means cosmetically different but semantically identical requests share
   // one coalescing key.
   Job job;
-  job.is_plan = (type == "plan");
+  job.type = type;
   try {
     if (!envelope.contains("request")) {
       throw std::invalid_argument("envelope: missing \"request\" document");
     }
     const std::string tenant = envelope.get_string_or("tenant", "");
     std::string canonical;
-    if (job.is_plan) {
+    if (type == "plan") {
       job.plan = core::PlanRequest::from_json(envelope.at("request"));
       if (!tenant.empty()) job.plan.tenant = tenant;
       canonical = job.plan.to_json().dump();
+    } else if (type == "fleet") {
+      job.fleet = sched::FleetRequest::from_json(envelope.at("request"));
+      if (!tenant.empty()) job.fleet.tenant = tenant;
+      canonical = job.fleet.to_json().dump();
     } else {
       job.sweep = core::EstimateRequest::from_json(envelope.at("request"));
       if (!tenant.empty()) job.sweep.tenant = tenant;
@@ -637,11 +644,14 @@ OutcomePtr Server::Impl::execute_job(Job& job) {
         std::chrono::milliseconds(config().handler_delay_ms));
   }
   auto outcome = std::make_shared<Outcome>();
-  outcome->type = job.is_plan ? "plan" : "sweep";
+  outcome->type = job.type;
   try {
-    if (job.is_plan) {
+    if (job.type == "plan") {
       outcome->payload =
           service.plan(job.plan).to_json(/*include_timings=*/false);
+    } else if (job.type == "fleet") {
+      outcome->payload =
+          service.fleet(job.fleet).to_json(/*include_timings=*/false);
     } else {
       outcome->payload =
           service.sweep(job.sweep).to_json(/*include_timings=*/false);

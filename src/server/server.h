@@ -28,7 +28,7 @@
 //
 // Control-plane requests (ping/stats/shutdown) are answered inline on the
 // connection thread so they work even when the work queue is saturated;
-// data-plane requests (sweep/plan) go through admission + the worker pool.
+// data-plane requests (sweep/plan/fleet) go through admission + the worker pool.
 #pragma once
 
 #include <atomic>
@@ -46,7 +46,7 @@ struct ServerConfig {
   /// Filesystem path of the Unix-domain socket. A stale socket file at the
   /// path is unlinked before bind (the daemon owns its path).
   std::string socket_path;
-  /// Worker threads executing sweep/plan requests.
+  /// Worker threads executing sweep/plan/fleet requests.
   std::size_t workers = 4;
   /// Data-plane requests allowed to wait for a worker; one more may be
   /// executing per worker. Beyond this: `server_busy` error frames.
@@ -73,7 +73,7 @@ struct ServerStats {
   std::uint64_t frames_received = 0;    ///< well-framed payloads read
   std::uint64_t requests_total = 0;     ///< parsed envelopes, any type
   std::uint64_t data_requests = 0;      ///< sweep + plan arrivals
-  std::uint64_t executed = 0;           ///< sweep/plan actually run
+  std::uint64_t executed = 0;           ///< sweep/plan/fleet actually run
   std::uint64_t coalesced_inflight = 0; ///< collapsed onto an in-flight twin
   std::uint64_t reply_cache_hits = 0;   ///< served a completed twin's reply
   std::uint64_t busy_rejections = 0;    ///< server_busy error frames sent

@@ -16,6 +16,10 @@
 //                  GPU budget; the top-K candidates are re-simulated per
 //                  rank through the allocator tower; one CPU profile for
 //                  the whole two-phase search)
+//   xmem fleet    REQUEST.json [--out FILE] [--no-timings] [--serial]
+//                 (fleet packing: a queue of jobs placed onto a
+//                  heterogeneous GPU fleet under a packing policy, with
+//                  admit/defer/reject verdicts per job — docs/SCHEDULER.md)
 //   xmem serve    --socket PATH [--workers N] [--queue N]
 //                 [--service-threads N] [--profile-cache N]
 //                 [--tenant-quota N] [--reject-over-quota] [--max-frame N]
@@ -23,20 +27,22 @@
 //                  length-prefixed JSON frames, request coalescing,
 //                  per-tenant quotas, graceful SIGTERM/SIGINT shutdown —
 //                  docs/SERVER.md)
-//   xmem request  --socket PATH (--sweep FILE | --plan FILE | --stats |
-//                 --ping | --shutdown | --raw FILE)
+//   xmem request  --socket PATH (--sweep FILE | --plan FILE | --fleet FILE
+//                 | --stats | --ping | --shutdown | --raw FILE)
 //                 [--tenant NAME] [--out FILE] [--timeout MS]
-//                 (one request against a running daemon; sweep/plan print
-//                  the same report JSON as the offline subcommands)
+//                 (one request against a running daemon; sweep/plan/fleet
+//                  print the same report JSON as the offline subcommands)
 //   xmem models
 //   xmem devices
 //   xmem backends
 //   xmem estimators
+//   xmem policies
 //
 // Exit code for `estimate`/`verify`: 0 = fits the device, 2 = predicted
 // OOM, 1 = usage/config error — so shell scripts can gate submissions on it.
-// `sweep`/`plan`: 0 on success (per-device verdicts live in the report),
-// 1 on usage/config error (including malformed request JSON).
+// `sweep`/`plan`/`fleet`: 0 on success (per-device / per-job verdicts live
+// in the report), 1 on usage/config error (including malformed request
+// JSON).
 // `request`: 0 on an ok reply, 2 when the server answered with an error
 // frame (code + message on stderr), 1 on usage/transport error.
 #include <csignal>
@@ -54,6 +60,8 @@
 #include "gpu/ground_truth.h"
 #include "models/workload.h"
 #include "models/zoo.h"
+#include "sched/fleet_planner.h"
+#include "sched/packing_policy.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/bytes.h"
@@ -77,19 +85,24 @@ int usage() {
                "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
                "                [--refine-top-k N | --no-refine]\n"
+               "  xmem fleet    REQUEST.json [--out FILE] [--no-timings] "
+               "[--serial]\n"
                "  xmem serve    --socket PATH [--workers N] [--queue N]\n"
                "                [--service-threads N] [--profile-cache N]\n"
                "                [--tenant-quota N] [--reject-over-quota]\n"
                "                [--max-frame BYTES]\n"
                "  xmem request  --socket PATH (--sweep FILE | --plan FILE |\n"
-               "                --stats | --ping | --shutdown | --raw FILE)\n"
+               "                --fleet FILE | --stats | --ping | --shutdown "
+               "|\n"
+               "                --raw FILE)\n"
                "                [--tenant NAME] [--out FILE] [--timeout MS]\n"
                "  xmem models\n"
                "  xmem devices\n"
                "  xmem backends   (allocator models for --allocator; knobbed\n"
                "                   backends list their \"allocator_config\"\n"
                "                   request keys)\n"
-               "  xmem estimators (estimation engines for --estimator)\n");
+               "  xmem estimators (estimation engines for --estimator)\n"
+               "  xmem policies   (packing policies for fleet requests)\n");
   return 1;
 }
 
@@ -117,6 +130,7 @@ struct Cli {
   std::string tenant;
   std::string sweep_file;
   std::string plan_file;
+  std::string fleet_file;
   std::string raw_file;
   bool stats = false;
   bool ping = false;
@@ -203,6 +217,10 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       const char* v = next("--plan");
       if (v == nullptr) return false;
       cli.plan_file = v;
+    } else if (arg == "--fleet") {
+      const char* v = next("--fleet");
+      if (v == nullptr) return false;
+      cli.fleet_file = v;
     } else if (arg == "--raw") {
       const char* v = next("--raw");
       if (v == nullptr) return false;
@@ -254,7 +272,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
-    } else if ((cli.command == "sweep" || cli.command == "plan") &&
+    } else if ((cli.command == "sweep" || cli.command == "plan" ||
+                cli.command == "fleet") &&
                cli.request_file.empty()) {
       cli.request_file = arg;
     } else {
@@ -307,6 +326,17 @@ int list_estimators() {
     std::printf("%-12s %s\n", name.c_str(),
                 core::estimator_description(name).c_str());
   }
+  return 0;
+}
+
+int list_policies() {
+  for (const std::string& name : sched::packing_policy_names()) {
+    std::printf("%-20s %s\n", name.c_str(),
+                sched::packing_policy_description(name).c_str());
+  }
+  std::printf(
+      "\nselected per fleet request via \"policy\": \"<name>\"\n"
+      "(see docs/SCHEDULER.md for packing semantics)\n");
   return 0;
 }
 
@@ -470,6 +500,14 @@ util::Json respond_plan(const Cli& cli, const util::Json& document) {
   return service.plan(request).to_json(/*include_timings=*/!cli.no_timings);
 }
 
+util::Json respond_fleet(const Cli& cli, const util::Json& document) {
+  const sched::FleetRequest request = sched::FleetRequest::from_json(document);
+  core::ServiceOptions service_options;
+  if (cli.serial) service_options.threads = 1;
+  core::EstimationService service(service_options);
+  return service.fleet(request).to_json(/*include_timings=*/!cli.no_timings);
+}
+
 // --- serve ------------------------------------------------------------------
 
 server::Server* g_server = nullptr;  ///< signal handler target
@@ -579,12 +617,13 @@ int run_request(const Cli& cli) {
   }
   const int kinds = (cli.sweep_file.empty() ? 0 : 1) +
                     (cli.plan_file.empty() ? 0 : 1) +
+                    (cli.fleet_file.empty() ? 0 : 1) +
                     (cli.raw_file.empty() ? 0 : 1) + (cli.stats ? 1 : 0) +
                     (cli.ping ? 1 : 0) + (cli.shutdown ? 1 : 0);
   if (kinds != 1) {
     std::fprintf(stderr,
-                 "request needs exactly one of --sweep/--plan/--stats/"
-                 "--ping/--shutdown/--raw\n");
+                 "request needs exactly one of --sweep/--plan/--fleet/"
+                 "--stats/--ping/--shutdown/--raw\n");
     return 1;
   }
   if (!cli.raw_file.empty()) return run_raw_request(cli);
@@ -605,18 +644,21 @@ int run_request(const Cli& cli) {
       return emit_result(cli, client.stats().dump(2));
     }
     const bool is_plan = !cli.plan_file.empty();
-    const std::string& path = is_plan ? cli.plan_file : cli.sweep_file;
+    const bool is_fleet = !cli.fleet_file.empty();
+    const std::string& path =
+        is_plan ? cli.plan_file : (is_fleet ? cli.fleet_file : cli.sweep_file);
     std::string text;
     if (!read_file(path, text)) {
       std::fprintf(stderr, "cannot open request file: %s\n", path.c_str());
       return 1;
     }
     const util::Json request = util::Json::parse(text);
-    // Same rendering as the offline sweep/plan subcommands with
+    // Same rendering as the offline sweep/plan/fleet subcommands with
     // --no-timings (the server always strips timings), so both paths diff
     // against the same golden reports.
-    const util::Json report = is_plan ? client.plan(request, cli.tenant)
-                                      : client.sweep(request, cli.tenant);
+    const util::Json report = is_plan    ? client.plan(request, cli.tenant)
+                              : is_fleet ? client.fleet(request, cli.tenant)
+                                         : client.sweep(request, cli.tenant);
     return emit_result(cli, report.dump(2));
   } catch (const server::RequestError& error) {
     std::fprintf(stderr, "server error: %s\n", error.what());
@@ -637,10 +679,12 @@ int main(int argc, char** argv) {
     if (cli.command == "devices") return list_devices();
     if (cli.command == "backends") return list_backends();
     if (cli.command == "estimators") return list_estimators();
+    if (cli.command == "policies") return list_policies();
     if (cli.command == "estimate") return run_estimate(cli, /*verify=*/false);
     if (cli.command == "verify") return run_estimate(cli, /*verify=*/true);
     if (cli.command == "sweep") return run_request_command(cli, respond_sweep);
     if (cli.command == "plan") return run_request_command(cli, respond_plan);
+    if (cli.command == "fleet") return run_request_command(cli, respond_fleet);
     if (cli.command == "serve") return run_serve(cli);
     if (cli.command == "request") return run_request(cli);
   } catch (const std::exception& e) {

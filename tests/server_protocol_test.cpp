@@ -218,7 +218,7 @@ TEST(ServerProtocol, UnknownTypeNamesTheExpectedTypes) {
   // The id echoes back and the message lists what WOULD have worked.
   EXPECT_EQ(parsed.at("id").as_int(), 9);
   EXPECT_NE(reply.find("teleport"), std::string::npos) << reply;
-  EXPECT_NE(reply.find("sweep|plan|stats|ping|shutdown"), std::string::npos)
+  EXPECT_NE(reply.find("sweep|plan|fleet|stats|ping|shutdown"), std::string::npos)
       << reply;
   daemon.stop();
 }
