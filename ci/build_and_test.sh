@@ -150,6 +150,46 @@ else
 fi
 rm -f "${plan_actual}"
 
+# --- xmem plan overlap-window smoke ----------------------------------------
+# The same straddle fixture with comm_overlap on: collectives replay as
+# schedule-tied windows and the refined prefix is re-ranked by the
+# window-replayed peaks. The golden pins the re-ranked order plus the
+# window-vs-resident columns; the greps pin that the re-ranking actually
+# moved candidates and that the search still ran exactly one CPU profile.
+
+overlap_golden="${FIXTURE_DIR}/plan_report_overlap.json"
+overlap_actual="$(mktemp)"
+"${BUILD_DIR}/src/xmem_cli" plan "${FIXTURE_DIR}/plan_request_overlap.json" \
+  --no-timings > "${overlap_actual}"
+if ! grep -q '"profiles_run": 1,' "${overlap_actual}"; then
+  echo "OVERLAP SMOKE: the window-mode search must run exactly one CPU profile" >&2
+  GOLDEN_FAILED=1
+fi
+if ! grep -qE '"rerank_changed": [1-9]' "${overlap_actual}"; then
+  echo "OVERLAP SMOKE: window replay must re-rank at least one candidate" >&2
+  GOLDEN_FAILED=1
+fi
+if ! grep -q '"comm_overlap": true' "${overlap_actual}"; then
+  echo "OVERLAP SMOKE: report must echo the comm_overlap flag" >&2
+  GOLDEN_FAILED=1
+fi
+if grep -q '"comm_overlap"' "${plan_golden}"; then
+  echo "OVERLAP SMOKE: resident-mode golden must not carry window-mode keys" >&2
+  GOLDEN_FAILED=1
+fi
+if [[ "${UPDATE_GOLDENS}" == "1" ]]; then
+  cp "${overlap_actual}" "${overlap_golden}"
+  echo "updated ${overlap_golden}"
+elif ! diff -u "${overlap_golden}" "${overlap_actual}" > /dev/null; then
+  echo "OVERLAP SMOKE MISMATCH: window-mode report schema or payload changed" >&2
+  diff -u "${overlap_golden}" "${overlap_actual}" >&2 || true
+  echo "If intentional, regenerate: ci/build_and_test.sh --update-goldens" >&2
+  GOLDEN_FAILED=1
+else
+  echo "plan overlap smoke ok"
+fi
+rm -f "${overlap_actual}"
+
 # --- xmem fleet smoke ------------------------------------------------------
 # Fleet packing end to end: 6 jobs from 2 archetypes onto one 3060 with a
 # what-if pool. The golden pins verdicts/placements/stats/delta; the greps
@@ -192,6 +232,7 @@ for bad in "${FIXTURE_DIR}"/bad_*.json; do
   # fleet-shaped ones (jobs/pools) only through the fleet parser.
   subcommand=sweep
   case "$(basename "${bad}")" in
+    bad_overlap*) subcommand=plan ;;
     bad_refine*) subcommand=plan ;;
     bad_fleet*) subcommand=fleet ;;
   esac

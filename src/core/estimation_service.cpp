@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "core/estimator_registry.h"
 #include "core/sequence_transform.h"
@@ -373,6 +374,16 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
     throw std::invalid_argument(
         "plan request: \"refine_top_k\" must be >= 0");
   }
+  if (json.contains("comm_overlap")) {
+    if (!json.at("comm_overlap").is_bool()) {
+      throw std::invalid_argument(
+          "plan request: \"comm_overlap\" must be a boolean (true simulates "
+          "collectives as schedule-tied overlap windows and re-ranks refined "
+          "candidates by window-replayed peaks; omit it or pass false for "
+          "resident staging buffers)");
+    }
+    request.comm_overlap = json.at("comm_overlap").as_bool();
+  }
   request.tenant = json.get_string_or("tenant", "");
   return request;
 }
@@ -397,6 +408,8 @@ util::Json PlanRequest::to_json() const {
   json["max_candidates"] =
       util::Json(static_cast<std::int64_t>(max_candidates));
   json["refine_top_k"] = util::Json(refine_top_k);
+  // Emitted only when set so resident-mode documents round-trip unchanged.
+  if (comm_overlap) json["comm_overlap"] = util::Json(true);
   if (!tenant.empty()) json["tenant"] = util::Json(tenant);
   return json;
 }
@@ -455,6 +468,19 @@ util::Json PlanCandidate::to_json(
     }
     replay["fits"] = std::move(replay_verdicts);
     replay["verdict_changed"] = util::Json(verdict_changed);
+    if (window_mode) {
+      // Overlap-window refinement: the peaks above are window-mode; keep
+      // the resident baseline next to them (these keys only appear under
+      // comm_overlap, so resident-mode reports stay byte-identical).
+      util::Json resident_array = util::Json::array();
+      for (const std::int64_t peak : resident_rank_peaks) {
+        resident_array.push_back(util::Json(peak));
+      }
+      replay["resident_rank_peaks_bytes"] = std::move(resident_array);
+      replay["resident_per_rank_peak_bytes"] =
+          util::Json(resident_per_rank_peak);
+      replay["window_vs_resident_pct"] = util::Json(window_vs_resident_pct);
+    }
     json["replay"] = std::move(replay);
   }
   return json;
@@ -463,6 +489,8 @@ util::Json PlanCandidate::to_json(
 util::Json PlanReport::to_json(bool include_timings) const {
   util::Json json = util::Json::object();
   json["schema_version"] = util::Json(1);
+  // Emitted only when set, so resident-mode reports stay byte-identical.
+  if (comm_overlap) json["comm_overlap"] = util::Json(true);
   json["job"] = job_to_json(job);
   util::Json single = util::Json::object();
   single["analytic_peak_bytes"] = util::Json(single_device_peak);
@@ -489,6 +517,11 @@ util::Json PlanReport::to_json(bool include_timings) const {
       util::Json(static_cast<std::int64_t>(replayed_candidates));
   counters["rank_replays"] =
       util::Json(static_cast<std::int64_t>(rank_replays_run));
+  if (comm_overlap) {
+    // Only under comm_overlap, so resident-mode reports stay byte-identical.
+    counters["rerank_changed"] =
+        util::Json(static_cast<std::int64_t>(rerank_changed));
+  }
   counters["result_cache_hits"] =
       util::Json(static_cast<std::int64_t>(result_cache_hits));
   json["stage_counters"] = std::move(counters);
@@ -942,7 +975,21 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
       thread_local RankScratch scratch;
       thread_local ReplayScratch replay_scratch;
       candidate.replayed_rank_peaks.assign(ranks, 0);
+      // Overlap-window mode replays every rank twice — resident first for
+      // the baseline, then with schedule-tied windows — so the report can
+      // state what the windows saved (window_vs_resident_pct).
+      if (request.comm_overlap) candidate.resident_rank_peaks.assign(ranks, 0);
       for (std::size_t r = 0; r < ranks; ++r) {
+        if (request.comm_overlap) {
+          transform.comm_overlap = false;
+          const OrchestratedSequence& resident = transformer.rank_sequence(
+              transform, candidate.plan.stages, ranks, r, scratch);
+          candidate.resident_rank_peaks[r] =
+              simulator.replay(resident, sim_options, &replay_scratch)
+                  .peak_device;
+          counters.rank_replays.fetch_add(1);
+          transform.comm_overlap = true;
+        }
         const OrchestratedSequence& sequence = transformer.rank_sequence(
             transform, candidate.plan.stages, ranks, r, scratch);
         const SimulationResult simulation =
@@ -954,6 +1001,19 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
       candidate.replayed_per_rank_peak = *std::max_element(
           candidate.replayed_rank_peaks.begin(),
           candidate.replayed_rank_peaks.end());
+      if (request.comm_overlap) {
+        candidate.window_mode = true;
+        candidate.resident_per_rank_peak = *std::max_element(
+            candidate.resident_rank_peaks.begin(),
+            candidate.resident_rank_peaks.end());
+        if (candidate.resident_per_rank_peak > 0) {
+          candidate.window_vs_resident_pct = static_cast<int>(
+              100 *
+              (candidate.replayed_per_rank_peak -
+               candidate.resident_per_rank_peak) /
+              candidate.resident_per_rank_peak);
+        }
+      }
       if (candidate.plan.per_rank_peak > 0) {
         candidate.analytic_vs_replayed_pct = static_cast<int>(
             100 *
@@ -971,7 +1031,45 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
           candidate.replayed_device_fits != candidate.device_fits;
       counters.replayed_candidates.fetch_add(1);
     });
+
+    // Overlap-window mode: the replayed peaks are the ranking, not an
+    // annotation. Re-sort the refined prefix by the window-replayed
+    // verdicts (same tie chain as phase 1, replayed fields substituted);
+    // the unrefined tail keeps its analytic order behind it. Runs on the
+    // calling thread after the fan-out barrier, so serial and threaded
+    // searches stay byte-identical.
+    if (request.comm_overlap) {
+      const auto key_of = [](const PlanCandidate& c) {
+        return std::make_tuple(c.plan.data_parallel, c.plan.tensor_parallel,
+                               c.plan.pipeline_stages);
+      };
+      std::vector<std::tuple<int, int, int>> before;
+      before.reserve(refine_count);
+      for (std::size_t i = 0; i < refine_count; ++i) {
+        before.push_back(key_of(report.candidates[i]));
+      }
+      std::sort(report.candidates.begin(),
+                report.candidates.begin() +
+                    static_cast<std::ptrdiff_t>(refine_count),
+                [](const PlanCandidate& a, const PlanCandidate& b) {
+                  if (a.replayed_fits_count != b.replayed_fits_count)
+                    return a.replayed_fits_count > b.replayed_fits_count;
+                  if (a.plan.gpus != b.plan.gpus)
+                    return a.plan.gpus < b.plan.gpus;
+                  if (a.replayed_per_rank_peak != b.replayed_per_rank_peak)
+                    return a.replayed_per_rank_peak < b.replayed_per_rank_peak;
+                  if (a.plan.data_parallel != b.plan.data_parallel)
+                    return a.plan.data_parallel < b.plan.data_parallel;
+                  if (a.plan.tensor_parallel != b.plan.tensor_parallel)
+                    return a.plan.tensor_parallel < b.plan.tensor_parallel;
+                  return a.plan.pipeline_stages < b.plan.pipeline_stages;
+                });
+      for (std::size_t i = 0; i < refine_count; ++i) {
+        if (key_of(report.candidates[i]) != before[i]) ++report.rerank_changed;
+      }
+    }
   }
+  report.comm_overlap = request.comm_overlap;
 
   report.replayed_candidates = counters.replayed_candidates.load();
   report.rank_replays_run = counters.rank_replays.load();

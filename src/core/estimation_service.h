@@ -177,6 +177,15 @@ struct PlanRequest {
   /// 4 since the reset-based replay path costs ~0.93 ms/candidate
   /// (docs/PLANNER.md); `xmem plan --no-refine` forces 0.
   int refine_top_k = 4;
+  /// Simulate collectives as schedule-tied overlap windows instead of
+  /// resident staging buffers, and RE-RANK the refined candidates by their
+  /// window-replayed peaks (`xmem plan --comm-overlap`). Each refined
+  /// candidate is replayed twice per rank — resident and window mode — so
+  /// the report can state `window_vs_resident_pct`; the ranking moves when
+  /// the replayed order disagrees with the analytic one
+  /// (`stage_counters.rerank_changed`). Off by default: reports stay
+  /// byte-identical to the resident-mode behavior.
+  bool comm_overlap = false;
   /// Same semantics as EstimateRequest::tenant.
   std::string tenant;
 
@@ -213,6 +222,18 @@ struct PlanCandidate {
   /// the fidelity gain the paper's §3.4 argument predicts.
   bool verdict_changed = false;
 
+  /// Overlap-window refinement (PlanRequest::comm_overlap): the replayed_*
+  /// fields above then hold the window-mode peaks (what the re-rank
+  /// orders by), and the resident-mode baseline is kept alongside so the
+  /// report can state what the schedule-tied windows saved.
+  bool window_mode = false;
+  std::vector<std::int64_t> resident_rank_peaks;
+  std::int64_t resident_per_rank_peak = 0;
+  /// 100 * (window - resident) / resident, integer-truncated (<= 0 when
+  /// the overlap windows shrink the collective footprint — the expected
+  /// direction, since every window is bounded by its resident buffer).
+  int window_vs_resident_pct = 0;
+
   util::Json to_json(const std::vector<gpu::DeviceModel>& devices) const;
 };
 
@@ -232,6 +253,11 @@ struct PlanReport {
   std::size_t candidates_evaluated = 0;  ///< before any max_candidates cap
   std::size_t replayed_candidates = 0;   ///< candidates refined per rank
   std::size_t rank_replays_run = 0;      ///< simulator replays in the refine
+  /// Overlap-window mode (request.comm_overlap): the refined prefix was
+  /// re-ranked by window-replayed peaks; rerank_changed counts the refined
+  /// candidates whose final position differs from their analytic one.
+  bool comm_overlap = false;
+  std::size_t rerank_changed = 0;
   std::size_t profiles_run = 0;
   std::size_t profile_cache_hits = 0;
   std::size_t replays_run = 0;

@@ -77,6 +77,24 @@ const OrchestratedSequence& SequenceTransformer::rank_sequence(
   std::int64_t max_forward_bytes = 0;   ///< post-shard (all-reduce payload)
   std::int64_t max_param_gather = 0;    ///< TP-sharded, un-DP-sharded params
 
+  // Overlap-window anchors (window mode only). Per-component vectors carry
+  // one trailing slot for unattributed blocks.
+  const bool windows = options.inject_collectives && options.comm_overlap;
+  const std::size_t comp_slots = component_names_.size() + 1;
+  util::TimeUs optimizer_start_ts = -1;
+  util::TimeUs first_sync_ts = -1;
+  util::TimeUs last_sync_end = -1;
+  bool sync_persistent = false;
+  std::int64_t max_sync_bytes = 0;  ///< largest actually-synchronized block
+  if (windows) {
+    scratch.grad_marks.clear();
+    scratch.comp_param.assign(comp_slots, 0);
+    scratch.fwd_start.assign(comp_slots, -1);
+    scratch.fwd_end.assign(comp_slots, -1);
+    scratch.bwd_start.assign(comp_slots, -1);
+    scratch.bwd_end.assign(comp_slots, -1);
+  }
+
   for (std::size_t i = 0; i < base_.blocks.size(); ++i) {
     const MemoryBlock& block = base_.blocks[i];
     const std::int32_t component = block_component_[i];
@@ -85,11 +103,13 @@ const OrchestratedSequence& SequenceTransformer::rank_sequence(
 
     // 1) Tensor parallelism.
     std::int64_t bytes = block.size;
+    bool tp_synced = false;  ///< this block's output is all-reduced (t > 1)
     if (t > 1 && (component < 0 || !replicated[component])) {
       switch (block.phase) {
         case Phase::kForward: {
           const std::int64_t replicated_bytes = bytes * replication_pct / 100;
           bytes = replicated_bytes + ceil_div(bytes - replicated_bytes, t);
+          tp_synced = true;
           break;
         }
         case Phase::kModelLoad:
@@ -104,6 +124,12 @@ const OrchestratedSequence& SequenceTransformer::rank_sequence(
     }
     if (block.phase == Phase::kModelLoad) {
       max_param_gather = std::max(max_param_gather, bytes);
+      if (windows) {
+        const std::size_t slot = component < 0
+                                     ? component_names_.size()
+                                     : static_cast<std::size_t>(component);
+        scratch.comp_param[slot] = std::max(scratch.comp_param[slot], bytes);
+      }
     }
 
     // 2) Data parallelism (batch shard + ZeRO state shard).
@@ -149,6 +175,41 @@ const OrchestratedSequence& SequenceTransformer::rank_sequence(
         (first_backward_ts < 0 || block.alloc_ts < first_backward_ts)) {
       first_backward_ts = block.alloc_ts;
     }
+    if (windows) {
+      // Window anchors use the block's final (post-shard, post-scaling)
+      // bytes, so every window stays bounded by its resident counterpart.
+      const std::size_t slot = component < 0
+                                   ? component_names_.size()
+                                   : static_cast<std::size_t>(component);
+      const util::TimeUs end_ts =
+          block.persistent() ? block.alloc_ts : block.free_ts;
+      if (block.phase == Phase::kForward) {
+        if (scratch.fwd_start[slot] < 0 ||
+            block.alloc_ts < scratch.fwd_start[slot]) {
+          scratch.fwd_start[slot] = block.alloc_ts;
+        }
+        scratch.fwd_end[slot] = std::max(scratch.fwd_end[slot], end_ts);
+        if (tp_synced) {
+          if (first_sync_ts < 0 || block.alloc_ts < first_sync_ts) {
+            first_sync_ts = block.alloc_ts;
+          }
+          if (block.persistent()) sync_persistent = true;
+          last_sync_end = std::max(last_sync_end, end_ts);
+          max_sync_bytes = std::max(max_sync_bytes, bytes);
+        }
+      } else if (block.phase == Phase::kBackward) {
+        if (scratch.bwd_start[slot] < 0 ||
+            block.alloc_ts < scratch.bwd_start[slot]) {
+          scratch.bwd_start[slot] = block.alloc_ts;
+        }
+        scratch.bwd_end[slot] = std::max(scratch.bwd_end[slot], end_ts);
+        if (d > 1) scratch.grad_marks.emplace_back(block.alloc_ts, bytes);
+      } else if (block.phase == Phase::kOptimizerStep) {
+        if (optimizer_start_ts < 0 || block.alloc_ts < optimizer_start_ts) {
+          optimizer_start_ts = block.alloc_ts;
+        }
+      }
+    }
 
     out.events.push_back(
         OrchestratedEvent{block.alloc_ts, block.id, bytes, true});
@@ -163,37 +224,158 @@ const OrchestratedSequence& SequenceTransformer::rank_sequence(
     }
   }
 
-  // 4) Collective-communication buffers, as ordinary resident events.
-  if (options.inject_collectives) {
-    std::int64_t next_id = next_buffer_id_;
-    const auto inject = [&](const char* kind, std::int64_t bytes,
-                            util::TimeUs ts) {
-      if (bytes <= 0) return;
-      if (ts < 0) ts = first_ts < 0 ? 0 : first_ts;
-      scratch.buffers.push_back(CollectiveBuffer{kind, bytes, ts, next_id});
-      out.events.push_back(OrchestratedEvent{ts, next_id, bytes, true});
-      if (options.materialize_blocks) {
-        MemoryBlock block;
-        block.id = next_id;
-        block.size = bytes;
-        block.alloc_ts = ts;
-        block.free_ts = -1;
-        block.component = std::string("__collective:") + kind;
-        block.phase = Phase::kOther;
-        out.blocks.push_back(std::move(block));
-      }
-      ++next_id;
-    };
+  // 4) Collective-communication buffers: resident events by default,
+  // schedule-tied overlap windows (paired alloc/free) under comm_overlap.
+  std::int64_t next_id = next_buffer_id_;
+  const auto inject = [&](const char* kind, std::int64_t bytes,
+                          util::TimeUs ts, util::TimeUs free_ts) {
+    if (bytes <= 0) return;
+    if (ts < 0) ts = first_ts < 0 ? 0 : first_ts;
+    scratch.buffers.push_back(
+        CollectiveBuffer{kind, bytes, ts, free_ts, next_id});
+    out.events.push_back(OrchestratedEvent{ts, next_id, bytes, true});
+    if (free_ts >= 0) {
+      out.events.push_back(OrchestratedEvent{free_ts, next_id, bytes, false});
+    }
+    if (options.materialize_blocks) {
+      MemoryBlock block;
+      block.id = next_id;
+      block.size = bytes;
+      block.alloc_ts = ts;
+      block.free_ts = free_ts;
+      block.component = std::string("__collective:") + kind;
+      block.phase = Phase::kOther;
+      out.blocks.push_back(std::move(block));
+    }
+    ++next_id;
+  };
+
+  if (options.inject_collectives && !options.comm_overlap) {
     if (d > 1) {
       for (int b = 0; b < options.ddp_bucket_count; ++b) {
-        inject("ddp_bucket", options.ddp_bucket_bytes, first_backward_ts);
+        inject("ddp_bucket", options.ddp_bucket_bytes, first_backward_ts, -1);
       }
       if (options.zero >= ZeroStage::kFull) {
-        inject("zero3_allgather", max_param_gather, first_ts);
+        inject("zero3_allgather", max_param_gather, first_ts, -1);
       }
     }
     if (t > 1) {
-      inject("tp_allreduce", max_forward_bytes, first_forward_ts);
+      inject("tp_allreduce", max_forward_bytes, first_forward_ts, -1);
+    }
+  } else if (windows) {
+    // DDP buckets: the rank's gradient payload, in completion order, cut
+    // into buckets of at most ddp_bucket_bytes — one bucket per distinct
+    // completion timestamp (an oversized gradient gets one capped bucket,
+    // the PyTorch rule; the cap is what keeps every bucket bounded by its
+    // resident counterpart). Bucket b drains when bucket b + depth is born
+    // — its all-reduce must have completed to admit a new one — and the
+    // trailing buckets drain at the optimizer step. Births are strictly
+    // increasing and frees sort before allocs on timestamp ties, so at
+    // most `depth` buckets are ever live.
+    if (d > 1 && options.ddp_bucket_count > 0 &&
+        options.ddp_bucket_bytes > 0 && !scratch.grad_marks.empty()) {
+      auto& marks = scratch.grad_marks;
+      std::sort(marks.begin(), marks.end());
+      std::size_t merged = 0;
+      for (std::size_t i = 0; i < marks.size(); ++i) {
+        if (merged > 0 && marks[merged - 1].first == marks[i].first) {
+          marks[merged - 1].second += marks[i].second;
+        } else {
+          marks[merged++] = marks[i];
+        }
+      }
+      marks.resize(merged);
+      auto& births = scratch.bucket_births;
+      births.clear();
+      std::int64_t accum = 0;
+      for (const auto& [ts, payload] : marks) {
+        accum += payload;
+        if (accum >= options.ddp_bucket_bytes) {
+          births.emplace_back(ts, options.ddp_bucket_bytes);
+          accum = 0;
+        }
+      }
+      if (accum > 0 &&
+          (births.empty() || births.back().first != marks.back().first)) {
+        // Tail payload below the threshold gets the final flush bucket
+        // (when its timestamp already carries a bucket, the cap absorbed
+        // it above).
+        births.emplace_back(marks.back().first,
+                            std::min(accum, options.ddp_bucket_bytes));
+      }
+      const std::size_t depth =
+          static_cast<std::size_t>(options.ddp_bucket_count);
+      for (std::size_t b = 0; b < births.size(); ++b) {
+        const util::TimeUs birth = births[b].first;
+        util::TimeUs death = -1;
+        if (b + depth < births.size()) {
+          death = births[b + depth].first;
+        } else if (optimizer_start_ts >= 0) {
+          death = std::max(optimizer_start_ts, birth + 1);
+        }
+        inject("ddp_bucket", births[b].second, birth, death);
+      }
+    }
+
+    // ZeRO-3 parameter gathers: paired gather/release around each
+    // component's forward window and again around its backward window,
+    // sized by the component's largest TP-sharded (un-DP-sharded)
+    // parameter block. Serialized — a new gather releases the previous
+    // one (prefetch depth 1) — so at most one is live at any event index
+    // and each is bounded by the resident mode's single max-sized buffer.
+    if (d > 1 && options.zero >= ZeroStage::kFull) {
+      auto& gathers = scratch.gathers;
+      gathers.clear();
+      for (std::size_t c = 0; c < comp_slots; ++c) {
+        const std::int64_t bytes = scratch.comp_param[c];
+        if (bytes <= 0) continue;
+        if (scratch.fwd_start[c] >= 0) {
+          gathers.push_back(
+              {scratch.fwd_start[c],
+               std::max(scratch.fwd_end[c], scratch.fwd_start[c] + 1),
+               bytes});
+        }
+        if (scratch.bwd_start[c] >= 0) {
+          gathers.push_back(
+              {scratch.bwd_start[c],
+               std::max(scratch.bwd_end[c], scratch.bwd_start[c] + 1),
+               bytes});
+        }
+      }
+      std::sort(gathers.begin(), gathers.end(),
+                [](const RankScratch::GatherWindow& a,
+                   const RankScratch::GatherWindow& b) {
+                  if (a.start != b.start) return a.start < b.start;
+                  if (a.end != b.end) return a.end < b.end;
+                  return a.bytes < b.bytes;
+                });
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < gathers.size(); ++i) {
+        if (kept > 0 && gathers[kept - 1].start == gathers[i].start) {
+          // Same gather instant: the depth-1 arena holds the larger tensor.
+          gathers[kept - 1].bytes =
+              std::max(gathers[kept - 1].bytes, gathers[i].bytes);
+          gathers[kept - 1].end =
+              std::max(gathers[kept - 1].end, gathers[i].end);
+        } else {
+          gathers[kept++] = gathers[i];
+        }
+      }
+      gathers.resize(kept);
+      for (std::size_t i = 0; i < gathers.size(); ++i) {
+        util::TimeUs end = gathers[i].end;
+        if (i + 1 < gathers.size()) end = std::min(end, gathers[i + 1].start);
+        inject("zero3_allgather", gathers[i].bytes, gathers[i].start, end);
+      }
+    }
+
+    // TP all-reduce staging: sized from the actual synchronized blocks and
+    // alive only across the span they cover (resident when a synchronized
+    // block never frees).
+    if (t > 1 && max_sync_bytes > 0 && first_sync_ts >= 0) {
+      const util::TimeUs end =
+          sync_persistent ? -1 : std::max(last_sync_end, first_sync_ts + 1);
+      inject("tp_allreduce", max_sync_bytes, first_sync_ts, end);
     }
   }
 

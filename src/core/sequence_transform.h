@@ -29,16 +29,46 @@
 //      Forward bytes scale by in_flight/micro_batches where in_flight =
 //      min(total_chunks - chunk, micro_batches), mirroring the 1F1B
 //      in-flight accounting of the analytic stage model.
-//   4. Collective-communication buffers — injected as ordinary
-//      alloc events (free_ts = -1: resident through the peak window, the
-//      same accounting the analytic model applies), so the simulator needs
-//      no new concepts: `ddp_bucket_count` DDP gradient buckets from the
-//      first backward block (d > 1), one all-reduce staging buffer sized
-//      like the largest sharded forward block from the first forward block
-//      (t > 1), and one parameter all-gather staging buffer sized like the
-//      largest TP-sharded (but un-DP-sharded) parameter block (ZeRO-3,
-//      d > 1). This generalizes the previously hard-coded "2 x 25 MiB DDP
-//      buckets" constant.
+//   4. Collective-communication buffers — injected as ordinary alloc/free
+//      events, so the simulator needs no new concepts. Two fidelity modes:
+//
+//      Resident (comm_overlap = false, the default — byte-identical to the
+//      original behavior): every buffer is a resident alloc (free_ts = -1,
+//      the same accounting the analytic model applies): `ddp_bucket_count`
+//      DDP gradient buckets from the first backward block (d > 1), one
+//      all-reduce staging buffer sized like the largest sharded forward
+//      block from the first forward block (t > 1) — a deliberately coarse
+//      formula that also counts replicated (never-synchronized) blocks,
+//      kept for golden stability — and one parameter all-gather staging
+//      buffer sized like the largest TP-sharded (but un-DP-sharded)
+//      parameter block (ZeRO-3, d > 1). This generalizes the previously
+//      hard-coded "2 x 25 MiB DDP buckets" constant.
+//
+//      Overlap windows (comm_overlap = true): buffers are schedule-tied,
+//      with paired alloc/free events instead of resident allocs:
+//        - DDP buckets partition the rank's backward (gradient) payload in
+//          execution order; a bucket is born when its owning slice of
+//          backward blocks completes (one bucket per distinct completion
+//          timestamp, capped at `ddp_bucket_bytes`) and dies when its
+//          all-reduce drains — modelled as the birth of the bucket
+//          `ddp_bucket_count` positions later (the classic overlap depth),
+//          with the trailing buckets released at the optimizer step. At
+//          most `ddp_bucket_count` buckets are live at any event index,
+//          never earlier than the resident mode's first-backward anchor.
+//        - TP all-reduce staging is sized from the actual synchronized
+//          blocks (the largest TP-sharded forward block; replicated
+//          components never all-reduce, so they no longer inflate it) and
+//          lives only across the span those blocks cover.
+//        - ZeRO-3 parameter all-gathers are paired gather/release events
+//          around each component's forward window and again around its
+//          backward window (the re-gather), sized by the component's
+//          largest TP-sharded (un-DP-sharded) parameter block. Windows are
+//          serialized — a new gather releases the previous one (prefetch
+//          depth 1) — so at most one gather is live at a time.
+//      Every window-mode buffer is bounded by its resident counterpart in
+//      both size and lifetime, so window-mode live collective bytes never
+//      exceed resident-mode at any event index (asserted per event in
+//      tests/comm_overlap_test.cpp).
 //
 // Everything is deterministic integer arithmetic over an immutable base
 // sequence: a SequenceTransformer is built once per plan search and shared
@@ -74,6 +104,10 @@ struct RankTransformOptions {
   /// Inject the collective-communication buffer events of step 4. Property
   /// tests disable this to check byte conservation of the pure transforms.
   bool inject_collectives = true;
+  /// Emit collectives as schedule-tied overlap windows (paired alloc/free
+  /// events) instead of resident buffers. Off by default: the resident
+  /// path stays byte-identical to the pre-window behavior.
+  bool comm_overlap = false;
   /// Also materialize the per-rank MemoryBlock vector (component names and
   /// all). The simulator only consumes events; the service disables this on
   /// the hot path so the transform stays string-copy free.
@@ -86,6 +120,10 @@ struct CollectiveBuffer {
   std::string kind;  ///< "ddp_bucket" | "tp_allreduce" | "zero3_allgather"
   std::int64_t bytes = 0;
   util::TimeUs alloc_ts = 0;
+  /// Release timestamp in overlap-window mode; -1 = resident (every
+  /// resident-mode buffer, plus the rare window that never closes, e.g. TP
+  /// staging spanning a persistent forward block).
+  util::TimeUs free_ts = -1;
   std::int64_t block_id = 0;
 };
 
@@ -97,6 +135,20 @@ struct RankScratch {
   /// Transform-internal working sets, kept here so they reuse capacity too.
   std::vector<std::size_t> chunk_of;
   std::vector<char> replicated;
+  /// Overlap-window working sets (only touched when comm_overlap is set).
+  /// grad_marks: per-timestamp backward payload, merged and bucketed into
+  /// DDP windows. The per-component vectors anchor the ZeRO-3 gather
+  /// windows; the trailing slot holds unattributed blocks.
+  std::vector<std::pair<util::TimeUs, std::int64_t>> grad_marks;
+  std::vector<std::pair<util::TimeUs, std::int64_t>> bucket_births;
+  std::vector<std::int64_t> comp_param;
+  std::vector<util::TimeUs> fwd_start, fwd_end, bwd_start, bwd_end;
+  struct GatherWindow {
+    util::TimeUs start = 0;
+    util::TimeUs end = 0;
+    std::int64_t bytes = 0;
+  };
+  std::vector<GatherWindow> gathers;
 };
 
 class SequenceTransformer {

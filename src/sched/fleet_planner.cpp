@@ -195,6 +195,15 @@ FleetRequest FleetRequest::from_json(const util::Json& json) {
       static_cast<int>(json.get_int_or("profile_iterations", 3));
   request.max_gpus_per_job =
       static_cast<int>(json.get_int_or("max_gpus_per_job", 8));
+  if (json.contains("comm_overlap")) {
+    if (!json.at("comm_overlap").is_bool()) {
+      throw std::invalid_argument(
+          "fleet request: \"comm_overlap\" must be a boolean (true makes "
+          "the multi-GPU plan fallback simulate collectives as overlap "
+          "windows; omit it or pass false for resident staging buffers)");
+    }
+    request.comm_overlap = json.at("comm_overlap").as_bool();
+  }
   request.tenant = json.get_string_or("tenant", "");
   if (json.contains("what_if")) {
     if (!json.at("what_if").is_array()) {
@@ -227,6 +236,8 @@ util::Json FleetRequest::to_json() const {
   }
   json["profile_iterations"] = util::Json(profile_iterations);
   json["max_gpus_per_job"] = util::Json(max_gpus_per_job);
+  // Emitted only when set so resident-mode documents round-trip unchanged.
+  if (comm_overlap) json["comm_overlap"] = util::Json(true);
   if (!tenant.empty()) json["tenant"] = util::Json(tenant);
   if (!what_if.empty()) {
     util::Json added = util::Json::array();
@@ -410,7 +421,8 @@ struct FleetPlanner::Impl {
   static std::string request_scope(const FleetRequest& request) {
     return request.estimator + "|" + request.allocator + "|" +
            core::allocator_config_to_json(request.allocator_config).dump() +
-           "|i" + std::to_string(request.profile_iterations);
+           "|i" + std::to_string(request.profile_iterations) +
+           (request.comm_overlap ? "|ow1" : "|ow0");
   }
 
   static std::string archetype_key(const FleetRequest& request,
@@ -604,6 +616,7 @@ struct FleetPlanner::Impl {
     plan.allocator_config = request.allocator_config;
     plan.profile_iterations = request.profile_iterations;
     plan.max_candidates = 16;
+    plan.comm_overlap = request.comm_overlap;
     plan.tenant = request.tenant;
     const core::PlanReport report = service.plan(plan);
     counters.plans_run += 1;

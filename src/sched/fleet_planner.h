@@ -97,6 +97,11 @@ struct FleetRequest {
   /// GPU budget for the DistributedPlanner fallback when a job fits no
   /// single device. 1 disables multi-GPU placement.
   int max_gpus_per_job = 8;
+  /// Forwarded to the plan fallback (core::PlanRequest::comm_overlap):
+  /// simulate collectives as schedule-tied overlap windows and rank the
+  /// fallback candidates by window-replayed peaks. Part of the archetype
+  /// cache scope, so cached peaks never cross modes.
+  bool comm_overlap = false;
   /// Same semantics as EstimateRequest::tenant.
   std::string tenant;
   /// Extra pools to diff against: non-empty asks pack() to attach a

@@ -11,11 +11,13 @@
 //                  request's optional "allocator_config" object maps a
 //                  backend name to its integer policy knobs)
 //   xmem plan     REQUEST.json [--out FILE] [--no-timings] [--serial]
-//                 [--refine-top-k N | --no-refine]
+//                 [--refine-top-k N | --no-refine] [--comm-overlap]
 //                 (multi-GPU planner: ranked DPxTPxPP decompositions of a
 //                  GPU budget; the top-K candidates are re-simulated per
 //                  rank through the allocator tower; one CPU profile for
-//                  the whole two-phase search)
+//                  the whole two-phase search. --comm-overlap simulates
+//                  collectives as schedule-tied overlap windows and
+//                  re-ranks the refined candidates by window peaks)
 //   xmem fleet    REQUEST.json [--out FILE] [--no-timings] [--serial]
 //                 (fleet packing: a queue of jobs placed onto a
 //                  heterogeneous GPU fleet under a packing policy, with
@@ -84,7 +86,8 @@ int usage() {
                "[--serial]\n"
                "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
-               "                [--refine-top-k N | --no-refine]\n"
+               "                [--refine-top-k N | --no-refine] "
+               "[--comm-overlap]\n"
                "  xmem fleet    REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
                "  xmem serve    --socket PATH [--workers N] [--queue N]\n"
@@ -123,6 +126,7 @@ struct Cli {
   bool serial = false;
   bool no_refine = false;
   int refine_top_k = -1;  ///< -1: keep the request document's value
+  bool comm_overlap = false;  ///< --comm-overlap: overlap-window simulation
   int iterations = 3;
 
   // serve / request
@@ -201,6 +205,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.serial = true;
     } else if (arg == "--no-refine") {
       cli.no_refine = true;
+    } else if (arg == "--comm-overlap") {
+      cli.comm_overlap = true;
     } else if (arg == "--socket") {
       const char* v = next("--socket");
       if (v == nullptr) return false;
@@ -494,6 +500,7 @@ util::Json respond_plan(const Cli& cli, const util::Json& document) {
   } else if (cli.refine_top_k >= 0) {
     request.refine_top_k = cli.refine_top_k;
   }
+  if (cli.comm_overlap) request.comm_overlap = true;
   core::ServiceOptions service_options;
   if (cli.serial) service_options.threads = 1;
   core::EstimationService service(service_options);

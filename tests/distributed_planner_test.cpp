@@ -560,6 +560,83 @@ TEST(PlanRefine, ReplayedVerdictCanDifferFromTheAnalyticOne) {
   EXPECT_TRUE(found);
 }
 
+TEST(PlanRefine, OverlapWindowReplayRanksADifferentWinner) {
+  // Overlap-window mode re-ranks the refined prefix by the window-replayed
+  // peaks instead of leaving the analytic order in place. Pass 1 learns
+  // both peaks of a refined candidate whose analytic estimate undershoots
+  // its window replay; pass 2 crafts a straddle device (the whatif-2g
+  // idiom) whose budget lies strictly between them, so the analytic
+  // ranking admits that candidate while the window replay rejects it —
+  // the two modes must crown different winners.
+  core::PlanRequest request = small_plan_request();
+  request.refine_top_k = 3;
+  request.comm_overlap = true;
+  core::EstimationService probe;
+  const core::PlanReport learned = probe.plan(request);
+  EXPECT_EQ(learned.profiles_run, 1u);
+  EXPECT_GT(learned.rerank_changed, 0u);
+
+  const core::PlanCandidate* straddled = nullptr;
+  for (const core::PlanCandidate& candidate : learned.candidates) {
+    if (!candidate.replayed) continue;
+    ASSERT_TRUE(candidate.window_mode);
+    // The event-level dominance invariant, echoed at report level.
+    EXPECT_LE(candidate.replayed_per_rank_peak,
+              candidate.resident_per_rank_peak);
+    if (straddled == nullptr &&
+        candidate.plan.per_rank_peak < candidate.replayed_per_rank_peak) {
+      straddled = &candidate;
+    }
+  }
+  ASSERT_NE(straddled, nullptr)
+      << "no refined candidate with analytic < window-replayed peak";
+
+  gpu::DeviceModel straddle;
+  straddle.name = "straddle";
+  straddle.capacity =
+      (straddled->plan.per_rank_peak + straddled->replayed_per_rank_peak) / 2;
+  core::PlanRequest crafted = small_plan_request();
+  crafted.devices = {straddle};
+  crafted.refine_top_k = 3;
+
+  core::EstimationService resident_service;
+  const core::PlanReport resident = resident_service.plan(crafted);
+  crafted.comm_overlap = true;
+  core::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  core::EstimationService serial(serial_options);
+  const core::PlanReport window = serial.plan(crafted);
+
+  EXPECT_EQ(resident.profiles_run, 1u);
+  EXPECT_EQ(window.profiles_run, 1u);
+  EXPECT_GT(window.rerank_changed, 0u);
+  ASSERT_FALSE(resident.candidates.empty());
+  ASSERT_FALSE(window.candidates.empty());
+  const core::PlanCandidate& resident_winner = resident.candidates.front();
+  const core::PlanCandidate& window_winner = window.candidates.front();
+  EXPECT_FALSE(
+      resident_winner.plan.data_parallel == window_winner.plan.data_parallel &&
+      resident_winner.plan.tensor_parallel ==
+          window_winner.plan.tensor_parallel &&
+      resident_winner.plan.pipeline_stages ==
+          window_winner.plan.pipeline_stages)
+      << "window replay must crown a different winner on the straddle device";
+
+  // Resident-mode reports stay byte-free of every window-mode key.
+  const std::string resident_json =
+      resident.to_json(/*include_timings=*/false).dump(2);
+  EXPECT_EQ(resident_json.find("comm_overlap"), std::string::npos);
+  EXPECT_EQ(resident_json.find("rerank_changed"), std::string::npos);
+  EXPECT_EQ(resident_json.find("window_vs_resident_pct"), std::string::npos);
+
+  // Determinism: a thread-pool-fanned window search byte-matches serial.
+  core::ServiceOptions threaded_options;
+  threaded_options.threads = 4;
+  core::EstimationService threaded(threaded_options);
+  EXPECT_EQ(window.to_json(/*include_timings=*/false).dump(2),
+            threaded.plan(crafted).to_json(/*include_timings=*/false).dump(2));
+}
+
 TEST(PlanRefine, RefineCountersAppearInTheReportJson) {
   core::EstimationService service;
   core::PlanRequest request = small_plan_request();
