@@ -88,6 +88,8 @@ int main(int argc, char** argv) {
     std::printf("profiles_run: %zu  candidates: %zu  replayed: %zu\n",
                 report.profiles_run, report.candidates_evaluated,
                 report.replayed_candidates);
+    std::printf("rank_replays: %zu  replays_deduped: %zu\n",
+                report.rank_replays_run, report.replays_deduped);
 
     // Overlap-window fidelity: the same search with comm_overlap re-ranks
     // the refined prefix by window-replayed peaks (schedule-tied collective

@@ -241,6 +241,64 @@ void BM_PlanRefine(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanRefine)->Arg(0)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_PlanRefineDedup(benchmark::State& state) {
+  // The symmetric-rank collapse + cross-candidate memo cache, isolated: the
+  // same DP-heavy top-8 refinement with dedup_replays off (arg 0: every
+  // d*t sibling replayed individually) vs on (arg 1: one replay per
+  // distinct sequence). Items are refined candidates, so the rate delta IS
+  // the marginal-cost-per-candidate delta the dedup buys.
+  const auto session = std::make_shared<core::ProfileSession>();
+  core::PlanRequest request;
+  request.job = test_job();
+  request.devices = {gpu::rtx3060(), gpu::a100_40gb()};
+  request.max_gpus = 8;
+  request.refine_top_k = 8;
+  request.dedup_replays = state.range(0) == 1;
+  {
+    core::ServiceOptions warm;
+    warm.session = session;
+    core::EstimationService(std::move(warm)).plan(request);
+  }
+  for (auto _ : state) {
+    core::ServiceOptions options;
+    options.session = session;
+    options.result_cache_capacity = 0;
+    core::EstimationService service(std::move(options));
+    benchmark::DoNotOptimize(service.plan(request));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_PlanRefineDedup)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PlanRefineAll(benchmark::State& state) {
+  // Full-search refinement: replay every enumerated decomposition instead
+  // of the top-K — the mode the memoization exists to make affordable.
+  const auto session = std::make_shared<core::ProfileSession>();
+  core::PlanRequest request;
+  request.job = test_job();
+  request.devices = {gpu::rtx3060(), gpu::a100_40gb()};
+  request.max_gpus = 8;
+  request.refine_all = true;
+  {
+    core::ServiceOptions warm;
+    warm.session = session;
+    core::EstimationService(std::move(warm)).plan(request);
+  }
+  std::size_t replayed = 0;
+  for (auto _ : state) {
+    core::ServiceOptions options;
+    options.session = session;
+    options.result_cache_capacity = 0;
+    core::EstimationService service(std::move(options));
+    const core::PlanReport report = service.plan(request);
+    replayed = report.replayed_candidates;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(replayed));
+}
+BENCHMARK(BM_PlanRefineAll)->Unit(benchmark::kMillisecond);
+
 void BM_ServiceSweep(benchmark::State& state) {
   // A scheduler-shaped question: 3 devices x 3 allocators in one request.
   // One profile + 9 concurrent replays per iteration (fresh service each

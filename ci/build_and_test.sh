@@ -190,6 +190,32 @@ else
 fi
 rm -f "${overlap_actual}"
 
+# --- xmem plan full-search smoke -------------------------------------------
+# The overlap fixture again with --refine-all: every enumerated
+# decomposition replays, which is only affordable because symmetric ranks
+# collapse onto shared replays. Grep-only (the report payload is pinned by
+# the top-K goldens above): still exactly one CPU profile, and a nonzero
+# replays_deduped proving the collapse fired on the full search.
+
+refine_all_actual="$(mktemp)"
+refine_all_failed=0
+"${BUILD_DIR}/src/xmem_cli" plan "${FIXTURE_DIR}/plan_request_overlap.json" \
+  --refine-all --no-timings > "${refine_all_actual}"
+if ! grep -q '"profiles_run": 1,' "${refine_all_actual}"; then
+  echo "REFINE-ALL SMOKE: the full search must run exactly one CPU profile" >&2
+  GOLDEN_FAILED=1
+  refine_all_failed=1
+fi
+if ! grep -qE '"replays_deduped": [1-9]' "${refine_all_actual}"; then
+  echo "REFINE-ALL SMOKE: symmetric-rank dedup must collapse some replays" >&2
+  GOLDEN_FAILED=1
+  refine_all_failed=1
+fi
+if [[ "${refine_all_failed}" == "0" ]]; then
+  echo "plan refine-all smoke ok"
+fi
+rm -f "${refine_all_actual}"
+
 # --- xmem fleet smoke ------------------------------------------------------
 # Fleet packing end to end: 6 jobs from 2 archetypes onto one 3060 with a
 # what-if pool. The golden pins verdicts/placements/stats/delta; the greps

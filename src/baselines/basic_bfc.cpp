@@ -24,18 +24,22 @@ bool BasicBfcAllocator::Less::operator()(const Block* a, const Block* b) const {
 BasicBfcAllocator::BasicBfcAllocator() = default;
 BasicBfcAllocator::~BasicBfcAllocator() = default;
 
-std::unique_ptr<BasicBfcAllocator::Block> BasicBfcAllocator::acquire_block() {
-  if (spare_blocks_.empty()) return std::make_unique<Block>();
-  auto block = std::move(spare_blocks_.back());
+BasicBfcAllocator::Block* BasicBfcAllocator::acquire_block() {
+  if (spare_blocks_.empty()) {
+    arena_.push_back(std::make_unique<Block>());
+    return arena_.back().get();
+  }
+  Block* block = spare_blocks_.back();
   spare_blocks_.pop_back();
   *block = Block{};
   return block;
 }
 
-void BasicBfcAllocator::recycle_block(std::uint64_t addr) {
-  auto it = blocks_.find(addr);
-  spare_blocks_.push_back(std::move(it->second));
-  blocks_.erase(it);
+BasicBfcAllocator::Block* BasicBfcAllocator::live_block(std::int64_t id) const {
+  if (id < 1 || static_cast<std::size_t>(id) >= live_slots_.size()) {
+    return nullptr;
+  }
+  return live_slots_[static_cast<std::size_t>(id)];
 }
 
 std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
@@ -52,33 +56,35 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
     free_blocks_.erase(it);
   } else {
     const std::int64_t segment = util::round_up(rounded, kSegmentGranularity);
-    auto owned = acquire_block();
-    owned->addr = next_addr_;
-    owned->size = segment;
+    block = acquire_block();
+    block->addr = next_addr_;
+    block->size = segment;
     next_addr_ += static_cast<std::uint64_t>(segment) + kSegmentGranularity;
-    block = owned.get();
-    blocks_[block->addr] = std::move(owned);
     reserved_ += segment;
     peak_reserved_ = std::max(peak_reserved_, reserved_);
     ++num_segments_;
   }
 
   if (block->size - rounded >= kAlignment) {
-    auto remainder = acquire_block();
+    Block* remainder = acquire_block();
     remainder->addr = block->addr + static_cast<std::uint64_t>(rounded);
     remainder->size = block->size - rounded;
     remainder->prev = block;
     remainder->next = block->next;
-    if (block->next != nullptr) block->next->prev = remainder.get();
-    block->next = remainder.get();
+    if (block->next != nullptr) block->next->prev = remainder;
+    block->next = remainder;
     block->size = rounded;
-    free_blocks_.insert(remainder.get());
-    blocks_[remainder->addr] = std::move(remainder);
+    free_blocks_.insert(remainder);
   }
 
   block->allocated = true;
   block->id = next_id_++;
-  live_[block->id] = block;
+  const auto slot = static_cast<std::size_t>(block->id);
+  if (slot >= live_slots_.size()) {
+    live_slots_.resize(std::max(live_slots_.size() * 2, slot + 1), nullptr);
+  }
+  live_slots_[slot] = block;
+  ++num_live_;
   allocated_ += block->size;
   peak_allocated_ = std::max(peak_allocated_, allocated_);
   ++num_allocs_;
@@ -86,12 +92,12 @@ std::int64_t BasicBfcAllocator::alloc(std::int64_t bytes) {
 }
 
 void BasicBfcAllocator::free(std::int64_t id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) {
+  Block* block = live_block(id);
+  if (block == nullptr) {
     throw std::logic_error("BasicBfcAllocator::free: unknown id");
   }
-  Block* block = it->second;
-  live_.erase(it);
+  live_slots_[static_cast<std::size_t>(id)] = nullptr;
+  --num_live_;
   allocated_ -= block->size;
   ++num_frees_;
   block->allocated = false;
@@ -102,7 +108,7 @@ void BasicBfcAllocator::free(std::int64_t id) {
     prev->size += block->size;
     prev->next = block->next;
     if (block->next != nullptr) block->next->prev = prev;
-    recycle_block(block->addr);
+    spare_blocks_.push_back(block);
     block = prev;
   }
   if (Block* next = block->next; next != nullptr && !next->allocated) {
@@ -110,19 +116,21 @@ void BasicBfcAllocator::free(std::int64_t id) {
     block->size += next->size;
     block->next = next->next;
     if (next->next != nullptr) next->next->prev = block;
-    recycle_block(next->addr);
+    spare_blocks_.push_back(next);
   }
   free_blocks_.insert(block);
 }
 
 void BasicBfcAllocator::backend_reset() {
-  // No driver underneath — just recycle every node and restart the arena.
-  for (auto& [addr, block] : blocks_) {
-    spare_blocks_.push_back(std::move(block));
-  }
-  blocks_.clear();
-  live_.clear();
+  // No driver underneath — every node goes back on the spare list (the
+  // arena keeps ownership) and the address space restarts. live_slots_
+  // keeps its capacity so the next replay writes into warm storage.
+  spare_blocks_.clear();
+  spare_blocks_.reserve(arena_.size());
+  for (const auto& block : arena_) spare_blocks_.push_back(block.get());
+  std::fill(live_slots_.begin(), live_slots_.end(), nullptr);
   free_blocks_.clear();
+  num_live_ = 0;
   next_addr_ = kArenaBase;
   next_id_ = 1;
   reserved_ = 0;
@@ -136,7 +144,7 @@ void BasicBfcAllocator::backend_reset() {
 
 fw::BackendAllocResult BasicBfcAllocator::backend_alloc(std::int64_t bytes) {
   const std::int64_t id = alloc(bytes);
-  return fw::BackendAllocResult{id, live_.at(id)->size, false};
+  return fw::BackendAllocResult{id, live_block(id)->size, false};
 }
 
 fw::BackendStats BasicBfcAllocator::backend_stats() const {
@@ -148,7 +156,7 @@ fw::BackendStats BasicBfcAllocator::backend_stats() const {
   s.num_allocs = num_allocs_;
   s.num_frees = num_frees_;
   s.num_segments = num_segments_;
-  s.num_live_blocks = static_cast<std::int64_t>(live_.size());
+  s.num_live_blocks = static_cast<std::int64_t>(num_live_);
   return s;
 }
 

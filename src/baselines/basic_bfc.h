@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -34,7 +33,7 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
   std::int64_t peak_reserved_bytes() const { return peak_reserved_; }
   std::int64_t allocated_bytes() const { return allocated_; }
   std::int64_t peak_allocated_bytes() const { return peak_allocated_; }
-  std::size_t num_live() const { return live_.size(); }
+  std::size_t num_live() const { return num_live_; }
 
   // fw::AllocatorBackend. The arena is unbounded (no driver underneath), so
   // backend_alloc never reports OOM and backend_trim() is the default no-op
@@ -52,8 +51,8 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
     bool operator()(const Block* a, const Block* b) const;
   };
 
-  std::unique_ptr<Block> acquire_block();
-  void recycle_block(std::uint64_t addr);
+  Block* acquire_block();
+  Block* live_block(std::int64_t id) const;
 
   static constexpr std::uint64_t kArenaBase = 0x400000000ULL;
 
@@ -66,11 +65,16 @@ class BasicBfcAllocator final : public fw::AllocatorBackend {
   std::int64_t num_allocs_ = 0;
   std::int64_t num_frees_ = 0;
   std::int64_t num_segments_ = 0;
-  std::map<std::uint64_t, std::unique_ptr<Block>> blocks_;
-  std::map<std::int64_t, Block*> live_;
+  std::size_t num_live_ = 0;
   std::set<Block*, Less> free_blocks_;
-  // Retired Block nodes recycled across backend_reset() replays.
-  std::vector<std::unique_ptr<Block>> spare_blocks_;
+  // Grow-only node storage: the arena owns every Block ever created;
+  // coalescing and backend_reset() only move raw pointers onto the spare
+  // list, so steady-state replays allocate no nodes at all.
+  std::vector<std::unique_ptr<Block>> arena_;
+  std::vector<Block*> spare_blocks_;
+  // Flat live table indexed directly by the sequential block id (slot ==
+  // id); grows by doubling and keeps its capacity across backend_reset().
+  std::vector<Block*> live_slots_;
 };
 
 }  // namespace xmem::baselines

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_set>
 
 #include "core/estimator_registry.h"
 #include "core/sequence_transform.h"
@@ -368,11 +369,31 @@ PlanRequest PlanRequest::from_json(const util::Json& json) {
         "plan request: \"max_candidates\" must be >= 0");
   }
   request.max_candidates = static_cast<std::size_t>(max_candidates);
-  request.refine_top_k = static_cast<int>(
-      json.get_int_or("refine_top_k", request.refine_top_k));
-  if (request.refine_top_k < 0) {
-    throw std::invalid_argument(
-        "plan request: \"refine_top_k\" must be >= 0");
+  if (json.contains("refine_top_k") && json.at("refine_top_k").is_string()) {
+    // Full-search mode spells itself as the string "all"; any other string
+    // is a typo, not a count.
+    if (json.at("refine_top_k").as_string() != "all") {
+      throw std::invalid_argument(
+          "plan request: \"refine_top_k\" must be an integer >= 0 or the "
+          "string \"all\" (refine every ranked decomposition)");
+    }
+    request.refine_all = true;
+  } else {
+    request.refine_top_k = static_cast<int>(
+        json.get_int_or("refine_top_k", request.refine_top_k));
+    if (request.refine_top_k < 0) {
+      throw std::invalid_argument(
+          "plan request: \"refine_top_k\" must be >= 0");
+    }
+  }
+  if (json.contains("dedup_replays")) {
+    if (!json.at("dedup_replays").is_bool()) {
+      throw std::invalid_argument(
+          "plan request: \"dedup_replays\" must be a boolean (false replays "
+          "every deployment rank individually instead of collapsing "
+          "symmetric ranks; the report is byte-identical either way)");
+    }
+    request.dedup_replays = json.at("dedup_replays").as_bool();
   }
   if (json.contains("comm_overlap")) {
     if (!json.at("comm_overlap").is_bool()) {
@@ -407,7 +428,13 @@ util::Json PlanRequest::to_json() const {
   json["profile_iterations"] = util::Json(profile_iterations);
   json["max_candidates"] =
       util::Json(static_cast<std::int64_t>(max_candidates));
-  json["refine_top_k"] = util::Json(refine_top_k);
+  if (refine_all) {
+    json["refine_top_k"] = util::Json(std::string("all"));
+  } else {
+    json["refine_top_k"] = util::Json(refine_top_k);
+  }
+  // Emitted only when off so default documents round-trip unchanged.
+  if (!dedup_replays) json["dedup_replays"] = util::Json(false);
   // Emitted only when set so resident-mode documents round-trip unchanged.
   if (comm_overlap) json["comm_overlap"] = util::Json(true);
   if (!tenant.empty()) json["tenant"] = util::Json(tenant);
@@ -517,6 +544,10 @@ util::Json PlanReport::to_json(bool include_timings) const {
       util::Json(static_cast<std::int64_t>(replayed_candidates));
   counters["rank_replays"] =
       util::Json(static_cast<std::int64_t>(rank_replays_run));
+  counters["replays_deduped"] =
+      util::Json(static_cast<std::int64_t>(replays_deduped));
+  counters["replay_cache_hits"] =
+      util::Json(static_cast<std::int64_t>(replay_cache_hits));
   if (comm_overlap) {
     // Only under comm_overlap, so resident-mode reports stay byte-identical.
     counters["rerank_changed"] =
@@ -536,7 +567,6 @@ struct EstimationService::SweepCounters {
   std::atomic<std::size_t> profile_cache_hits{0};
   std::atomic<std::size_t> replays_run{0};
   std::atomic<std::size_t> replayed_candidates{0};
-  std::atomic<std::size_t> rank_replays{0};
   std::atomic<std::size_t> result_cache_hits{0};
 };
 
@@ -933,19 +963,43 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
     report.candidates.resize(request.max_candidates);
   }
 
-  // Phase 2: replay the top-K survivors per rank through the allocator
-  // tower. The transformer binds the ONE cached orchestrated sequence; each
-  // worker owns its scratch, so the fan-out is deterministic and the
-  // buffers amortize across a candidate's ranks.
+  // Phase 2: replay the top-K survivors (or, under refine_all, every
+  // ranked decomposition) through the allocator tower. The transformer
+  // binds the ONE cached orchestrated sequence; each worker owns its
+  // scratch, so the fan-out is deterministic and the buffers amortize
+  // across a candidate's ranks.
+  //
+  // Symmetric-rank collapse: a candidate's replayed peaks cover all d*t*p
+  // deployment ranks, but the transform has no DP/TP rank index — the d*t
+  // siblings of a pipeline stage replay byte-identical sequences — so only
+  // the p stage sequences are ever simulated and the stage verdict is
+  // fanned across its siblings exactly. Cross-candidate memoization then
+  // prices repeated sequences (fingerprint + full-compare guard in the
+  // ReplayScratch result cache) at a lookup instead of a simulation.
+  // request.dedup_replays = false replays every deployment rank one by one
+  // — the naive baseline — and must yield a byte-identical report.
+  //
   // Clamp before the size_t cast: a negative refine_top_k reaching here
   // through the C++ API (the JSON path rejects it) means "disabled", not
   // "refine everything" via wraparound.
-  const std::size_t refine_count = std::min<std::size_t>(
-      static_cast<std::size_t>(std::max(request.refine_top_k, 0)),
-      report.candidates.size());
+  const std::size_t refine_count =
+      request.refine_all
+          ? report.candidates.size()
+          : std::min<std::size_t>(
+                static_cast<std::size_t>(std::max(request.refine_top_k, 0)),
+                report.candidates.size());
   if (refine_count > 0) {
     const SequenceTransformer transformer(
         lookup.artifacts->orchestration.sequence, profiles);
+    // Per-candidate stage fingerprints, slot-indexed so the fan-out records
+    // them race-free; the counter post-pass below reads them in candidate
+    // order on the calling thread.
+    struct RefineTrace {
+      std::vector<std::uint64_t> resident_fps;  ///< comm_overlap baseline
+      std::vector<std::uint64_t> replay_fps;    ///< the ranking replays
+      std::size_t symmetric = 1;                ///< d*t siblings per stage
+    };
+    std::vector<RefineTrace> traces(refine_count);
     run_fanned(refine_count, [&](std::size_t i) {
       PlanCandidate& candidate = report.candidates[i];
       RankTransformOptions transform;
@@ -959,8 +1013,15 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
           request.activation_replication_pct;
       transform.materialize_blocks = false;  // events are all the replay needs
 
-      const std::size_t ranks =
+      const std::size_t stages =
           std::max<std::size_t>(candidate.plan.rank_peaks.size(), 1);
+      const std::size_t symmetric = static_cast<std::size_t>(
+          std::max(1, candidate.plan.data_parallel) *
+          std::max(1, candidate.plan.tensor_parallel));
+      const std::size_t ranks = stages * symmetric;  // deployment ranks
+      RefineTrace& trace = traces[i];
+      trace.symmetric = symmetric;
+      trace.replay_fps.resize(stages);
       MemorySimulator simulator;
       SimulationOptions sim_options;
       sim_options.backend = request.allocator;
@@ -970,32 +1031,56 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
       // up reuses the transform buffers AND the allocator tower, which is
       // reset — not rebuilt — between replays. The backend_reset() contract
       // (fw/backend.h) makes each replay byte-identical to a fresh-tower
-      // replay, so the report stays deterministic regardless of how
-      // candidates land on threads.
+      // replay, and a memo-cache hit returns exactly what that replay
+      // would, so the report stays deterministic regardless of how
+      // candidates land on threads or what the cache happens to hold.
       thread_local RankScratch scratch;
       thread_local ReplayScratch replay_scratch;
+      const auto stage_peak = [&](const OrchestratedSequence& sequence,
+                                  std::uint64_t fingerprint) {
+        if (request.dedup_replays) {
+          return simulator.replay_peak_memoized(sequence, fingerprint,
+                                                sim_options, replay_scratch);
+        }
+        // Naive baseline: simulate each of the stage's d*t symmetric
+        // deployment ranks individually. Every pass replays the identical
+        // sequence through a reset tower, so the last peak == the first.
+        std::int64_t peak = 0;
+        for (std::size_t sibling = 0; sibling < symmetric; ++sibling) {
+          peak = simulator.replay(sequence, sim_options, &replay_scratch)
+                     .peak_device;
+        }
+        return peak;
+      };
       candidate.replayed_rank_peaks.assign(ranks, 0);
-      // Overlap-window mode replays every rank twice — resident first for
+      // Overlap-window mode replays every stage twice — resident first for
       // the baseline, then with schedule-tied windows — so the report can
       // state what the windows saved (window_vs_resident_pct).
-      if (request.comm_overlap) candidate.resident_rank_peaks.assign(ranks, 0);
-      for (std::size_t r = 0; r < ranks; ++r) {
+      if (request.comm_overlap) {
+        candidate.resident_rank_peaks.assign(ranks, 0);
+        trace.resident_fps.resize(stages);
+      }
+      for (std::size_t s = 0; s < stages; ++s) {
         if (request.comm_overlap) {
           transform.comm_overlap = false;
           const OrchestratedSequence& resident = transformer.rank_sequence(
-              transform, candidate.plan.stages, ranks, r, scratch);
-          candidate.resident_rank_peaks[r] =
-              simulator.replay(resident, sim_options, &replay_scratch)
-                  .peak_device;
-          counters.rank_replays.fetch_add(1);
+              transform, candidate.plan.stages, stages, s, scratch);
+          const std::uint64_t fingerprint = sequence_fingerprint(resident);
+          trace.resident_fps[s] = fingerprint;
+          const std::int64_t peak = stage_peak(resident, fingerprint);
+          for (std::size_t sibling = 0; sibling < symmetric; ++sibling) {
+            candidate.resident_rank_peaks[s * symmetric + sibling] = peak;
+          }
           transform.comm_overlap = true;
         }
         const OrchestratedSequence& sequence = transformer.rank_sequence(
-            transform, candidate.plan.stages, ranks, r, scratch);
-        const SimulationResult simulation =
-            simulator.replay(sequence, sim_options, &replay_scratch);
-        candidate.replayed_rank_peaks[r] = simulation.peak_device;
-        counters.rank_replays.fetch_add(1);
+            transform, candidate.plan.stages, stages, s, scratch);
+        const std::uint64_t fingerprint = sequence_fingerprint(sequence);
+        trace.replay_fps[s] = fingerprint;
+        const std::int64_t peak = stage_peak(sequence, fingerprint);
+        for (std::size_t sibling = 0; sibling < symmetric; ++sibling) {
+          candidate.replayed_rank_peaks[s * symmetric + sibling] = peak;
+        }
       }
       candidate.replayed = true;
       candidate.replayed_per_rank_peak = *std::max_element(
@@ -1031,6 +1116,39 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
           candidate.replayed_device_fits != candidate.device_fits;
       counters.replayed_candidates.fetch_add(1);
     });
+
+    // Refinement-cost counters: a deterministic post-pass over the recorded
+    // fingerprints in (candidate, resident-before-window, stage) order —
+    // the schedule the dedup machinery executes, independent of thread
+    // interleaving and of whether dedup actually ran (dedup_replays =
+    // false pays the naive cost but reports the same schedule). Each stage
+    // stands for its d*t symmetric deployment ranks: the first sighting of
+    // a fingerprint is one real replay (rank_replays) and m-1 collapsed
+    // siblings; a repeat within the candidate collapses all m onto the
+    // earlier verdict; a repeat across candidates/modes is a memo-cache
+    // lookup (replay_cache_hits) plus m-1 collapsed siblings.
+    {
+      std::unordered_set<std::uint64_t> seen;
+      std::unordered_set<std::uint64_t> candidate_seen;
+      for (std::size_t i = 0; i < refine_count; ++i) {
+        const RefineTrace& trace = traces[i];
+        candidate_seen.clear();
+        const auto account = [&](std::uint64_t fingerprint) {
+          if (!candidate_seen.insert(fingerprint).second) {
+            report.replays_deduped += trace.symmetric;
+            return;
+          }
+          if (seen.insert(fingerprint).second) {
+            ++report.rank_replays_run;
+          } else {
+            ++report.replay_cache_hits;
+          }
+          report.replays_deduped += trace.symmetric - 1;
+        };
+        for (const std::uint64_t fp : trace.resident_fps) account(fp);
+        for (const std::uint64_t fp : trace.replay_fps) account(fp);
+      }
+    }
 
     // Overlap-window mode: the replayed peaks are the ranking, not an
     // annotation. Re-sort the refined prefix by the window-replayed
@@ -1072,7 +1190,6 @@ PlanReport EstimationService::plan(const PlanRequest& request) {
   report.comm_overlap = request.comm_overlap;
 
   report.replayed_candidates = counters.replayed_candidates.load();
-  report.rank_replays_run = counters.rank_replays.load();
   report.profiles_run = counters.profiles_run.load();
   report.profile_cache_hits = counters.profile_cache_hits.load();
   report.replays_run = counters.replays_run.load();

@@ -177,6 +177,18 @@ struct PlanRequest {
   /// 4 since the reset-based replay path costs ~0.93 ms/candidate
   /// (docs/PLANNER.md); `xmem plan --no-refine` forces 0.
   int refine_top_k = 4;
+  /// Full-search refinement: replay EVERY ranked decomposition, ignoring
+  /// refine_top_k (JSON `"refine_top_k": "all"`, CLI `--refine-all`) —
+  /// affordable because symmetric-rank collapse + replay memoization make
+  /// each candidate pay only for its distinct sequences (docs/PLANNER.md).
+  bool refine_all = false;
+  /// Collapse symmetric ranks and memoize replay verdicts during
+  /// refinement (on by default). Turning it off replays every one of a
+  /// candidate's d*t*p deployment ranks individually — the naive baseline
+  /// the dedup is measured against (BM_PlanRefineDedup) — and MUST produce
+  /// a byte-identical report; tests pin that equivalence. JSON
+  /// `"dedup_replays"`, emitted only when false.
+  bool dedup_replays = true;
   /// Simulate collectives as schedule-tied overlap windows instead of
   /// resident staging buffers, and RE-RANK the refined candidates by their
   /// window-replayed peaks (`xmem plan --comm-overlap`). Each refined
@@ -209,7 +221,11 @@ struct PlanCandidate {
   /// Phase-2 refinement (set only for the top-K candidates when
   /// `refine_top_k > 0`): per-rank sequences replayed through the real
   /// allocator tower, so round-up, caching, and fragmentation — absent from
-  /// the analytic arithmetic above — are priced in.
+  /// the analytic arithmetic above — are priced in. The peaks cover every
+  /// one of the candidate's d*t*p deployment ranks in stage-major order
+  /// (stage 0's d*t ranks, then stage 1's, ...); DP/TP siblings of a stage
+  /// replay identical sequences — the transform has no DP/TP rank index —
+  /// so symmetric-rank collapse reports them exactly without re-simulating.
   bool replayed = false;
   std::vector<std::int64_t> replayed_rank_peaks;
   std::int64_t replayed_per_rank_peak = 0;
@@ -252,7 +268,19 @@ struct PlanReport {
   std::vector<PlanCandidate> candidates;
   std::size_t candidates_evaluated = 0;  ///< before any max_candidates cap
   std::size_t replayed_candidates = 0;   ///< candidates refined per rank
-  std::size_t rank_replays_run = 0;      ///< simulator replays in the refine
+  /// Refinement-cost counters, computed as a deterministic post-pass over
+  /// the refined candidates' sequence fingerprints (candidate order, then
+  /// resident-before-window, then stage order) — they describe the
+  /// deduplicated replay schedule, so they are identical serial vs
+  /// threaded and dedup-on vs dedup-off (docs/PLANNER.md):
+  ///   rank_replays_run  — distinct sequences the refine pass must simulate
+  ///   replays_deduped   — logical rank replays collapsed onto a sibling's
+  ///                       verdict (symmetric DP/TP ranks + repeated stages)
+  ///   replay_cache_hits — sequences served from the cross-candidate memo
+  ///                       cache instead of a fresh simulation
+  std::size_t rank_replays_run = 0;
+  std::size_t replays_deduped = 0;
+  std::size_t replay_cache_hits = 0;
   /// Overlap-window mode (request.comm_overlap): the refined prefix was
   /// re-ranked by window-replayed peaks; rerank_changed counts the refined
   /// candidates whose final position differs from their analytic one.

@@ -34,6 +34,16 @@ struct OrchestratedEvent {
   std::int64_t block_id = 0;
   std::int64_t bytes = 0;  ///< block size
   bool is_alloc = false;
+
+  friend bool operator==(const OrchestratedEvent& a,
+                         const OrchestratedEvent& b) {
+    return a.ts == b.ts && a.block_id == b.block_id && a.bytes == b.bytes &&
+           a.is_alloc == b.is_alloc;
+  }
+  friend bool operator!=(const OrchestratedEvent& a,
+                         const OrchestratedEvent& b) {
+    return !(a == b);
+  }
 };
 
 /// The one replay-stream ordering contract: time-ordered, frees before

@@ -5,6 +5,24 @@
 
 namespace xmem::core {
 
+std::uint64_t sequence_fingerprint(const OrchestratedSequence& sequence) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xffULL;
+      hash *= 1099511628211ULL;  // FNV-1a 64 prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(sequence.events.size()));
+  for (const OrchestratedEvent& event : sequence.events) {
+    mix(static_cast<std::uint64_t>(event.ts));
+    mix(static_cast<std::uint64_t>(event.block_id));
+    mix(static_cast<std::uint64_t>(event.bytes));
+    mix(event.is_alloc ? 1u : 0u);
+  }
+  return hash;
+}
+
 SequenceTransformer::SequenceTransformer(
     const OrchestratedSequence& base,
     const std::vector<ComponentProfile>& profiles)

@@ -86,6 +86,15 @@
 
 namespace xmem::core {
 
+/// Canonical fingerprint of a transformed event sequence: FNV-1a 64 over
+/// every event's (ts, block_id, bytes, is_alloc) in sequence order. Two
+/// ranks with equal fingerprints replay identically (the simulator consumes
+/// events only), so the planner's refine pass collapses symmetric ranks and
+/// memoizes replay verdicts on it — always behind a full event-vector
+/// compare, so a colliding pair degrades to a fresh replay, never a wrong
+/// verdict (tests/sequence_transform_test.cpp pins the property).
+std::uint64_t sequence_fingerprint(const OrchestratedSequence& sequence);
+
 /// How one rank of a (d, t, p) candidate reshapes the base sequence.
 /// Pipeline geometry arrives separately (the chunk partition + rank).
 struct RankTransformOptions {

@@ -5,6 +5,15 @@
 
 namespace xmem::core {
 
+std::string replay_tower_key(const SimulationOptions& options) {
+  std::string key = options.backend;
+  key += '|';
+  key += alloc::knobs_fingerprint(options.backend_knobs);
+  key += '|';
+  key += std::to_string(options.capacity);
+  return key;
+}
+
 SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
                                          const SimulationOptions& options,
                                          ReplayScratch* scratch) const {
@@ -16,11 +25,7 @@ SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
   // post-construction state — byte-identical to a fresh build per the
   // backend_reset() contract, but without re-growing segment maps and block
   // pools. Anything else (first use, different config) builds fresh.
-  std::string tower_key = options.backend;
-  tower_key += '|';
-  tower_key += alloc::knobs_fingerprint(options.backend_knobs);
-  tower_key += '|';
-  tower_key += std::to_string(options.capacity);
+  std::string tower_key = replay_tower_key(options);
   if (workspace.backend != nullptr && workspace.tower_key == tower_key) {
     workspace.backend->backend_reset();
     workspace.driver->reset();
@@ -78,6 +83,39 @@ SimulationResult MemorySimulator::replay(const OrchestratedSequence& sequence,
     result.stats = caching->stats();
   }
   return result;
+}
+
+std::int64_t MemorySimulator::replay_peak_memoized(
+    const OrchestratedSequence& sequence, const std::uint64_t fingerprint,
+    const SimulationOptions& options, ReplayScratch& scratch,
+    bool* cache_hit) const {
+  const std::string tower_key = replay_tower_key(options);
+  for (const ReplayScratch::CachedReplay& entry : scratch.results) {
+    if (entry.fingerprint != fingerprint || entry.tower_key != tower_key) {
+      continue;
+    }
+    // Collision guard: the fingerprint proposes, the event vector decides.
+    if (entry.events != sequence.events) continue;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return entry.peak_device;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  const std::int64_t peak = replay(sequence, options, &scratch).peak_device;
+  ReplayScratch::CachedReplay record;
+  record.fingerprint = fingerprint;
+  record.tower_key = tower_key;
+  record.events = sequence.events;
+  record.peak_device = peak;
+  if (scratch.results.size() < ReplayScratch::kResultCacheCapacity) {
+    scratch.results.push_back(std::move(record));
+  } else {
+    // FIFO replacement: refine loops touch each sequence in bursts, so the
+    // oldest entry is the least likely to be asked for again.
+    scratch.results[scratch.next_result_slot] = std::move(record);
+    scratch.next_result_slot =
+        (scratch.next_result_slot + 1) % ReplayScratch::kResultCacheCapacity;
+  }
+  return peak;
 }
 
 }  // namespace xmem::core

@@ -74,18 +74,54 @@ struct SimulationResult {
 ///
 /// The tower is only reused when the (backend, knobs, capacity) triple
 /// matches the previous replay — a mismatch rebuilds it transparently.
+///
+/// The scratch also carries a bounded FIFO of finished replay verdicts
+/// keyed on (sequence fingerprint, backend, knobs, capacity) — the
+/// cross-candidate memoization of the planner's refine pass. Every lookup
+/// is guarded by a full event-vector compare, so a fingerprint collision
+/// costs one fresh replay instead of producing a wrong peak; and since a
+/// hit returns exactly what the replay would have computed (the
+/// backend_reset() contract makes replays order-independent), reports stay
+/// byte-identical whether the cache hits or not.
 struct ReplayScratch {
   std::unordered_map<std::int64_t, std::int64_t> live;
   std::unique_ptr<alloc::SimulatedCudaDriver> driver;
   std::unique_ptr<fw::AllocatorBackend> backend;
   std::string tower_key;  ///< backend|knobs|capacity of the held tower
+
+  struct CachedReplay {
+    std::uint64_t fingerprint = 0;
+    std::string tower_key;
+    std::vector<OrchestratedEvent> events;  ///< collision guard
+    std::int64_t peak_device = 0;
+  };
+  /// FIFO ring of finished verdicts; 32 entries covers every stage of a
+  /// refine-all search's in-flight candidates without holding more than a
+  /// few MB of guard events per worker thread.
+  static constexpr std::size_t kResultCacheCapacity = 32;
+  std::vector<CachedReplay> results;
+  std::size_t next_result_slot = 0;
 };
+
+/// Compose the (backend, knobs, capacity) scratch/tower cache key.
+std::string replay_tower_key(const SimulationOptions& options);
 
 class MemorySimulator {
  public:
   SimulationResult replay(const OrchestratedSequence& sequence,
                           const SimulationOptions& options = {},
                           ReplayScratch* scratch = nullptr) const;
+
+  /// Memoized peak_device of `replay(sequence, options)`: hit the scratch's
+  /// bounded result cache on (fingerprint, backend, knobs, capacity) —
+  /// verified by full event compare — or replay and record. `cache_hit`
+  /// (optional) reports which path ran; the returned peak is identical
+  /// either way.
+  std::int64_t replay_peak_memoized(const OrchestratedSequence& sequence,
+                                    std::uint64_t fingerprint,
+                                    const SimulationOptions& options,
+                                    ReplayScratch& scratch,
+                                    bool* cache_hit = nullptr) const;
 };
 
 }  // namespace xmem::core

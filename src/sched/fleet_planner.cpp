@@ -204,6 +204,15 @@ FleetRequest FleetRequest::from_json(const util::Json& json) {
     }
     request.comm_overlap = json.at("comm_overlap").as_bool();
   }
+  if (json.contains("refine_all")) {
+    if (!json.at("refine_all").is_bool()) {
+      throw std::invalid_argument(
+          "fleet request: \"refine_all\" must be a boolean (true makes the "
+          "multi-GPU plan fallback replay every ranked decomposition instead "
+          "of the top-K)");
+    }
+    request.refine_all = json.at("refine_all").as_bool();
+  }
   request.tenant = json.get_string_or("tenant", "");
   if (json.contains("what_if")) {
     if (!json.at("what_if").is_array()) {
@@ -238,6 +247,7 @@ util::Json FleetRequest::to_json() const {
   json["max_gpus_per_job"] = util::Json(max_gpus_per_job);
   // Emitted only when set so resident-mode documents round-trip unchanged.
   if (comm_overlap) json["comm_overlap"] = util::Json(true);
+  if (refine_all) json["refine_all"] = util::Json(true);
   if (!tenant.empty()) json["tenant"] = util::Json(tenant);
   if (!what_if.empty()) {
     util::Json added = util::Json::array();
@@ -422,7 +432,8 @@ struct FleetPlanner::Impl {
     return request.estimator + "|" + request.allocator + "|" +
            core::allocator_config_to_json(request.allocator_config).dump() +
            "|i" + std::to_string(request.profile_iterations) +
-           (request.comm_overlap ? "|ow1" : "|ow0");
+           (request.comm_overlap ? "|ow1" : "|ow0") +
+           (request.refine_all ? "|ra1" : "|ra0");
   }
 
   static std::string archetype_key(const FleetRequest& request,
@@ -617,6 +628,7 @@ struct FleetPlanner::Impl {
     plan.profile_iterations = request.profile_iterations;
     plan.max_candidates = 16;
     plan.comm_overlap = request.comm_overlap;
+    plan.refine_all = request.refine_all;
     plan.tenant = request.tenant;
     const core::PlanReport report = service.plan(plan);
     counters.plans_run += 1;

@@ -102,6 +102,10 @@ struct FleetRequest {
   /// fallback candidates by window-replayed peaks. Part of the archetype
   /// cache scope, so cached peaks never cross modes.
   bool comm_overlap = false;
+  /// Forwarded to the plan fallback (core::PlanRequest::refine_all): replay
+  /// every ranked decomposition instead of the top-K. Part of the archetype
+  /// cache scope for the same reason as comm_overlap.
+  bool refine_all = false;
   /// Same semantics as EstimateRequest::tenant.
   std::string tenant;
   /// Extra pools to diff against: non-empty asks pack() to attach a

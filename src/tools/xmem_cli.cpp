@@ -11,13 +11,17 @@
 //                  request's optional "allocator_config" object maps a
 //                  backend name to its integer policy knobs)
 //   xmem plan     REQUEST.json [--out FILE] [--no-timings] [--serial]
-//                 [--refine-top-k N | --no-refine] [--comm-overlap]
+//                 [--refine-top-k N | --refine-all | --no-refine]
+//                 [--comm-overlap]
 //                 (multi-GPU planner: ranked DPxTPxPP decompositions of a
-//                  GPU budget; the top-K candidates are re-simulated per
-//                  rank through the allocator tower; one CPU profile for
-//                  the whole two-phase search. --comm-overlap simulates
-//                  collectives as schedule-tied overlap windows and
-//                  re-ranks the refined candidates by window peaks)
+//                  GPU budget; the top-K candidates — K defaults to 4 —
+//                  are re-simulated per rank through the allocator tower,
+//                  with symmetric ranks collapsed onto one replay;
+//                  --refine-all replays every ranked decomposition; one
+//                  CPU profile for the whole two-phase search.
+//                  --comm-overlap simulates collectives as schedule-tied
+//                  overlap windows and re-ranks the refined candidates by
+//                  window peaks)
 //   xmem fleet    REQUEST.json [--out FILE] [--no-timings] [--serial]
 //                 (fleet packing: a queue of jobs placed onto a
 //                  heterogeneous GPU fleet under a packing policy, with
@@ -86,8 +90,9 @@ int usage() {
                "[--serial]\n"
                "  xmem plan     REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
-               "                [--refine-top-k N | --no-refine] "
-               "[--comm-overlap]\n"
+               "                [--refine-top-k N (default 4) | --refine-all "
+               "|\n"
+               "                --no-refine] [--comm-overlap]\n"
                "  xmem fleet    REQUEST.json [--out FILE] [--no-timings] "
                "[--serial]\n"
                "  xmem serve    --socket PATH [--workers N] [--queue N]\n"
@@ -125,6 +130,7 @@ struct Cli {
   bool no_timings = false;
   bool serial = false;
   bool no_refine = false;
+  bool refine_all = false;  ///< --refine-all: replay every decomposition
   int refine_top_k = -1;  ///< -1: keep the request document's value
   bool comm_overlap = false;  ///< --comm-overlap: overlap-window simulation
   int iterations = 3;
@@ -205,6 +211,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.serial = true;
     } else if (arg == "--no-refine") {
       cli.no_refine = true;
+    } else if (arg == "--refine-all") {
+      cli.refine_all = true;
     } else if (arg == "--comm-overlap") {
       cli.comm_overlap = true;
     } else if (arg == "--socket") {
@@ -497,8 +505,12 @@ util::Json respond_plan(const Cli& cli, const util::Json& document) {
   // CLI refinement flags override the request document.
   if (cli.no_refine) {
     request.refine_top_k = 0;
+    request.refine_all = false;
+  } else if (cli.refine_all) {
+    request.refine_all = true;
   } else if (cli.refine_top_k >= 0) {
     request.refine_top_k = cli.refine_top_k;
+    request.refine_all = false;
   }
   if (cli.comm_overlap) request.comm_overlap = true;
   core::ServiceOptions service_options;

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <vector>
 
+#include "alloc/backend_registry.h"
 #include "core/distributed_planner.h"
 #include "core/estimation_service.h"
 #include "util/json.h"
@@ -481,8 +482,11 @@ TEST(PlanRefine, TopKCandidatesReplayPerRankWithOneProfile) {
     const core::PlanCandidate& candidate = report.candidates[i];
     if (i < 3) {
       EXPECT_TRUE(candidate.replayed) << "candidate " << i;
+      // One replayed peak per deployment rank (d*t*p), stage-major: the
+      // symmetric-rank collapse replays once per stage but still reports
+      // every rank.
       ASSERT_EQ(candidate.replayed_rank_peaks.size(),
-                candidate.plan.rank_peaks.size());
+                static_cast<std::size_t>(candidate.plan.gpus));
       EXPECT_GT(candidate.replayed_per_rank_peak, 0);
       for (const std::int64_t peak : candidate.replayed_rank_peaks) {
         EXPECT_GT(peak, 0);
@@ -758,6 +762,68 @@ TEST(PlanRefine, AllocatorConfigKnobsReachTheReplayTower) {
   }
 }
 
+TEST(PlanRefine, DedupOnAndOffAreByteIdenticalAcrossTheRegistry) {
+  // The provably-invisible contract of the symmetric-rank collapse: with
+  // dedup_replays off the refine pass honestly replays every one of a
+  // stage's d*t symmetric siblings; with it on, one replay per distinct
+  // sequence serves them all. On the CI whatif-2g straddle fixture the
+  // reports must stay byte-identical for every registry backend — and the
+  // counters too, because they describe the deduplicated replay schedule,
+  // not the execution.
+  std::ifstream in(std::string(XMEM_FIXTURE_DIR) + "/plan_request.json");
+  ASSERT_TRUE(in) << "missing ci/fixtures/plan_request.json";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  core::PlanRequest request =
+      core::PlanRequest::from_json(util::Json::parse(buffer.str()));
+
+  core::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  core::ServiceOptions threaded_options;
+  threaded_options.threads = 4;
+
+  for (const std::string& backend : alloc::backend_names()) {
+    request.allocator = backend;
+    request.dedup_replays = true;
+    core::EstimationService deduped(serial_options);
+    const std::string on =
+        deduped.plan(request).to_json(/*include_timings=*/false).dump(2);
+    request.dedup_replays = false;
+    core::EstimationService naive(serial_options);
+    EXPECT_EQ(on,
+              naive.plan(request).to_json(/*include_timings=*/false).dump(2))
+        << backend << ": dedup-on report diverged from dedup-off";
+    core::EstimationService threaded(threaded_options);
+    EXPECT_EQ(on, threaded.plan(request)
+                      .to_json(/*include_timings=*/false)
+                      .dump(2))
+        << backend << ": threaded dedup-off diverged from serial dedup-on";
+  }
+}
+
+TEST(PlanRefine, RefineAllReplaysEveryRankedDecomposition) {
+  core::EstimationService service;
+  core::PlanRequest request = small_plan_request();
+  request.refine_all = true;
+  const core::PlanReport report = service.plan(request);
+  EXPECT_EQ(report.profiles_run, 1u);
+  EXPECT_EQ(report.replayed_candidates, report.candidates.size());
+  for (const core::PlanCandidate& candidate : report.candidates) {
+    EXPECT_TRUE(candidate.replayed);
+  }
+  // A >= 8 GPU budget always ranks pure-DP and hybrid candidates whose
+  // symmetric ranks collapse, and distinct candidates that share stage
+  // sequences cross-candidate.
+  EXPECT_GT(report.replays_deduped, 0u);
+  EXPECT_GT(report.rank_replays_run, 0u);
+  const util::Json json = report.to_json(/*include_timings=*/false);
+  EXPECT_EQ(json.at("stage_counters").at("rank_replays").as_int(),
+            static_cast<std::int64_t>(report.rank_replays_run));
+  EXPECT_EQ(json.at("stage_counters").at("replays_deduped").as_int(),
+            static_cast<std::int64_t>(report.replays_deduped));
+  EXPECT_TRUE(json.at("stage_counters").contains("replay_cache_hits"));
+}
+
 // ---------- DDP bucket knob ----------
 
 TEST(DataParallelPlan, BucketCountIsConfigurableWithTwoAsDefault) {
@@ -861,6 +927,43 @@ TEST(PlanRequestJson, RejectsMalformedDocuments) {
     EXPECT_NE(std::string(error.what()).find("refine_top_k"),
               std::string::npos);
   }
+}
+
+TEST(PlanRequestJson, RefineAllAndDedupRoundTrip) {
+  core::PlanRequest request = small_plan_request();
+  request.refine_all = true;
+  request.dedup_replays = false;
+  const util::Json json = request.to_json();
+  EXPECT_EQ(json.at("refine_top_k").as_string(), "all");
+  EXPECT_FALSE(json.at("dedup_replays").as_bool());
+  const core::PlanRequest parsed = core::PlanRequest::from_json(json);
+  EXPECT_TRUE(parsed.refine_all);
+  EXPECT_FALSE(parsed.dedup_replays);
+
+  // Defaults round-trip too: top-K mode emits the integer and leaves the
+  // (true) dedup flag implicit.
+  const util::Json plain = small_plan_request().to_json();
+  EXPECT_TRUE(plain.at("refine_top_k").is_int());
+  EXPECT_FALSE(plain.contains("dedup_replays"));
+  EXPECT_TRUE(core::PlanRequest::from_json(plain).dedup_replays);
+
+  // Only the string "all" is a valid non-integer value, and the rejection
+  // must say so.
+  try {
+    core::PlanRequest::from_json(
+        util::Json::parse(R"({"job": {"model": "distilgpt2", "batch": 5},
+                              "devices": ["rtx3060"],
+                              "refine_top_k": "everything"})"));
+    FAIL() << "bogus refine_top_k string accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("refine_top_k"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"all\""), std::string::npos) << what;
+  }
+  EXPECT_THROW(core::PlanRequest::from_json(util::Json::parse(
+                   R"({"job": {"model": "distilgpt2", "batch": 5},
+                       "devices": ["rtx3060"], "dedup_replays": 1})")),
+               std::invalid_argument);
 }
 
 TEST(PlanRequestJson, BadRefineFixtureFailsNamingTheField) {

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <random>
 #include <set>
 #include <vector>
 
@@ -449,6 +450,81 @@ TEST(SequenceTransform, EventsOnlyModeMatchesMaterializedEvents) {
     EXPECT_EQ(a.events[i].block_id, b.events[i].block_id);
     EXPECT_EQ(a.events[i].bytes, b.events[i].bytes);
   }
+}
+
+// ---------- sequence fingerprints ----------
+
+TEST(SequenceFingerprint, EqualFingerprintsImplyEqualEventStreams) {
+  // The dedup property the refine pass leans on, checked over seeded random
+  // transforms: whenever two transformed sequences fingerprint alike, their
+  // event vectors are byte-equal (and the planner's collision guard — the
+  // full compare — would accept the shared verdict). The converse holds on
+  // this corpus too: distinct event streams never collide here, so the
+  // fingerprint actually discriminates instead of hashing everything alike.
+  const OrchestratedSequence base = base_sequence();
+  const auto profiles = base_profiles();
+  const SequenceTransformer transformer(base, profiles);
+  const std::vector<std::vector<PipelineStage>> partitions = {
+      {chunk(0, 3)},
+      {chunk(0, 1), chunk(2, 3)},
+      {chunk(0, 0), chunk(1, 1), chunk(2, 3)},
+  };
+
+  std::mt19937 rng(20250807);
+  std::map<std::uint64_t, std::vector<OrchestratedEvent>> by_fingerprint;
+  std::set<std::uint64_t> fingerprints;
+  std::size_t repeats = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RankTransformOptions options;
+    options.data_parallel = 1 << (rng() % 3);
+    options.tensor_parallel = 1 << (rng() % 3);
+    options.micro_batches = 1 + static_cast<int>(rng() % 4);
+    options.zero = static_cast<ZeroStage>(rng() % 4);
+    options.inject_collectives = (rng() % 2) == 0;
+    const auto& chunks = partitions[rng() % partitions.size()];
+    const std::size_t rank = rng() % chunks.size();
+
+    RankScratch scratch;
+    const OrchestratedSequence& out = transformer.rank_sequence(
+        options, chunks, chunks.size(), rank, scratch);
+    const std::uint64_t fingerprint = core::sequence_fingerprint(out);
+    EXPECT_EQ(fingerprint, core::sequence_fingerprint(out))  // stable
+        << "trial " << trial;
+    const auto [it, fresh] = by_fingerprint.emplace(fingerprint, out.events);
+    if (!fresh) {
+      ++repeats;
+      EXPECT_EQ(it->second, out.events)
+          << "trial " << trial << ": fingerprint collision across distinct "
+          << "event streams";
+    }
+    fingerprints.insert(fingerprint);
+  }
+  // The random corpus must actually exercise both branches.
+  EXPECT_GT(repeats, 0u);
+  EXPECT_GT(fingerprints.size(), 10u);
+}
+
+TEST(SequenceFingerprint, SensitiveToEveryEventField) {
+  OrchestratedSequence sequence;
+  sequence.events = {OrchestratedEvent{10, 1, 512, true},
+                     OrchestratedEvent{20, 1, 512, false}};
+  const std::uint64_t original = core::sequence_fingerprint(sequence);
+
+  OrchestratedSequence mutated = sequence;
+  mutated.events[0].ts = 11;
+  EXPECT_NE(core::sequence_fingerprint(mutated), original);
+  mutated = sequence;
+  mutated.events[0].block_id = 2;
+  EXPECT_NE(core::sequence_fingerprint(mutated), original);
+  mutated = sequence;
+  mutated.events[0].bytes = 513;
+  EXPECT_NE(core::sequence_fingerprint(mutated), original);
+  mutated = sequence;
+  mutated.events[1].is_alloc = true;
+  EXPECT_NE(core::sequence_fingerprint(mutated), original);
+  mutated = sequence;
+  mutated.events.pop_back();
+  EXPECT_NE(core::sequence_fingerprint(mutated), original);
 }
 
 // ---------- real profiled sequence through the allocator tower ----------
